@@ -1,0 +1,79 @@
+//! End-to-end training benchmarks: one full virtual-time run per
+//! algorithm variant on a small fixed dataset. These are the "who wins"
+//! numbers in microcosm — wall-clock here is dominated by the real SGD
+//! arithmetic each algorithm performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hsgd_core::{experiments, Algorithm, CpuSpec, HeteroConfig};
+use mf_data::{generator, GeneratorConfig};
+use mf_sgd::{HyperParams, LearningRate};
+
+fn dataset() -> generator::Dataset {
+    generator::generate(&GeneratorConfig {
+        name: "bench-e2e".into(),
+        num_users: 4_000,
+        num_items: 1_000,
+        num_train: 120_000,
+        num_test: 6_000,
+        planted_rank: 4,
+        noise_std: 0.4,
+        rating_min: 1.0,
+        rating_max: 5.0,
+        user_skew: 0.4,
+        item_skew: 0.4,
+        seed: 33,
+    })
+}
+
+fn cfg() -> HeteroConfig {
+    HeteroConfig {
+        hyper: HyperParams {
+            k: 8,
+            lambda_p: 0.05,
+            lambda_q: 0.05,
+            gamma: 0.01,
+            schedule: LearningRate::Fixed,
+        },
+        nc: 16,
+        ng: 1,
+        gpu: gpu_sim::GpuSpec::quadro_p4000().scaled_down(400.0),
+        cpu: CpuSpec::default().scaled_down(400.0),
+        iterations: 3,
+        seed: 4,
+        dynamic_scheduling: true,
+        cost_model: hsgd_core::CostModelKind::Tailored,
+        probe_interval_secs: None,
+        target_rmse: None,
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let ds = dataset();
+    let cfg = cfg();
+    let mut group = c.benchmark_group("train_3_iterations");
+    group.sample_size(10);
+    for alg in [
+        Algorithm::CpuOnly,
+        Algorithm::GpuOnly,
+        Algorithm::Hsgd,
+        Algorithm::HsgdStar,
+    ] {
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| black_box(experiments::run(alg, &ds.train, &ds.test, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let ds = dataset();
+    let cfg = cfg();
+    c.bench_function("offline_calibration", |b| {
+        b.iter(|| black_box(experiments::calibrate_for(&cfg, &ds.train)))
+    });
+}
+
+criterion_group!(benches, bench_variants, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Benchmarks of the supporting substrates: grid partitioning, the
+//! schedulers' assignment path, the DES event queue, and cost-model
+//! fitting — the per-block overheads that bound how fine the matrix
+//! division can go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hsgd_core::layout::{uniform_layout, StarLayout};
+use hsgd_core::scheduler::{BlockScheduler, StarScheduler, UniformScheduler, WorkerClass};
+use mf_cost::calibrate::{fit_ramp, probe_geometric, CalibrationConfig};
+use mf_cost::models::RampKind;
+use mf_des::{EventQueue, SimTime};
+use mf_sparse::{GridPartition, Rating, SparseMatrix};
+
+fn synthetic(nnz: u32, m: u32, n: u32) -> SparseMatrix {
+    SparseMatrix::new(
+        m,
+        n,
+        (0..nnz)
+            .map(|i| Rating::new(i.wrapping_mul(2_654_435_761) % m, i % n, 3.0))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_partition_build");
+    for nnz in [100_000u32, 1_000_000] {
+        let data = synthetic(nnz, 50_000, 5_000);
+        let spec = uniform_layout(&data, 33, 32);
+        group.throughput(Throughput::Elements(nnz as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| black_box(GridPartition::build(&data, spec.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_scheduler_cycle(c: &mut Criterion) {
+    let data = synthetic(100_000, 10_000, 2_000);
+    let spec = uniform_layout(&data, 17, 16);
+    let part = GridPartition::build(&data, spec.clone());
+    c.bench_function("uniform_scheduler_assign_release", |b| {
+        b.iter_batched(
+            || UniformScheduler::new(spec.clone(), 1, true),
+            |mut sched| {
+                while let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
+                    sched.release(&t);
+                }
+                black_box(sched.completed())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_star_scheduler_cycle(c: &mut Criterion) {
+    let data = synthetic(100_000, 10_000, 2_000);
+    let layout = StarLayout::build(&data, 16, 1, 0.5);
+    let part = GridPartition::build(&data, layout.spec.clone());
+    c.bench_function("star_scheduler_assign_release", |b| {
+        b.iter_batched(
+            || StarScheduler::new(StarLayout::build(&data, 16, 1, 0.5), 1, true),
+            |mut sched| {
+                loop {
+                    let mut progressed = false;
+                    if let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) {
+                        sched.release(&t);
+                        progressed = true;
+                    }
+                    if let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
+                        sched.release(&t);
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                black_box(sched.completed())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let _ = layout;
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_event_queue");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n as usize);
+                for i in 0..n {
+                    // Pseudo-random times via a multiplicative hash.
+                    let t = (i.wrapping_mul(0x9e3779b97f4a7c15) >> 11) as f64 / 1e15;
+                    q.push(SimTime::from_secs(t), i);
+                }
+                let mut last = 0u64;
+                while let Some(ev) = q.pop() {
+                    last = ev.payload;
+                }
+                black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_fitting(c: &mut Criterion) {
+    c.bench_function("fit_ramp_log", |b| {
+        let cfg = CalibrationConfig {
+            repeats: 1,
+            ..Default::default()
+        };
+        let samples = probe_geometric(1e3, 1e9, &cfg, |s| {
+            s / (20.0 * s.ln() - 100.0).clamp(1.0, 150.0)
+        });
+        b.iter(|| black_box(fit_ramp(&samples, RampKind::Log, 0.02)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_uniform_scheduler_cycle,
+    bench_star_scheduler_cycle,
+    bench_event_queue,
+    bench_cost_fitting
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the SGD inner kernel — the hottest loop in the
+//! workspace — across latent dimensions, plus the SIMT emulation and the
+//! half-precision rounding helper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gpu_sim::simt::{f16_round, SimtKernel};
+use gpu_sim::GpuSpec;
+use mf_sgd::{kernel, Model};
+use mf_sparse::Rating;
+
+fn block(n: u32, rows: u32, cols: u32) -> Vec<Rating> {
+    (0..n)
+        .map(|i| Rating::new(i % rows, (i * 7) % cols, 1.0 + (i % 5) as f32))
+        .collect()
+}
+
+fn bench_sgd_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_step");
+    for k in [8usize, 16, 32, 64, 128] {
+        let mut p = vec![0.1f32; k];
+        let mut q = vec![0.2f32; k];
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                black_box(kernel::sgd_step(
+                    black_box(&mut p),
+                    black_box(&mut q),
+                    3.5,
+                    0.005,
+                    0.05,
+                    0.05,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgd_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_block");
+    let entries = block(10_000, 512, 512);
+    for k in [16usize, 64] {
+        let mut model = Model::init(512, 512, k, 1);
+        group.throughput(Throughput::Elements(entries.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut sq = 0.0;
+                for e in &entries {
+                    let (p, q) = model.pq_rows_mut(e.u, e.v);
+                    let err = kernel::sgd_step(p, q, e.r, 0.005, 0.05, 0.05);
+                    sq += (err as f64) * (err as f64);
+                }
+                black_box(sq)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simt_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simt_execute");
+    let entries = block(10_000, 512, 512);
+    for workers in [32u32, 128, 512] {
+        let kern = SimtKernel::new(&GpuSpec::quadro_p4000().with_workers(workers));
+        let mut model = Model::init(512, 512, 16, 2);
+        group.throughput(Throughput::Elements(entries.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| black_box(kern.execute(&mut model, &entries, 0.005, 0.05, 0.05)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_f16_round(c: &mut Criterion) {
+    c.bench_function("f16_round", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..256 {
+                acc += f16_round(black_box(0.001 * i as f32 + acc * 1e-7));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sgd_step,
+    bench_sgd_block,
+    bench_simt_kernel,
+    bench_f16_round
+);
+criterion_main!(benches);

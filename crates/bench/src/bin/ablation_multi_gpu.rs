@@ -1,0 +1,55 @@
+//! Ablation — multi-GPU division (paper Example 5 generalized): HSGD\*
+//! with 1–4 GPUs on the largest dataset, plus the effect of the
+//! half-precision kernel mode.
+//!
+//! Not a paper table (their testbed had one GPU); this exercises the
+//! `n_g > 1` branches of the layout (per-GPU row groups, `⌈(nc+ng)/ng⌉`
+//! sub-rows) and cuMF's half-precision option end to end.
+
+use hsgd_core::{experiments, Algorithm};
+use mf_bench::{fmt_secs, print_table, BenchArgs};
+use mf_data::PresetName;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let name = PresetName::YahooMusic;
+    let (p, ds) = args.dataset(name);
+    let scale = args.scale_for(name);
+
+    let mut rows = Vec::new();
+    for ng in 1..=4usize {
+        let mut a = args.clone();
+        a.ng = ng;
+        let cfg = a.rig(&p, scale);
+        let out = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg).report;
+        rows.push(vec![
+            ng.to_string(),
+            fmt_secs(out.virtual_secs),
+            format!("{:.2}", out.alpha_planned.unwrap_or(0.0)),
+            format!("{:.3}", out.final_test_rmse),
+        ]);
+    }
+    print_table(
+        &format!("Ablation — HSGD* scaling with GPU count ({})", name.label()),
+        &["ng", "time", "alpha", "final rmse"],
+        &rows,
+    );
+
+    // Half-precision kernel (cuMF's __half storage emulation).
+    let mut rows = Vec::new();
+    for half in [false, true] {
+        let mut cfg = args.rig(&p, scale);
+        cfg.gpu.half_precision = half;
+        let out = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg).report;
+        rows.push(vec![
+            if half { "f16" } else { "f32" }.to_string(),
+            fmt_secs(out.virtual_secs),
+            format!("{:.4}", out.final_test_rmse),
+        ]);
+    }
+    print_table(
+        "Ablation — half-precision factor storage (training quality impact)",
+        &["precision", "time", "final rmse"],
+        &rows,
+    );
+}

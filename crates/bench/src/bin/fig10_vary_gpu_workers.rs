@@ -1,0 +1,52 @@
+//! Figure 10 — running time while varying GPU parallel workers (32–512),
+//! for CPU-Only, GPU-Only and HSGD\* on all four datasets.
+//!
+//! The shape to reproduce: CPU-Only flat; GPU-Only starts slower than
+//! CPU-Only at 32 workers and overtakes as workers grow; HSGD\* fastest
+//! (or tied with GPU-Only once the GPU utterly dominates).
+
+use hsgd_core::{experiments, Algorithm};
+use mf_bench::{fmt_secs, print_table, BenchArgs};
+use mf_data::PresetName;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let worker_sweep = [32u32, 64, 128, 256, 512];
+
+    for name in PresetName::all() {
+        let (p, ds) = args.dataset(name);
+        let scale = args.scale_for(name);
+
+        // CPU-Only doesn't depend on GPU workers: run once.
+        let cfg0 = args.rig(&p, scale);
+        let cpu_time = experiments::run(Algorithm::CpuOnly, &ds.train, &ds.test, &cfg0)
+            .report
+            .virtual_secs;
+
+        let mut rows = Vec::new();
+        for &w in &worker_sweep {
+            let mut wargs = args.clone();
+            wargs.workers = w;
+            let cfg = wargs.rig(&p, scale);
+            let gpu = experiments::run(Algorithm::GpuOnly, &ds.train, &ds.test, &cfg)
+                .report
+                .virtual_secs;
+            let star = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg).report;
+            rows.push(vec![
+                w.to_string(),
+                fmt_secs(cpu_time),
+                fmt_secs(gpu),
+                fmt_secs(star.virtual_secs),
+                format!("{:.2}", star.alpha_planned.unwrap_or(0.0)),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig. 10 — {} (scale 1/{scale}, {} iters, nc={}): time vs GPU workers",
+                p.generator.name, args.iterations, args.nc
+            ),
+            &["workers", "CPU-Only", "GPU-Only", "HSGD*", "alpha"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 11 — running time while varying the CPU thread count (4–16)
+//! with GPU workers fixed at the default 128.
+//!
+//! The shape: GPU-Only flat; CPU-Only improves with threads; HSGD\*
+//! fastest throughout and improving with threads.
+
+use hsgd_core::{experiments, Algorithm};
+use mf_bench::{fmt_secs, print_table, BenchArgs};
+use mf_data::PresetName;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let thread_sweep = [4usize, 8, 12, 16];
+
+    for name in PresetName::all() {
+        let (p, ds) = args.dataset(name);
+        let scale = args.scale_for(name);
+
+        // GPU-Only doesn't depend on thread count: run once.
+        let cfg0 = args.rig(&p, scale);
+        let gpu_time = experiments::run(Algorithm::GpuOnly, &ds.train, &ds.test, &cfg0)
+            .report
+            .virtual_secs;
+
+        let mut rows = Vec::new();
+        for &nc in &thread_sweep {
+            let mut targs = args.clone();
+            targs.nc = nc;
+            let cfg = targs.rig(&p, scale);
+            let cpu = experiments::run(Algorithm::CpuOnly, &ds.train, &ds.test, &cfg)
+                .report
+                .virtual_secs;
+            let star = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg).report;
+            rows.push(vec![
+                nc.to_string(),
+                fmt_secs(cpu),
+                fmt_secs(gpu_time),
+                fmt_secs(star.virtual_secs),
+                format!("{:.2}", star.alpha_planned.unwrap_or(0.0)),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig. 11 — {} (scale 1/{scale}, {} iters, {} GPU workers): time vs CPU threads",
+                p.generator.name, args.iterations, args.workers
+            ),
+            &["threads", "CPU-Only", "GPU-Only", "HSGD*", "alpha"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 13 — test RMSE over training time, HSGD vs HSGD\*: the payoff
+//! of nonuniform matrix division.
+//!
+//! The shape: given the same elapsed time, HSGD\* sits at a lower RMSE;
+//! HSGD trails because (a) its uniform blocks keep the GPU below
+//! saturation and (b) its skewed update counts hurt training quality
+//! (Example 3).
+
+use hsgd_core::{experiments, Algorithm};
+use mf_bench::{print_table, BenchArgs};
+use mf_data::PresetName;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for name in PresetName::all() {
+        let (p, ds) = args.dataset(name);
+        let scale = args.scale_for(name);
+        let cfg = args.rig(&p, scale);
+
+        let hsgd = experiments::run(Algorithm::Hsgd, &ds.train, &ds.test, &cfg).report;
+        let star = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg).report;
+
+        let max_len = hsgd.rmse_series.len().max(star.rmse_series.len());
+        let mut rows = Vec::new();
+        for i in 0..max_len {
+            let mut row = Vec::new();
+            for s in [&hsgd.rmse_series, &star.rmse_series] {
+                match s.get(i) {
+                    Some(&(t, r)) => {
+                        row.push(format!("{:.4}", t));
+                        row.push(format!("{:.4}", r));
+                    }
+                    None => {
+                        row.push(String::new());
+                        row.push(String::new());
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Fig. 13 — {} (scale 1/{scale}): HSGD vs HSGD* RMSE over time",
+                p.generator.name
+            ),
+            &["hsgd t(s)", "hsgd rmse", "hsgd* t(s)", "hsgd* rmse"],
+            &rows,
+        );
+        let ih = hsgd.imbalance();
+        let is_ = star.imbalance();
+        println!(
+            "update-count cv: HSGD {:.3} vs HSGD* {:.3}; total time: HSGD {:.4}s vs HSGD* {:.4}s",
+            ih.cv, is_.cv, hsgd.virtual_secs, star.virtual_secs
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 3 — processing speed of GPUs and CPUs on blocks of different
+//! sizes (the two observations the whole paper rests on).
+//!
+//! (a) GPU update speed rises steeply with block size, then saturates —
+//!     small blocks cannot saturate the device (Observation 1).
+//! (b) CPU update speed is flat in block size (Observation 2).
+//!
+//! Speeds are probed from the calibrated device models at full scale
+//! (`--scale` rescales the knees as elsewhere).
+
+use gpu_sim::{GpuDevice, GpuSpec};
+use hsgd_core::CpuSpec;
+use mf_bench::{print_series, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.scale.unwrap_or(1) as f64;
+    let gpu = GpuDevice::new(
+        GpuSpec::quadro_p4000()
+            .with_workers(args.workers)
+            .scaled_down(scale),
+    );
+    let cpu = CpuSpec::default().scaled_down(scale);
+
+    // (a) GPU: the paper sweeps 500k..2.5M points on a 400k-knee device;
+    // reproduce the same knee-relative sweep.
+    let half = gpu.spec().kernel_half_size;
+    let gpu_series: Vec<(f64, f64)> = (1..=20)
+        .map(|i| {
+            let points = half * 0.3125 * i as f64; // 0.125..2.5M at full scale
+            let secs = gpu.kernel_model().time_for(points as u64).as_secs();
+            (points / 1e3, points / secs / 1e6)
+        })
+        .collect();
+    print_series(
+        "Fig. 3(a) GPU update speed vs block size (Observation 1)",
+        "block size (k points)",
+        "speed (M pts/s)",
+        &gpu_series,
+    );
+
+    // (b) CPU: same axis range as the paper (100k..400k points).
+    let cpu_series: Vec<(f64, f64)> = (1..=16)
+        .map(|i| {
+            let points = half * 0.0625 * i as f64 * 4.0;
+            let secs = cpu.time_secs(points as usize);
+            (points / 1e3, points / secs / 1e6)
+        })
+        .collect();
+    print_series(
+        "Fig. 3(b) CPU (single thread) update speed vs block size (Observation 2)",
+        "block size (k points)",
+        "speed (M pts/s)",
+        &cpu_series,
+    );
+
+    let sat = gpu.kernel_model().saturated_throughput() / 1e6;
+    println!("\nGPU saturated speed: {sat:.1} M pts/s at {} workers", args.workers);
+    println!(
+        "CPU flat speed:      {:.1} M pts/s per thread",
+        cpu.updates_per_sec / 1e6
+    );
+}

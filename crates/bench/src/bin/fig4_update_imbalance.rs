@@ -1,0 +1,68 @@
+//! Figure 4 / Example 3 — the update-count imbalance of the
+//! straightforward HSGD versus HSGD\*.
+//!
+//! HSGD's least-count-among-independent policy lets the much faster GPU
+//! spin on whatever blocks happen to be free, so per-block pass counts
+//! skew badly; HSGD\*'s region discipline keeps them within the soft-cap
+//! slack of the target. Printed: distribution statistics plus a coarse
+//! count heat map of the HSGD grid (the darker cells of the paper's
+//! Fig. 4).
+
+use hsgd_core::{experiments, Algorithm};
+use mf_bench::{print_table, BenchArgs};
+use mf_data::PresetName;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (p, ds) = args.dataset(PresetName::MovieLens);
+    let cfg = args.rig(&p, args.scale_for(PresetName::MovieLens));
+
+    let mut rows = Vec::new();
+    let mut hsgd_counts = None;
+    for alg in [Algorithm::Hsgd, Algorithm::HsgdStar] {
+        let out = experiments::run(alg, &ds.train, &ds.test, &cfg);
+        let s = out.report.imbalance();
+        rows.push(vec![
+            alg.label().to_string(),
+            s.min.to_string(),
+            s.max.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.std),
+            format!("{:.3}", s.cv),
+            format!("{:.3}", s.gini),
+        ]);
+        if alg == Algorithm::Hsgd {
+            hsgd_counts = Some(out.report.update_counts.clone());
+        }
+    }
+    print_table(
+        "Fig. 4 / Example 3 — per-block update-count distribution",
+        &["algorithm", "min", "max", "mean", "std", "cv", "gini"],
+        &rows,
+    );
+
+    // Coarse heat map of the HSGD grid (rows × cols of Rule 1's layout).
+    if let Some(counts) = hsgd_counts {
+        let cols = cfg.nc + cfg.ng;
+        let max = *counts.iter().max().unwrap_or(&1) as f64;
+        println!("\nHSGD grid heat map ('.'<25% ':'<50% '+'<75% '#'>=75% of max {max}):");
+        for chunk in counts.chunks(cols) {
+            let line: String = chunk
+                .iter()
+                .map(|&c| {
+                    let frac = c as f64 / max.max(1.0);
+                    if frac < 0.25 {
+                        '.'
+                    } else if frac < 0.5 {
+                        ':'
+                    } else if frac < 0.75 {
+                        '+'
+                    } else {
+                        '#'
+                    }
+                })
+                .collect();
+            println!("  {line}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 6 — PCIe transfer speed vs payload size, both directions.
+//!
+//! The ramp from ~2.5 GB/s at 64 KB to the ~12.5 GB/s plateau beyond
+//! 256 MB is the second mechanism behind Observation 1: small blocks
+//! cannot utilize the bus either.
+
+use gpu_sim::{GpuSpec, PcieBus};
+use mf_bench::{print_series, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.scale.unwrap_or(1) as f64;
+    let spec = GpuSpec::quadro_p4000().scaled_down(scale);
+    let bus = PcieBus::new(&spec);
+
+    // The paper's axis: 64 KB to 256 MB, doubling (log-scaled x).
+    let sizes: Vec<f64> = (0..=12)
+        .map(|i| spec.pcie_small_bytes * (1 << i) as f64)
+        .collect();
+
+    let h2d: Vec<(f64, f64)> = sizes
+        .iter()
+        .map(|&b| (b / 1024.0, bus.h2d.speed_gbps(b)))
+        .collect();
+    print_series(
+        "Fig. 6(a) CPU→GPU transfer speed",
+        "size (KiB)",
+        "speed (GB/s)",
+        &h2d,
+    );
+
+    let d2h: Vec<(f64, f64)> = sizes
+        .iter()
+        .map(|&b| (b / 1024.0, bus.d2h.speed_gbps(b)))
+        .collect();
+    print_series(
+        "Fig. 6(b) GPU→CPU transfer speed",
+        "size (KiB)",
+        "speed (GB/s)",
+        &d2h,
+    );
+}

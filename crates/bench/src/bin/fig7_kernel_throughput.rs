@@ -1,0 +1,51 @@
+//! Figure 7 — kernel execution throughput by data size, with the fitted
+//! cost-model curve alongside the ground truth.
+//!
+//! This is the measurement the paper's `a·log|R| + b` stage-1 model is
+//! fitted to; the printout shows both the device's truth and the model
+//! recovered by the offline calibration (Algorithm 3), so the fit quality
+//! of Sec. V-B is inspectable.
+
+use gpu_sim::{GpuDevice, GpuSpec};
+use hsgd_core::{calibration, CpuSpec};
+use mf_bench::{print_table, BenchArgs};
+use mf_cost::models::CostModel;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.scale.unwrap_or(1) as f64;
+    let spec = GpuSpec::quadro_p4000()
+        .with_workers(args.workers)
+        .scaled_down(scale);
+    let gpu = GpuDevice::new(spec);
+    let models = calibration::calibrate(
+        &CpuSpec::default().scaled_down(scale),
+        &gpu,
+        (100_000_000.0 / scale) as u64,
+        12.0,
+        args.seed,
+    );
+
+    let half = gpu.spec().kernel_half_size;
+    let mut rows = Vec::new();
+    for i in 1..=20 {
+        let points = half * 0.3125 * i as f64;
+        let truth_secs = gpu.kernel_model().time_for(points as u64).as_secs();
+        let fit_secs = models.gpu.kernel.time_secs(points);
+        rows.push(vec![
+            format!("{:.0}", points / 1e3),
+            format!("{:.2}", points / truth_secs / 1e6),
+            format!("{:.2}", points / fit_secs / 1e6),
+            format!("{:+.1}%", (fit_secs / truth_secs - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig. 7 — kernel throughput vs data size (truth vs fitted cost model)",
+        &["size (k pts)", "truth (M/s)", "fitted (M/s)", "time err"],
+        &rows,
+    );
+    println!(
+        "\nstage-1 family: a·ln|R|+b; fitted tau = {:.0} points",
+        models.gpu.kernel.tau
+    );
+}

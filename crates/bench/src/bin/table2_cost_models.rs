@@ -1,0 +1,56 @@
+//! Table II — comparison of cost models: workload proportions and running
+//! time of HSGD\*-Q (Qilin's linear model) vs HSGD\*-M (the paper's
+//! model), both without dynamic scheduling, for the same number of
+//! iterations (20 in the paper).
+//!
+//! The claims to check: the two models split the workload differently
+//! (most visibly on the small dataset, where the tailored model respects
+//! Observation 1), and HSGD\*-M's split yields the lower running time.
+
+use hsgd_core::{experiments, Algorithm};
+use mf_bench::{fmt_secs, print_table, BenchArgs};
+use mf_data::PresetName;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut prop_rows = Vec::new();
+    let mut time_rows = Vec::new();
+
+    for name in PresetName::all() {
+        let (p, ds) = args.dataset(name);
+        let cfg = args.rig(&p, args.scale_for(name));
+
+        let q = experiments::run(Algorithm::HsgdStarQ, &ds.train, &ds.test, &cfg).report;
+        let m = experiments::run(Algorithm::HsgdStarM, &ds.train, &ds.test, &cfg).report;
+
+        let aq = q.alpha_planned.unwrap_or(0.0);
+        let am = m.alpha_planned.unwrap_or(0.0);
+        prop_rows.push(vec![
+            name.label().to_string(),
+            format!("{:.2}%", (1.0 - aq) * 100.0),
+            format!("{:.2}%", aq * 100.0),
+            format!("{:.2}%", (1.0 - am) * 100.0),
+            format!("{:.2}%", am * 100.0),
+        ]);
+        time_rows.push(vec![
+            name.label().to_string(),
+            fmt_secs(q.virtual_secs),
+            fmt_secs(m.virtual_secs),
+            format!("{:+.1}%", (m.virtual_secs / q.virtual_secs - 1.0) * 100.0),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Table II (top) — workload proportion by cost model ({} iterations)",
+            args.iterations
+        ),
+        &["dataset", "Q: C", "Q: G", "M: C", "M: G"],
+        &prop_rows,
+    );
+    print_table(
+        "Table II (bottom) — running time by cost model",
+        &["dataset", "HSGD*-Q", "HSGD*-M", "M vs Q"],
+        &time_rows,
+    );
+}

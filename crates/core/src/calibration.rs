@@ -1,0 +1,263 @@
+//! The offline phase: calibrating cost models against the (virtual)
+//! devices — paper Algorithm 3 wired to this reproduction's hardware
+//! stand-ins.
+//!
+//! Probes measure the simulated devices exactly the way the authors
+//! measured their Xeon + Quadro P4000: repeated timed runs over growing
+//! data sizes, with multiplicative jitter standing in for measurement
+//! noise. The fitted artifacts are
+//!
+//! * `cpu` — the linear CPU model (Observation 2 justifies linearity);
+//! * `gpu` — the paper's piecewise model with the Eq. 9
+//!   `max(transfer, kernel)` composition;
+//! * `qilin_gpu` — the Qilin baseline: one straight line through
+//!   *end-to-end* GPU times (Table II's HSGD\*-Q).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use gpu_sim::GpuDevice;
+use mf_cost::calibrate::{
+    calibrate_gpu, fit_cpu, probe_prefixes, CalibrationConfig, GpuCalibration,
+};
+use mf_cost::models::CostModel;
+use mf_cost::{balance_alpha, GpuCost, LinearCost};
+use mf_sparse::Rating;
+
+use crate::config::{CostModelKind, CpuSpec};
+
+/// The stored output of the offline phase.
+#[derive(Debug, Clone)]
+pub struct CalibratedModels {
+    /// Linear CPU-thread cost (seconds vs points).
+    pub cpu: LinearCost,
+    /// The paper's GPU cost model (seconds vs points).
+    pub gpu: GpuCost,
+    /// Qilin's linear GPU cost model (seconds vs points).
+    pub qilin_gpu: LinearCost,
+}
+
+/// Relative amplitude of the synthetic measurement jitter.
+const NOISE_AMP: f64 = 0.02;
+
+fn noise_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    move || 1.0 + NOISE_AMP * (2.0 * rng.random::<f64>() - 1.0)
+}
+
+/// Runs Algorithm 3 against a CPU spec and a GPU device, for a workload
+/// of `total_points` ratings and `bytes_per_point` wire bytes per rating.
+pub fn calibrate(
+    cpu: &CpuSpec,
+    gpu: &GpuDevice,
+    total_points: u64,
+    bytes_per_point: f64,
+    seed: u64,
+) -> CalibratedModels {
+    let cfg = CalibrationConfig::default();
+    let total = total_points as f64;
+
+    // CPU: cumulative-prefix probes, linear fit.
+    let mut cpu_noise = noise_stream(seed ^ 0x1);
+    let cpu_samples = probe_prefixes(total, &cfg, |points| {
+        cpu.time_secs(points as usize) * cpu_noise()
+    });
+    let cpu_model = fit_cpu(&cpu_samples);
+
+    // GPU: transfer + kernel ramps, Eq. 9 composition. Probe ranges span
+    // well past both sides of the device's knees so τ detection sees the
+    // plateau.
+    let spec = gpu.spec();
+    let mut t_noise = noise_stream(seed ^ 0x2);
+    let mut k_noise = noise_stream(seed ^ 0x3);
+    let mut transfer_probe = |bytes: f64| {
+        gpu.bus()
+            .h2d
+            .time_for(bytes.round() as u64)
+            .as_secs()
+            * t_noise()
+    };
+    let mut kernel_probe = |points: f64| {
+        gpu.kernel_model().time_for(points.round() as u64).as_secs() * k_noise()
+    };
+    let byte_lo = (spec.pcie_small_bytes / 8.0).max(16.0);
+    let byte_hi = spec.pcie_saturation_bytes * 8.0;
+    // Probe from just above the latency-bound zone, like the paper's own
+    // Fig. 7 measurements (their probes start at ~0.5M points on a 400k-
+    // knee device): the a·ln n + b family describes the ramp, not the
+    // constant-time floor below it.
+    let point_lo = (spec.kernel_half_size * 0.4).max(16.0);
+    let point_hi = (spec.kernel_half_size * 256.0).max(total);
+    let gpu_model = calibrate_gpu(
+        GpuCalibration {
+            transfer_probe: &mut transfer_probe,
+            kernel_probe: &mut kernel_probe,
+            byte_range: (byte_lo, byte_hi),
+            point_range: (point_lo, point_hi),
+            bytes_per_point,
+        },
+        &cfg,
+    );
+
+    // Qilin baseline: one line through end-to-end times at prefix sizes.
+    let mut q_noise = noise_stream(seed ^ 0x4);
+    let extra_bytes = (bytes_per_point - Rating::WIRE_BYTES as f64).max(0.0);
+    let qilin_samples = probe_prefixes(total, &cfg, |points| {
+        gpu.probe_end_to_end_secs(points.round() as u64, (points * extra_bytes) as u64)
+            * q_noise()
+    });
+    let qilin_gpu = fit_cpu(&qilin_samples);
+
+    CalibratedModels {
+        cpu: cpu_model,
+        gpu: gpu_model,
+        qilin_gpu,
+    }
+}
+
+/// Computes the planned GPU workload share α (Eq. 8) for a dataset of
+/// `nnz` ratings on `nc` CPU threads and `ng` GPUs.
+///
+/// Per iteration, each GPU processes `cols` static tasks of
+/// `α·nnz/(n_g·cols)` points; a CPU thread's time is linear so block
+/// structure cancels.
+pub fn plan_alpha(
+    models: &CalibratedModels,
+    kind: CostModelKind,
+    nnz: u64,
+    nc: usize,
+    ng: usize,
+) -> f64 {
+    let cols = (nc + 2 * ng + 1) as f64;
+    let nnz = nnz as f64;
+    let ng_f = ng as f64;
+    let gpu_block_time = |points: f64| match kind {
+        CostModelKind::Tailored => models.gpu.time_for_points(points),
+        CostModelKind::Qilin => models.qilin_gpu.time_secs(points),
+    };
+    balance_alpha(
+        |a| ng_f * cols * gpu_block_time(a * nnz / (ng_f * cols)),
+        |x| models.cpu.time_secs(x * nnz),
+        ng_f,
+        nc as f64,
+    )
+}
+
+/// Nominal wire bytes per rating for the HSGD\* GPU tasks: the rating
+/// triple plus the amortized `Q` column segment, evaluated at a nominal
+/// `α = 1/2` split.
+pub fn nominal_bytes_per_point(nnz: u64, ncols: u32, k: usize, nc: usize, ng: usize) -> f64 {
+    let cols = (nc + 2 * ng + 1) as f64;
+    let q_band_bytes = ncols as f64 / cols * k as f64 * 4.0;
+    let task_points = (0.5 * nnz as f64 / (ng as f64 * cols)).max(1.0);
+    Rating::WIRE_BYTES as f64 + q_band_bytes / task_points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuSpec;
+
+    fn rig() -> (CpuSpec, GpuDevice) {
+        (
+            CpuSpec::default(),
+            GpuDevice::new(GpuSpec::quadro_p4000()),
+        )
+    }
+
+    #[test]
+    fn cpu_model_tracks_flat_throughput() {
+        let (cpu, gpu) = rig();
+        let models = calibrate(&cpu, &gpu, 10_000_000, 12.0, 1);
+        // 5M updates/s → 2e-7 s/point, within noise.
+        assert!(
+            (models.cpu.a - 2e-7).abs() / 2e-7 < 0.05,
+            "slope {}",
+            models.cpu.a
+        );
+    }
+
+    #[test]
+    fn gpu_model_beats_qilin_on_small_blocks() {
+        // The whole point of Sec. V: Qilin fits one line through mostly
+        // saturated end-to-end times, so it wildly underestimates the
+        // latency-bound cost of small blocks; the tailored piecewise model
+        // stays within a small log-factor of the truth. Compare in
+        // log-space because the linear model's error saturates at 100%.
+        let (cpu, gpu) = rig();
+        let models = calibrate(&cpu, &gpu, 100_000_000, 12.0, 2);
+        let small = 20_000.0; // deep in the latency-bound zone
+        let truth = gpu.kernel_model().time_for(small as u64).as_secs();
+        let ours = models.gpu.time_for_points(small);
+        let qilin = models.qilin_gpu.time_secs(small).max(1e-9);
+        let our_log_err = (ours / truth).ln().abs();
+        let qilin_log_err = (qilin / truth).ln().abs();
+        assert!(
+            our_log_err < 0.7 * qilin_log_err,
+            "tailored should be closer in log-space: ours {our_log_err:.3} vs qilin {qilin_log_err:.3}"
+        );
+        assert!(
+            qilin < 0.8 * truth,
+            "qilin must underestimate the latency floor: {qilin:.2e} vs {truth:.2e}"
+        );
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let (cpu, gpu) = rig();
+        let a = calibrate(&cpu, &gpu, 1_000_000, 12.0, 7);
+        let b = calibrate(&cpu, &gpu, 1_000_000, 12.0, 7);
+        assert_eq!(a.cpu, b.cpu);
+        assert_eq!(a.gpu, b.gpu);
+        assert_eq!(a.qilin_gpu, b.qilin_gpu);
+    }
+
+    #[test]
+    fn alpha_grows_with_gpu_strength() {
+        let (cpu, _) = rig();
+        let weak = GpuDevice::new(GpuSpec::quadro_p4000().with_workers(32));
+        let strong = GpuDevice::new(GpuSpec::quadro_p4000().with_workers(512));
+        let nnz = 50_000_000u64;
+        let m_weak = calibrate(&cpu, &weak, nnz, 12.0, 3);
+        let m_strong = calibrate(&cpu, &strong, nnz, 12.0, 3);
+        let a_weak = plan_alpha(&m_weak, CostModelKind::Tailored, nnz, 16, 1);
+        let a_strong = plan_alpha(&m_strong, CostModelKind::Tailored, nnz, 16, 1);
+        assert!(
+            a_strong > a_weak + 0.1,
+            "512-worker GPU should take much more: {a_weak:.3} vs {a_strong:.3}"
+        );
+        assert!(a_weak > 0.05 && a_strong < 0.95);
+    }
+
+    #[test]
+    fn alpha_shrinks_on_small_datasets() {
+        // Observation 1 consequence (Table II, MovieLens row): on a small
+        // dataset the tailored model sees that GPU blocks land on the weak
+        // part of the curve and assigns the GPU a smaller share than it
+        // gets on a big dataset.
+        let (cpu, gpu) = rig();
+        let small_nnz = 2_000_000u64; // ML-scale: blocks ≈ 50k, early ramp
+        let big_nnz = 200_000_000u64; // Yahoo-scale: blocks saturated
+        let m_small = calibrate(&cpu, &gpu, small_nnz, 12.0, 4);
+        let m_big = calibrate(&cpu, &gpu, big_nnz, 12.0, 4);
+        let a_small = plan_alpha(&m_small, CostModelKind::Tailored, small_nnz, 16, 1);
+        let a_big = plan_alpha(&m_big, CostModelKind::Tailored, big_nnz, 16, 1);
+        assert!(
+            a_small + 0.05 < a_big,
+            "small-data α ({a_small:.3}) should sit below big-data α ({a_big:.3})"
+        );
+        // And the two cost models genuinely disagree on the small dataset.
+        let a_small_q = plan_alpha(&m_small, CostModelKind::Qilin, small_nnz, 16, 1);
+        assert!(
+            (a_small - a_small_q).abs() > 0.01,
+            "models should diverge on small data: ours {a_small:.3} vs qilin {a_small_q:.3}"
+        );
+    }
+
+    #[test]
+    fn nominal_bytes_per_point_sane() {
+        let b = nominal_bytes_per_point(1_000_000, 60_000, 32, 16, 1);
+        assert!(b > Rating::WIRE_BYTES as f64);
+        assert!(b < 100.0, "amortized factor bytes should be small: {b}");
+    }
+}

@@ -1,0 +1,365 @@
+//! One-call drivers for every algorithm in the paper's evaluation.
+
+use mf_des::SimTime;
+use mf_sgd::Model;
+use mf_sparse::{shuffle, SparseMatrix};
+
+use crate::calibration::{self, CalibratedModels};
+use crate::config::{Algorithm, CostModelKind, HeteroConfig};
+use crate::devices::GpuWorker;
+use crate::layout::{uniform_layout, StarLayout};
+use crate::scheduler::{StarScheduler, UniformScheduler};
+use crate::trainer::{run_training, DevicePool, TrainOutcome};
+
+/// Applies the standard preprocessing to a train/test pair: one shared
+/// row permutation and one shared column permutation (so factor indices
+/// stay consistent), then a shuffle of the training entry order.
+pub fn preprocess_pair(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    seed: u64,
+) -> (SparseMatrix, SparseMatrix) {
+    let row_perm = shuffle::random_permutation(train.nrows(), seed ^ 0xa5a5);
+    let col_perm = shuffle::random_permutation(train.ncols(), seed ^ 0x5a5a);
+    let mut tr = train.clone();
+    let mut te = test.clone();
+    shuffle::relabel(&mut tr, Some(&row_perm), Some(&col_perm));
+    shuffle::relabel(&mut te, Some(&row_perm), Some(&col_perm));
+    shuffle::shuffle_entries(&mut tr, seed ^ 0x77);
+    (tr, te)
+}
+
+/// Runs `alg` on (train, test) under `cfg` and returns the trained model
+/// plus the run report. This is the entry point every experiment binary
+/// uses.
+pub fn run(
+    alg: Algorithm,
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    cfg: &HeteroConfig,
+) -> TrainOutcome {
+    let (train, test) = preprocess_pair(train, test, cfg.seed);
+    match alg {
+        Algorithm::CpuOnly => run_cpu_only(&train, &test, cfg),
+        Algorithm::GpuOnly => run_gpu_only(&train, &test, cfg),
+        Algorithm::Hsgd => run_hsgd(&train, &test, cfg),
+        Algorithm::HsgdStarQ => run_star(&train, &test, cfg, CostModelKind::Qilin, false, alg),
+        Algorithm::HsgdStarM => run_star(&train, &test, cfg, CostModelKind::Tailored, false, alg),
+        Algorithm::HsgdStar => run_star(&train, &test, cfg, CostModelKind::Tailored, true, alg),
+    }
+}
+
+/// Calibrates the cost models for the configured rig and dataset size —
+/// exposed so benches can inspect the offline phase on its own.
+pub fn calibrate_for(cfg: &HeteroConfig, train: &SparseMatrix) -> CalibratedModels {
+    let gpu = gpu_sim::GpuDevice::new(cfg.gpu);
+    let bytes_per_point = calibration::nominal_bytes_per_point(
+        train.nnz() as u64,
+        train.ncols(),
+        cfg.hyper.k,
+        cfg.nc,
+        cfg.ng,
+    );
+    calibration::calibrate(&cfg.cpu, &gpu, train.nnz() as u64, bytes_per_point, cfg.seed)
+}
+
+fn run_cpu_only(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> TrainOutcome {
+    assert!(cfg.nc >= 1, "CPU-Only needs at least one thread");
+    // 2s×2s-style grid (LIBMF practice, within Rule 1's "at least"): ample
+    // free rows and columns at every completion instant.
+    let spec = uniform_layout(train, 2 * cfg.nc as u32 + 1, 2 * cfg.nc as u32);
+    let sched = UniformScheduler::new(spec, cfg.iterations, true);
+    let pool = DevicePool {
+        cpu_workers: cfg.nc,
+        gpus: vec![],
+        gpu_start: vec![],
+    };
+    run_training(train, test, sched, pool, cfg, None, Algorithm::CpuOnly.label())
+}
+
+fn run_gpu_only(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> TrainOutcome {
+    assert!(cfg.ng >= 1, "GPU-Only needs at least one GPU");
+    let ng = cfg.ng as u32;
+    let spec = uniform_layout(train, ng, 2 * ng + 1);
+    let sched = UniformScheduler::new(spec, cfg.iterations, true);
+    // cuMF regime: everything resident on device; pay one bulk load.
+    let probe_model = Model::init(train.nrows(), train.ncols(), cfg.hyper.k, cfg.seed);
+    let mut gpus = Vec::new();
+    let mut starts = Vec::new();
+    for _ in 0..cfg.ng {
+        let mut g = GpuWorker::new(cfg.gpu);
+        g.resident_all = true;
+        let load = g.initial_load_time(train.nnz() as u64 / cfg.ng as u64, &probe_model);
+        gpus.push(g);
+        starts.push(load);
+    }
+    let pool = DevicePool {
+        cpu_workers: 0,
+        gpus,
+        gpu_start: starts,
+    };
+    run_training(train, test, sched, pool, cfg, None, Algorithm::GpuOnly.label())
+}
+
+fn run_hsgd(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> TrainOutcome {
+    assert!(cfg.nc >= 1 && cfg.ng >= 1, "HSGD needs both resources");
+    let rows = (cfg.nc + cfg.ng + 1) as u32;
+    let cols = (cfg.nc + cfg.ng) as u32;
+    let spec = uniform_layout(train, rows, cols);
+    // No per-block cap: the straightforward policy whose least-count rule
+    // lets the fast GPU skew the pass distribution (Example 3).
+    let sched = UniformScheduler::new(spec, cfg.iterations, false);
+    let pool = DevicePool {
+        cpu_workers: cfg.nc,
+        gpus: (0..cfg.ng).map(|_| GpuWorker::new(cfg.gpu)).collect(),
+        gpu_start: vec![SimTime::ZERO; cfg.ng],
+    };
+    run_training(train, test, sched, pool, cfg, None, Algorithm::Hsgd.label())
+}
+
+fn run_star(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    cfg: &HeteroConfig,
+    kind: CostModelKind,
+    dynamic: bool,
+    alg: Algorithm,
+) -> TrainOutcome {
+    assert!(cfg.nc >= 1 && cfg.ng >= 1, "HSGD* needs both resources");
+    // Offline phase: cost models → α.
+    let models = calibrate_for(cfg, train);
+    let alpha = calibration::plan_alpha(&models, kind, train.nnz() as u64, cfg.nc, cfg.ng);
+
+    // Online phase: nonuniform layout, region scheduler, pinned GPUs.
+    let layout = StarLayout::build(train, cfg.nc as u32, cfg.ng as u32, alpha);
+    let realized_alpha = layout.alpha;
+    let mut gpus = Vec::new();
+    for g in 0..cfg.ng {
+        let mut worker = GpuWorker::new(cfg.gpu);
+        let rows = layout.gpu_group_rows(g as u32);
+        worker
+            .device
+            .pin_p_rows(rows, cfg.hyper.k)
+            .expect("GPU factor segment must fit in device memory");
+        gpus.push(worker);
+    }
+    // Break-even depth for CPU→R_g stealing, from the calibrated models:
+    // how many GPU column-times one CPU thread spends per stolen column.
+    let cols = (cfg.nc + 2 * cfg.ng + 1) as f64;
+    let col_points = (realized_alpha * train.nnz() as f64 / (cfg.ng as f64 * cols)).max(1.0);
+    let t_gpu_col = models.gpu.time_for_points(col_points).max(1e-12);
+    let t_cpu_col = mf_cost::models::CostModel::time_secs(&models.cpu, col_points);
+    let steal_ratio = t_cpu_col / t_gpu_col;
+    let sched =
+        StarScheduler::new(layout, cfg.iterations, dynamic).with_steal_ratio(steal_ratio);
+    let pool = DevicePool {
+        cpu_workers: cfg.nc,
+        gpus,
+        gpu_start: vec![SimTime::ZERO; cfg.ng],
+    };
+    run_training(
+        train,
+        test,
+        sched,
+        pool,
+        cfg,
+        Some(realized_alpha),
+        alg.label(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuSpec;
+    use mf_sgd::HyperParams;
+
+    /// Device scale used by the tests: knees and latencies at 1/100 of
+    /// the Quadro P4000, so a few-hundred-k-rating dataset exercises the
+    /// same curve regions as the paper's full-scale runs.
+    const DEV_SCALE: f64 = 100.0;
+
+    fn gen(m: u32, n: u32, train: usize, seed: u64) -> (SparseMatrix, SparseMatrix) {
+        let ds = mf_data::generator::generate(&mf_data::GeneratorConfig {
+            name: "test".into(),
+            num_users: m,
+            num_items: n,
+            num_train: train,
+            num_test: train / 20,
+            planted_rank: 4,
+            noise_std: 0.4,
+            rating_min: 1.0,
+            rating_max: 5.0,
+            user_skew: 0.4,
+            item_skew: 0.4,
+            seed,
+        });
+        (ds.train, ds.test)
+    }
+
+    /// Netflix-like regime: GPU static blocks ≈ 8× the kernel knee
+    /// (saturated), plenty of items per column band.
+    fn saturated_dataset() -> (SparseMatrix, SparseMatrix) {
+        gen(20_000, 2_000, 600_000, 11)
+    }
+
+    /// MovieLens-like regime: GPU static blocks land on the ramp below
+    /// the knee.
+    fn ramp_dataset() -> (SparseMatrix, SparseMatrix) {
+        gen(3_000, 1_500, 110_000, 12)
+    }
+
+    fn cfg() -> HeteroConfig {
+        HeteroConfig {
+            hyper: HyperParams {
+                k: 8,
+                lambda_p: 0.05,
+                lambda_q: 0.05,
+                gamma: 0.01,
+                schedule: mf_sgd::LearningRate::Fixed,
+            },
+            nc: 16,
+            ng: 1,
+            gpu: gpu_sim::GpuSpec::quadro_p4000().scaled_down(DEV_SCALE),
+            cpu: CpuSpec::default().scaled_down(DEV_SCALE),
+            iterations: 8,
+            seed: 3,
+            dynamic_scheduling: true,
+            cost_model: crate::config::CostModelKind::Tailored,
+            probe_interval_secs: None,
+            target_rmse: None,
+        }
+    }
+
+    #[test]
+    fn all_algorithms_run_and_train() {
+        let (train, test) = ramp_dataset();
+        let cfg = cfg();
+        for alg in [
+            Algorithm::CpuOnly,
+            Algorithm::GpuOnly,
+            Algorithm::Hsgd,
+            Algorithm::HsgdStarQ,
+            Algorithm::HsgdStarM,
+            Algorithm::HsgdStar,
+        ] {
+            let out = run(alg, &train, &test, &cfg);
+            assert!(out.report.virtual_secs > 0.0, "{}", alg.label());
+            // Training happened: RMSE at the end is below the start.
+            let first = out.report.rmse_series.first().unwrap().1;
+            let last = out.report.final_test_rmse;
+            assert!(
+                last < first,
+                "{}: rmse did not improve ({first:.3} -> {last:.3})",
+                alg.label()
+            );
+            assert_eq!(out.report.algorithm, alg.label());
+        }
+    }
+
+    #[test]
+    fn hsgd_star_beats_single_resource_baselines() {
+        // Saturated regime: GPU static blocks saturate the kernel, so
+        // combining 16 CPU threads (~80 M/s) with the GPU (~130 M/s) must
+        // beat either resource alone — the Fig. 10/11 headline.
+        let (train, test) = saturated_dataset();
+        let mut cfg = cfg();
+        cfg.iterations = 4;
+        let cpu = run(Algorithm::CpuOnly, &train, &test, &cfg);
+        let gpu = run(Algorithm::GpuOnly, &train, &test, &cfg);
+        let star = run(Algorithm::HsgdStar, &train, &test, &cfg);
+        assert!(
+            star.report.virtual_secs < cpu.report.virtual_secs,
+            "HSGD* {:.6}s vs CPU-Only {:.6}s",
+            star.report.virtual_secs,
+            cpu.report.virtual_secs
+        );
+        assert!(
+            star.report.virtual_secs < gpu.report.virtual_secs,
+            "HSGD* {:.6}s vs GPU-Only {:.6}s",
+            star.report.virtual_secs,
+            gpu.report.virtual_secs
+        );
+    }
+
+    #[test]
+    fn hsgd_star_never_collapses_on_small_data() {
+        // MovieLens-shaped data puts the GPU's static blocks below the
+        // saturation knee; HSGD* must still beat CPU-Only outright and
+        // stay within a modest factor of the resident-data GPU-Only
+        // regime (the paper reports a win here; our GPU-Only baseline is
+        // stronger because it holds the whole problem on-device).
+        let (train, test) = ramp_dataset();
+        let cfg = cfg();
+        let cpu = run(Algorithm::CpuOnly, &train, &test, &cfg);
+        let gpu = run(Algorithm::GpuOnly, &train, &test, &cfg);
+        let star = run(Algorithm::HsgdStar, &train, &test, &cfg);
+        assert!(star.report.virtual_secs < cpu.report.virtual_secs);
+        assert!(
+            star.report.virtual_secs < 1.5 * gpu.report.virtual_secs,
+            "HSGD* {:.6}s vs GPU-Only {:.6}s",
+            star.report.virtual_secs,
+            gpu.report.virtual_secs
+        );
+    }
+
+    #[test]
+    fn star_reports_alpha_and_both_devices_work() {
+        let (train, test) = ramp_dataset();
+        let out = run(Algorithm::HsgdStar, &train, &test, &cfg());
+        let alpha = out.report.alpha_planned.expect("alpha must be reported");
+        assert!(alpha > 0.05 && alpha < 0.95, "alpha {alpha}");
+        assert!(out.report.cpu_points > 0);
+        assert!(out.report.gpu_points > 0);
+        // Realized share lands near the plan (dynamic phase may move it).
+        let realized = out.report.gpu_share();
+        assert!(
+            (realized - alpha).abs() < 0.25,
+            "planned {alpha:.3} vs realized {realized:.3}"
+        );
+    }
+
+    #[test]
+    fn hsgd_has_worse_update_balance_than_star() {
+        let (train, test) = ramp_dataset();
+        let cfg = cfg();
+        let hsgd = run(Algorithm::Hsgd, &train, &test, &cfg);
+        let star = run(Algorithm::HsgdStar, &train, &test, &cfg);
+        let i_hsgd = hsgd.report.imbalance();
+        let i_star = star.report.imbalance();
+        assert!(
+            i_hsgd.cv > i_star.cv,
+            "HSGD cv {:.3} should exceed HSGD* cv {:.3}",
+            i_hsgd.cv,
+            i_star.cv
+        );
+        // HSGD* per-block counts stay within the soft-cap slack.
+        assert!(i_star.max <= cfg.iterations + crate::scheduler::SOFT_CAP_SLACK);
+        assert!(i_star.cv < 0.25, "HSGD* cv {:.3}", i_star.cv);
+    }
+
+    #[test]
+    fn dynamic_scheduling_does_not_hurt() {
+        let (train, test) = saturated_dataset();
+        let cfg = cfg();
+        let without = run(Algorithm::HsgdStarM, &train, &test, &cfg);
+        let with = run(Algorithm::HsgdStar, &train, &test, &cfg);
+        assert!(
+            with.report.virtual_secs <= without.report.virtual_secs * 1.02,
+            "dynamic {:.4}s vs static {:.4}s",
+            with.report.virtual_secs,
+            without.report.virtual_secs
+        );
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let (train, test) = ramp_dataset();
+        let cfg = cfg();
+        let a = run(Algorithm::HsgdStar, &train, &test, &cfg);
+        let b = run(Algorithm::HsgdStar, &train, &test, &cfg);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.report.virtual_secs, b.report.virtual_secs);
+        assert_eq!(a.report.update_counts, b.report.update_counts);
+    }
+}

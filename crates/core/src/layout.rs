@@ -1,0 +1,290 @@
+//! The final matrix-division strategy (paper Sec. VI-B, Fig. 9).
+//!
+//! Geometry of the HSGD\* grid for `n_c` CPU threads and `n_g` GPUs:
+//!
+//! * **Columns**: `n_c + 2·n_g + 1` equal-nnz column bands. The `2·n_g`
+//!   surplus lets every GPU hold *two* blocks in flight (current + next)
+//!   so data transfer overlaps kernel execution (Fig. 8), and the `+1`
+//!   guarantees a spare column whenever any worker finishes.
+//! * **CPU rows**: the CPU share `R_c` (fraction `1−α` of the ratings) is
+//!   cut into `n_c + n_g` row bands — enough that GPUs joining in the
+//!   dynamic phase never starve the grid (Rule 1).
+//! * **GPU rows**: the GPU share `R_g` is cut into `n_g` row groups (one
+//!   per GPU, so each GPU updates a fixed `P` segment and never
+//!   re-transfers it), and each group is pre-split into
+//!   `⌈(n_c + n_g)/n_g⌉` **sub-rows**: static-phase tasks span a whole
+//!   group (big blocks — Observation 1), dynamic-phase tasks are single
+//!   sub-rows small enough for CPU threads to steal without conflicts.
+//!
+//! The row split between `R_c` and `R_g` is chosen from the *actual*
+//! per-row rating counts so the GPU side holds as close to `α·nnz` as
+//! row granularity allows.
+
+use std::ops::Range;
+
+use mf_sparse::{balanced_cuts, GridSpec, SparseMatrix};
+
+/// The HSGD\* grid geometry. Row bands `0..cpu_bands` belong to the CPU
+/// region; bands `cpu_bands..` are GPU sub-rows, grouped contiguously per
+/// GPU.
+#[derive(Debug, Clone)]
+pub struct StarLayout {
+    /// The full grid at sub-row granularity.
+    pub spec: GridSpec,
+    /// Realized GPU workload fraction (nnz in `R_g` / total nnz).
+    pub alpha: f64,
+    /// Number of CPU row bands (`n_c + n_g`).
+    pub cpu_bands: u32,
+    /// Sub-rows per GPU group (`⌈(n_c + n_g)/n_g⌉`).
+    pub sub_rows_per_gpu: u32,
+    /// Number of CPU threads.
+    pub nc: u32,
+    /// Number of GPUs.
+    pub ng: u32,
+    /// First matrix row of the GPU region (`R_c` is `0..row_split`).
+    pub row_split: u32,
+}
+
+impl StarLayout {
+    /// Builds the layout for `alpha_target` GPU workload share.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nc ≥ 1`, `ng ≥ 1` and `alpha_target ∈ [0, 1]`.
+    pub fn build(data: &SparseMatrix, nc: u32, ng: u32, alpha_target: f64) -> StarLayout {
+        assert!(nc >= 1 && ng >= 1, "need both resource classes");
+        assert!(
+            (0.0..=1.0).contains(&alpha_target),
+            "alpha must be in [0, 1], got {alpha_target}"
+        );
+        let m = data.nrows();
+        let nnz = data.nnz() as u64;
+
+        // Find the row split: the GPU takes the suffix rows holding the
+        // amount of ratings closest to α·nnz.
+        let counts = data.row_counts();
+        let want = (alpha_target * nnz as f64).round() as u64;
+        let mut acc = 0u64;
+        let mut split = m;
+        // Walk upward from the bottom until adding the next row overshoots
+        // more than it helps.
+        for row in (0..m).rev() {
+            let next = acc + counts[row as usize] as u64;
+            if next.abs_diff(want) <= acc.abs_diff(want) {
+                acc = next;
+                split = row;
+            } else {
+                break;
+            }
+        }
+        let alpha = if nnz == 0 { 0.0 } else { acc as f64 / nnz as f64 };
+
+        // Rule 1 demands *at least* nc + ng CPU row bands; we provision
+        // twice that. With exactly nc+ng bands and nc busy workers there
+        // is a single free "spare" row at any completion instant, and the
+        // per-block pass caps then serialize workers on whichever rows
+        // they still owe passes to (the same reason LIBMF defaults to a
+        // 2s×2s grid rather than the (s+1)² minimum). Doubling the bands
+        // keeps a pool of free rows available; CPU throughput is
+        // insensitive to the smaller blocks (Observation 2).
+        let cpu_bands = 2 * (nc + ng);
+        let sub_rows_per_gpu = (nc + ng).div_ceil(ng);
+        let cols = nc + 2 * ng + 1;
+
+        // Row cuts: equal-nnz within each region, so skewed popularity
+        // cannot produce straggler bands (see mf_sparse::balanced_cuts).
+        let gpu_bands = ng * sub_rows_per_gpu;
+        let cpu_cuts = balanced_cuts(&counts[..split as usize], cpu_bands);
+        let gpu_cuts = balanced_cuts(&counts[split as usize..], gpu_bands);
+        let mut row_cuts = cpu_cuts;
+        row_cuts.extend(gpu_cuts.iter().skip(1).map(|&c| c + split));
+
+        // Column cuts: equal-nnz over per-column counts.
+        let col_cuts = balanced_cuts(&data.col_counts(), cols);
+
+        let spec = GridSpec::from_cuts(row_cuts, col_cuts).expect("cuts are monotone");
+        StarLayout {
+            spec,
+            alpha,
+            cpu_bands,
+            sub_rows_per_gpu,
+            nc,
+            ng,
+            row_split: split,
+        }
+    }
+
+    /// Number of column bands.
+    pub fn cols(&self) -> u32 {
+        self.spec.ncol_blocks()
+    }
+
+    /// Whether row band `band` belongs to the CPU region.
+    pub fn is_cpu_band(&self, band: u32) -> bool {
+        band < self.cpu_bands
+    }
+
+    /// The GPU owning row band `band`, if it is a GPU sub-row.
+    pub fn gpu_of_band(&self, band: u32) -> Option<u32> {
+        if band < self.cpu_bands {
+            None
+        } else {
+            Some((band - self.cpu_bands) / self.sub_rows_per_gpu)
+        }
+    }
+
+    /// The row-band indices of GPU `g`'s group.
+    pub fn gpu_group_bands(&self, g: u32) -> Range<u32> {
+        assert!(g < self.ng, "gpu index {g} out of range");
+        let start = self.cpu_bands + g * self.sub_rows_per_gpu;
+        start..start + self.sub_rows_per_gpu
+    }
+
+    /// The matrix rows spanned by GPU `g`'s group (for `P` residency).
+    pub fn gpu_group_rows(&self, g: u32) -> Range<u32> {
+        let bands = self.gpu_group_bands(g);
+        let start = self.spec.row_range(bands.start).start;
+        let end = self.spec.row_range(bands.end - 1).end;
+        start..end
+    }
+
+    /// Total number of row bands.
+    pub fn total_bands(&self) -> u32 {
+        self.spec.nrow_blocks()
+    }
+}
+
+/// The uniform layout used by CPU-Only, GPU-Only and HSGD: a
+/// `rows × cols` grid over the whole matrix, with cut points placed so
+/// every band holds approximately equal nnz (the balance the paper's
+/// preprocessing shuffle is meant to provide).
+pub fn uniform_layout(data: &SparseMatrix, rows: u32, cols: u32) -> GridSpec {
+    GridSpec::from_cuts(
+        balanced_cuts(&data.row_counts(), rows),
+        balanced_cuts(&data.col_counts(), cols),
+    )
+    .expect("balanced cuts are monotone")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::Rating;
+
+    /// A matrix with exactly one rating per (row, col) pair on a diagonal
+    /// pattern → every row has the same count, so splits are predictable.
+    fn uniform_rows_matrix(m: u32, per_row: u32) -> SparseMatrix {
+        let mut entries = Vec::new();
+        for u in 0..m {
+            for j in 0..per_row {
+                entries.push(Rating::new(u, (u + j) % per_row.max(8), 1.0));
+            }
+        }
+        SparseMatrix::new(m, per_row.max(8), entries).unwrap()
+    }
+
+    #[test]
+    fn geometry_matches_section_vi() {
+        // Example 5: nc = 4, ng = 2 → Rg in 2 rows × 3 sub-rows each;
+        // Rc in 6 rows; 9 columns.
+        let data = uniform_rows_matrix(90, 10);
+        let l = StarLayout::build(&data, 4, 2, 0.5);
+        assert_eq!(l.cols(), 4 + 2 * 2 + 1); // 9
+        // Rule 1 requires at least nc + ng = 6 CPU bands; we provision 2x.
+        assert_eq!(l.cpu_bands, 12);
+        assert_eq!(l.sub_rows_per_gpu, 3);
+        assert_eq!(l.total_bands(), 12 + 2 * 3);
+        assert_eq!(l.gpu_group_bands(0), 12..15);
+        assert_eq!(l.gpu_group_bands(1), 15..18);
+    }
+
+    #[test]
+    fn alpha_split_tracks_target() {
+        let data = uniform_rows_matrix(100, 10);
+        for target in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let l = StarLayout::build(&data, 4, 1, target);
+            assert!(
+                (l.alpha - target).abs() < 0.02,
+                "target {target}, got {}",
+                l.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn row_split_separates_regions() {
+        let data = uniform_rows_matrix(100, 10);
+        let l = StarLayout::build(&data, 4, 1, 0.4);
+        // CPU bands end exactly at the split; GPU bands start there.
+        assert_eq!(l.spec.row_range(l.cpu_bands - 1).end, l.row_split);
+        assert_eq!(l.spec.row_range(l.cpu_bands).start, l.row_split);
+        // Band classification is consistent.
+        assert!(l.is_cpu_band(0));
+        assert!(l.is_cpu_band(l.cpu_bands - 1));
+        assert!(!l.is_cpu_band(l.cpu_bands));
+        assert_eq!(l.gpu_of_band(l.cpu_bands), Some(0));
+        assert_eq!(l.gpu_of_band(0), None);
+    }
+
+    #[test]
+    fn gpu_group_rows_cover_gpu_region() {
+        let data = uniform_rows_matrix(120, 10);
+        let l = StarLayout::build(&data, 6, 2, 0.5);
+        let g0 = l.gpu_group_rows(0);
+        let g1 = l.gpu_group_rows(1);
+        assert_eq!(g0.start, l.row_split);
+        assert_eq!(g0.end, g1.start);
+        assert_eq!(g1.end, 120);
+    }
+
+    #[test]
+    fn single_gpu_many_threads() {
+        // The paper's default: nc = 16, ng = 1 → 17 sub-rows in one group.
+        let data = uniform_rows_matrix(200, 12);
+        let l = StarLayout::build(&data, 16, 1, 0.5);
+        assert_eq!(l.cols(), 19);
+        assert_eq!(l.cpu_bands, 34);
+        assert_eq!(l.sub_rows_per_gpu, 17);
+        assert_eq!(l.gpu_group_bands(0), 34..51);
+    }
+
+    #[test]
+    fn extreme_alphas_degenerate_gracefully() {
+        let data = uniform_rows_matrix(50, 10);
+        let all_gpu = StarLayout::build(&data, 2, 1, 1.0);
+        assert_eq!(all_gpu.row_split, 0);
+        assert!(all_gpu.alpha > 0.99);
+        let all_cpu = StarLayout::build(&data, 2, 1, 0.0);
+        assert_eq!(all_cpu.row_split, 50);
+        assert_eq!(all_cpu.alpha, 0.0);
+        // Both still produce a full-rank grid (with empty bands).
+        assert_eq!(all_gpu.total_bands(), all_cpu.total_bands());
+    }
+
+    #[test]
+    fn skewed_rows_still_split_by_nnz() {
+        // Row 0 holds half of all ratings; asking for α = 0.5 must NOT put
+        // half the *rows* on the GPU.
+        let mut entries = Vec::new();
+        for j in 0..100u32 {
+            entries.push(Rating::new(0, j % 8, 1.0));
+        }
+        for u in 1..101u32 {
+            entries.push(Rating::new(u, u % 8, 1.0));
+        }
+        let data = SparseMatrix::new(101, 8, entries).unwrap();
+        let l = StarLayout::build(&data, 2, 1, 0.5);
+        // The GPU suffix must hold ≈ 100 of 200 ratings → all rows except
+        // row 0 (which alone holds 100).
+        assert!((l.alpha - 0.5).abs() < 0.01);
+        assert_eq!(l.row_split, 1);
+    }
+
+    #[test]
+    fn uniform_layout_shape() {
+        let data = uniform_rows_matrix(40, 10);
+        let spec = uniform_layout(&data, 5, 4);
+        assert_eq!(spec.nrow_blocks(), 5);
+        assert_eq!(spec.ncol_blocks(), 4);
+    }
+}

@@ -1,0 +1,792 @@
+//! Conflict-aware block scheduling.
+//!
+//! Two policies, one interface:
+//!
+//! * [`UniformScheduler`] — the classic FPSGD policy over a uniform grid:
+//!   any worker gets the *free* block (row band and column band both
+//!   unoccupied) with the least update count. With a per-block pass cap it
+//!   is CPU-Only/GPU-Only; without the cap it is HSGD, whose least-count
+//!   policy under a fast GPU produces the update imbalance of Example 3.
+//! * [`StarScheduler`] — the HSGD\* policy over a [`StarLayout`]: CPU
+//!   threads draw small blocks from the CPU region, each GPU draws
+//!   whole-group static tasks from its own row group, and when one side
+//!   exhausts its region the dynamic phase lets it steal from the other at
+//!   sub-row granularity.
+//!
+//! Schedulers hand out [`Task`]s and get them back via
+//! [`BlockScheduler::release`]; between those calls the task's row bands
+//! and column band are marked busy, which is the invariant that makes the
+//! factor updates race-free.
+
+use std::ops::Range;
+
+use mf_sparse::{BlockId, GridPartition, GridSpec};
+
+use crate::layout::StarLayout;
+
+/// Slack allowed above the per-block pass target. An *exact* cap
+/// level-synchronizes the run: the last pass level drains with ever fewer
+/// eligible blocks, chained by row/column conflicts, and measured time
+/// balloons by 2-3× while workers idle. A slack of two passes keeps the
+/// count distribution essentially uniform (max spread ±2 around the
+/// target; contrast HSGD's unbounded skew in Example 3) while letting
+/// every worker stay busy until the global budget is spent.
+pub const SOFT_CAP_SLACK: u32 = 2;
+
+/// Who is asking for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerClass {
+    /// A CPU worker thread.
+    Cpu,
+    /// GPU number `g`.
+    Gpu(u32),
+}
+
+/// A unit of assigned work: one or more blocks sharing a column band.
+/// Multi-block tasks are GPU static-phase tasks (a whole row group in one
+/// column, shipped as a single transfer).
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The grid blocks, all in column `q_col_band`.
+    pub blocks: Vec<BlockId>,
+    /// Total ratings across the blocks.
+    pub points: usize,
+    /// Matrix rows spanned (for `P` transfer accounting).
+    pub p_rows: Range<u32>,
+    /// Matrix columns spanned (for `Q` transfer accounting).
+    pub q_cols: Range<u32>,
+    /// Pass number (minimum prior count among the blocks) — drives the
+    /// learning-rate schedule.
+    pub pass: u32,
+    /// True when assigned across regions in the dynamic phase.
+    pub stolen: bool,
+}
+
+/// The scheduling interface the trainer drives.
+pub trait BlockScheduler {
+    /// The grid this scheduler works over.
+    fn spec(&self) -> &GridSpec;
+
+    /// Tries to assign work to `who`. `None` means: nothing assignable
+    /// right now (conflicts or no remaining passes for this class).
+    fn next_task(&mut self, who: WorkerClass, part: &GridPartition) -> Option<Task>;
+
+    /// Returns a finished task's bands to the free pool.
+    fn release(&mut self, task: &Task);
+
+    /// Block passes not yet assigned.
+    fn remaining(&self) -> u64;
+
+    /// Block passes completed (released).
+    fn completed(&self) -> u64;
+
+    /// Per-block update counts, row-major over `spec()`.
+    fn counts(&self) -> &[u32];
+
+    /// Number of cross-region (dynamic phase) assignments so far.
+    fn steals(&self) -> u64 {
+        0
+    }
+}
+
+/// Shared busy-tracking helpers.
+#[derive(Debug, Clone)]
+struct Occupancy {
+    row_busy: Vec<bool>,
+    col_busy: Vec<bool>,
+}
+
+impl Occupancy {
+    fn new(rows: u32, cols: u32) -> Occupancy {
+        Occupancy {
+            row_busy: vec![false; rows as usize],
+            col_busy: vec![false; cols as usize],
+        }
+    }
+
+    fn acquire(&mut self, task: &Task) {
+        for b in &task.blocks {
+            debug_assert!(!self.row_busy[b.row as usize], "row band already busy");
+            self.row_busy[b.row as usize] = true;
+        }
+        let col = task.blocks[0].col;
+        debug_assert!(!self.col_busy[col as usize], "column band already busy");
+        self.col_busy[col as usize] = true;
+    }
+
+    fn release(&mut self, task: &Task) {
+        for b in &task.blocks {
+            debug_assert!(self.row_busy[b.row as usize]);
+            self.row_busy[b.row as usize] = false;
+        }
+        self.col_busy[task.blocks[0].col as usize] = false;
+    }
+}
+
+fn task_from_blocks(
+    spec: &GridSpec,
+    part: &GridPartition,
+    blocks: Vec<BlockId>,
+    pass: u32,
+    stolen: bool,
+) -> Task {
+    debug_assert!(!blocks.is_empty());
+    let col = blocks[0].col;
+    debug_assert!(blocks.iter().all(|b| b.col == col));
+    let points = blocks.iter().map(|&b| part.block_len(b)).sum();
+    let row_start = blocks.iter().map(|b| spec.row_range(b.row).start).min().unwrap();
+    let row_end = blocks.iter().map(|b| spec.row_range(b.row).end).max().unwrap();
+    Task {
+        points,
+        p_rows: row_start..row_end,
+        q_cols: spec.col_range(col),
+        pass,
+        stolen,
+        blocks,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform scheduler (CPU-Only / GPU-Only / HSGD)
+// ---------------------------------------------------------------------------
+
+/// FPSGD-style scheduling over a uniform grid.
+#[derive(Debug, Clone)]
+pub struct UniformScheduler {
+    spec: GridSpec,
+    occ: Occupancy,
+    counts: Vec<u32>,
+    /// Per-block soft cap (`target + SOFT_CAP_SLACK`). `Some`: counts stay
+    /// within slack of the target (CPU-Only / GPU-Only). `None`: only the
+    /// global total is bounded — the HSGD policy that Example 3 shows can
+    /// go badly unbalanced.
+    per_block_cap: Option<u32>,
+    remaining: u64,
+    completed: u64,
+}
+
+impl UniformScheduler {
+    /// Creates the scheduler. Total work is `blocks × iterations` passes;
+    /// `cap_per_block` selects the exact-count discipline.
+    pub fn new(spec: GridSpec, iterations: u32, cap_per_block: bool) -> UniformScheduler {
+        let blocks = spec.block_count();
+        UniformScheduler {
+            occ: Occupancy::new(spec.nrow_blocks(), spec.ncol_blocks()),
+            counts: vec![0; blocks],
+            per_block_cap: cap_per_block.then_some(iterations + SOFT_CAP_SLACK),
+            remaining: blocks as u64 * iterations as u64,
+            completed: 0,
+            spec,
+        }
+    }
+}
+
+impl BlockScheduler for UniformScheduler {
+    fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    fn next_task(&mut self, _who: WorkerClass, part: &GridPartition) -> Option<Task> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut best: Option<(u32, BlockId)> = None;
+        for r in 0..self.spec.nrow_blocks() {
+            if self.occ.row_busy[r as usize] {
+                continue;
+            }
+            for c in 0..self.spec.ncol_blocks() {
+                if self.occ.col_busy[c as usize] {
+                    continue;
+                }
+                let id = BlockId::new(r, c);
+                let count = self.counts[self.spec.flat_index(id)];
+                if let Some(cap) = self.per_block_cap {
+                    if count >= cap {
+                        continue;
+                    }
+                }
+                if best.is_none_or(|(b, _)| count < b) {
+                    best = Some((count, id));
+                }
+            }
+        }
+        let (count, id) = best?;
+        self.counts[self.spec.flat_index(id)] += 1;
+        self.remaining -= 1;
+        let task = task_from_blocks(&self.spec, part, vec![id], count, false);
+        self.occ.acquire(&task);
+        Some(task)
+    }
+
+    fn release(&mut self, task: &Task) {
+        self.occ.release(task);
+        self.completed += task.blocks.len() as u64;
+    }
+
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Star scheduler (HSGD*)
+// ---------------------------------------------------------------------------
+
+/// The HSGD\* region/phase scheduler.
+#[derive(Debug)]
+pub struct StarScheduler {
+    layout: StarLayout,
+    occ: Occupancy,
+    counts: Vec<u32>,
+    target: u32,
+    cpu_remaining: u64,
+    gpu_remaining: u64,
+    completed: u64,
+    dynamic_enabled: bool,
+    steals: u64,
+    /// How many GPU-column times one CPU thread needs per column —
+    /// the break-even depth for CPU→R_g stealing (see `with_steal_ratio`).
+    steal_ratio: f64,
+    /// Stolen R_g tasks currently in flight.
+    active_stolen: u32,
+}
+
+impl StarScheduler {
+    /// Creates the scheduler for `iterations` passes per block. The steal
+    /// ratio defaults to 0 (always steal when idle); production callers
+    /// should set it via [`StarScheduler::with_steal_ratio`].
+    pub fn new(layout: StarLayout, iterations: u32, dynamic_enabled: bool) -> StarScheduler {
+        let spec = &layout.spec;
+        let cols = spec.ncol_blocks() as u64;
+        let cpu_blocks = layout.cpu_bands as u64 * cols;
+        let gpu_blocks = (layout.total_bands() - layout.cpu_bands) as u64 * cols;
+        StarScheduler {
+            occ: Occupancy::new(spec.nrow_blocks(), spec.ncol_blocks()),
+            counts: vec![0; spec.block_count()],
+            target: iterations,
+            cpu_remaining: cpu_blocks * iterations as u64,
+            gpu_remaining: gpu_blocks * iterations as u64,
+            completed: 0,
+            dynamic_enabled,
+            steals: 0,
+            steal_ratio: 0.0,
+            active_stolen: 0,
+            layout,
+        }
+    }
+
+    /// Sets the CPU→R_g steal break-even ratio: the number of GPU column
+    /// times one CPU thread spends per stolen column
+    /// (`t_cpu(column) / t_gpu(column)` from the calibrated cost models).
+    ///
+    /// A steal only pays when the GPU's remaining queue is deeper than the
+    /// thief's own finishing time — otherwise the slow thief holds a
+    /// column hostage that the fast owner would have cleared sooner. The
+    /// gate admits a steal only while
+    /// `remaining_column_passes > ratio + active_stolen`.
+    pub fn with_steal_ratio(mut self, ratio: f64) -> StarScheduler {
+        self.steal_ratio = ratio.max(0.0);
+        self
+    }
+
+    /// The layout geometry.
+    pub fn layout(&self) -> &StarLayout {
+        &self.layout
+    }
+
+    /// Picks the least-count free single block among `bands`, or `None`.
+    fn pick_single(&self, bands: Range<u32>) -> Option<(u32, BlockId)> {
+        let spec = &self.layout.spec;
+        let mut best: Option<(u32, BlockId)> = None;
+        for r in bands {
+            if self.occ.row_busy[r as usize] {
+                continue;
+            }
+            for c in 0..spec.ncol_blocks() {
+                if self.occ.col_busy[c as usize] {
+                    continue;
+                }
+                let id = BlockId::new(r, c);
+                let count = self.counts[spec.flat_index(id)];
+                if count >= self.target + SOFT_CAP_SLACK {
+                    continue;
+                }
+                if best.is_none_or(|(b, _)| count < b) {
+                    best = Some((count, id));
+                }
+            }
+        }
+        best
+    }
+
+    /// Picks a static GPU task in `group`: for the best free column,
+    /// every free, under-cap sub-block of the group.
+    fn pick_group_task(&self, group: Range<u32>) -> Option<(u32, Vec<BlockId>)> {
+        let spec = &self.layout.spec;
+        // Preference order: the most *complete* task first (a full group in
+        // one transfer — the big blocks Observation 1 wants), breaking ties
+        // by least pass count. Fragmented tasks (some sub-rows stolen or
+        // already capped) only run when nothing complete is available,
+        // which keeps dynamic-phase stealing from starving the GPU into a
+        // stream of tiny launches.
+        let mut best: Option<(usize, u32, Vec<BlockId>)> = None;
+        for c in 0..spec.ncol_blocks() {
+            if self.occ.col_busy[c as usize] {
+                continue;
+            }
+            let mut blocks = Vec::new();
+            let mut min_count = u32::MAX;
+            for r in group.clone() {
+                if self.occ.row_busy[r as usize] {
+                    continue;
+                }
+                let id = BlockId::new(r, c);
+                let count = self.counts[spec.flat_index(id)];
+                if count >= self.target + SOFT_CAP_SLACK {
+                    continue;
+                }
+                min_count = min_count.min(count);
+                blocks.push(id);
+            }
+            if blocks.is_empty() {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((len, count, _)) => {
+                    blocks.len() > *len || (blocks.len() == *len && min_count < *count)
+                }
+            };
+            if better {
+                best = Some((blocks.len(), min_count, blocks));
+            }
+        }
+        best.map(|(_, count, blocks)| (count, blocks))
+    }
+
+    /// Chooses a GPU-region sub-block for a stealing CPU: among free
+    /// columns with assignable sub-blocks, the column with the *least*
+    /// remaining passes wins (ties to the lowest column), then the
+    /// least-count free sub-block within it.
+    fn pick_steal_from_gpu_region(&self) -> Option<(u32, BlockId)> {
+        let spec = &self.layout.spec;
+        let bands = self.layout.cpu_bands..self.layout.total_bands();
+        let cap = self.target + SOFT_CAP_SLACK;
+        let mut best_col: Option<(u64, u32)> = None; // (remaining, col)
+        for c in 0..spec.ncol_blocks() {
+            if self.occ.col_busy[c as usize] {
+                continue;
+            }
+            let mut remaining = 0u64;
+            let mut assignable = false;
+            for r in bands.clone() {
+                let count = self.counts[spec.flat_index(BlockId::new(r, c))];
+                remaining += (self.target.max(count) - count.min(self.target)) as u64;
+                if !self.occ.row_busy[r as usize] && count < cap {
+                    assignable = true;
+                }
+            }
+            if !assignable || remaining == 0 {
+                continue;
+            }
+            if best_col.is_none_or(|(b, _)| remaining < b) {
+                best_col = Some((remaining, c));
+            }
+        }
+        let (_, col) = best_col?;
+        let mut best: Option<(u32, BlockId)> = None;
+        for r in bands {
+            if self.occ.row_busy[r as usize] {
+                continue;
+            }
+            let id = BlockId::new(r, col);
+            let count = self.counts[spec.flat_index(id)];
+            if count >= cap {
+                continue;
+            }
+            if best.is_none_or(|(b, _)| count < b) {
+                best = Some((count, id));
+            }
+        }
+        best
+    }
+
+    fn assign(&mut self, part: &GridPartition, blocks: Vec<BlockId>, pass: u32, stolen: bool) -> Task {
+        let spec = &self.layout.spec;
+        for b in &blocks {
+            self.counts[spec.flat_index(*b)] += 1;
+            if self.layout.is_cpu_band(b.row) {
+                self.cpu_remaining = self.cpu_remaining.saturating_sub(1);
+            } else {
+                self.gpu_remaining = self.gpu_remaining.saturating_sub(1);
+            }
+        }
+        if stolen {
+            self.steals += 1;
+            if !self.layout.is_cpu_band(blocks[0].row) {
+                self.active_stolen += 1;
+            }
+        }
+        let task = task_from_blocks(spec, part, blocks, pass, stolen);
+        self.occ.acquire(&task);
+        task
+    }
+}
+
+impl BlockScheduler for StarScheduler {
+    fn spec(&self) -> &GridSpec {
+        &self.layout.spec
+    }
+
+    fn next_task(&mut self, who: WorkerClass, part: &GridPartition) -> Option<Task> {
+        match who {
+            WorkerClass::Cpu => {
+                // Own region first (while its budget lasts).
+                if self.cpu_remaining > 0 {
+                    if let Some((count, id)) = self.pick_single(0..self.layout.cpu_bands) {
+                        return Some(self.assign(part, vec![id], count, false));
+                    }
+                }
+                // Dynamic phase: steal GPU sub-rows once the CPU region is
+                // fully assigned — with *column affinity*: finish the
+                // column that is already closest to done before opening
+                // another one. Scattering steals across many columns would
+                // leave every column partially eaten, so the GPU could
+                // never assemble a full group task again and would decay
+                // into a stream of fragmented small launches.
+                if self.dynamic_enabled && self.cpu_remaining == 0 && self.gpu_remaining > 0 {
+                    let remaining_cols =
+                        self.gpu_remaining as f64 / self.layout.sub_rows_per_gpu as f64;
+                    if remaining_cols > self.steal_ratio + self.active_stolen as f64 {
+                        if let Some((count, id)) = self.pick_steal_from_gpu_region() {
+                            return Some(self.assign(part, vec![id], count, true));
+                        }
+                    }
+                }
+                None
+            }
+            WorkerClass::Gpu(g) => {
+                if self.gpu_remaining > 0 {
+                    // Two tiers: under-target work anywhere in the GPU
+                    // region beats slack (over-target) work, so a GPU
+                    // moves on to a sibling's group rather than burning
+                    // budget re-running its own. Within a tier, the own
+                    // group (pinned P segment) comes first.
+                    let own = self.pick_group_task(self.layout.gpu_group_bands(g));
+                    if let Some((count, blocks)) = &own {
+                        if *count < self.target {
+                            let blocks = blocks.clone();
+                            return Some(self.assign(part, blocks, *count, false));
+                        }
+                    }
+                    let mut fallback = own;
+                    for other in 0..self.layout.ng {
+                        if other == g {
+                            continue;
+                        }
+                        if let Some((count, blocks)) =
+                            self.pick_group_task(self.layout.gpu_group_bands(other))
+                        {
+                            if count < self.target {
+                                return Some(self.assign(part, blocks, count, false));
+                            }
+                            if fallback.is_none() {
+                                fallback = Some((count, blocks));
+                            }
+                        }
+                    }
+                    if let Some((count, blocks)) = fallback {
+                        return Some(self.assign(part, blocks, count, false));
+                    }
+                }
+                // Dynamic phase: steal CPU blocks once R_g is exhausted.
+                if self.dynamic_enabled && self.gpu_remaining == 0 && self.cpu_remaining > 0 {
+                    if let Some((count, id)) = self.pick_single(0..self.layout.cpu_bands) {
+                        return Some(self.assign(part, vec![id], count, true));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn release(&mut self, task: &Task) {
+        self.occ.release(task);
+        self.completed += task.blocks.len() as u64;
+        if task.stolen && !self.layout.is_cpu_band(task.blocks[0].row) {
+            self.active_stolen -= 1;
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.cpu_remaining + self.gpu_remaining
+    }
+
+    fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    fn steals(&self) -> u64 {
+        self.steals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::{Rating, SparseMatrix};
+
+    fn dense_matrix(m: u32, n: u32) -> SparseMatrix {
+        let mut entries = Vec::new();
+        for u in 0..m {
+            for v in 0..n {
+                entries.push(Rating::new(u, v, 1.0));
+            }
+        }
+        SparseMatrix::new(m, n, entries).unwrap()
+    }
+
+    fn build_star(
+        nc: u32,
+        ng: u32,
+        alpha: f64,
+        iterations: u32,
+        dynamic: bool,
+    ) -> (StarScheduler, GridPartition) {
+        let data = dense_matrix(64, 64);
+        let layout = StarLayout::build(&data, nc, ng, alpha);
+        let part = GridPartition::build(&data, layout.spec.clone());
+        (StarScheduler::new(layout, iterations, dynamic), part)
+    }
+
+    #[test]
+    fn uniform_assigns_conflict_free_blocks() {
+        let data = dense_matrix(16, 16);
+        let spec = GridSpec::uniform(16, 16, 4, 4);
+        let part = GridPartition::build(&data, spec.clone());
+        let mut sched = UniformScheduler::new(spec, 2, true);
+        let t1 = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        let t2 = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        let t3 = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        let t4 = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        let ids = [t1.blocks[0], t2.blocks[0], t3.blocks[0], t4.blocks[0]];
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(!ids[i].conflicts_with(ids[j]), "{} vs {}", ids[i], ids[j]);
+            }
+        }
+        // Grid is 4x4: a fifth concurrent task is impossible.
+        assert!(sched.next_task(WorkerClass::Cpu, &part).is_none());
+        // Releasing one frees its row and column.
+        sched.release(&t1);
+        assert!(sched.next_task(WorkerClass::Cpu, &part).is_some());
+    }
+
+    #[test]
+    fn uniform_with_cap_finishes_exact_counts() {
+        let data = dense_matrix(12, 12);
+        let spec = GridSpec::uniform(12, 12, 3, 3);
+        let part = GridPartition::build(&data, spec.clone());
+        let mut sched = UniformScheduler::new(spec, 4, true);
+        // Drain sequentially: with every block always free, min-count
+        // selection keeps counts exactly level.
+        while let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
+            sched.release(&t);
+        }
+        assert_eq!(sched.remaining(), 0);
+        assert!(sched.counts().iter().all(|&c| c == 4));
+        assert_eq!(sched.completed(), 9 * 4);
+    }
+
+    #[test]
+    fn uncapped_hsgd_policy_can_skew_counts() {
+        // Reproduce Example 3 mechanically: two slow "CPU" tasks pin rows
+        // 0 and 1; a fast worker drains the rest of the budget from the
+        // remaining rows. Without a per-block cap the counts skew heavily.
+        let data = dense_matrix(12, 16);
+        let spec = GridSpec::uniform(12, 16, 3, 4);
+        let part = GridPartition::build(&data, spec.clone());
+        let iterations = 10;
+        let mut sched = UniformScheduler::new(spec, iterations, false);
+        let slow_a = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        let slow_b = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        // The "GPU" spins on whatever remains free.
+        let mut fast_done = 0u64;
+        while sched.remaining() > 0 {
+            match sched.next_task(WorkerClass::Gpu(0), &part) {
+                Some(t) => {
+                    sched.release(&t);
+                    fast_done += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(fast_done > 0);
+        let max = *sched.counts().iter().max().unwrap();
+        let min = *sched.counts().iter().min().unwrap();
+        assert!(
+            max >= 2 * iterations && min == 0,
+            "expected heavy skew, got min={min} max={max}"
+        );
+        sched.release(&slow_a);
+        sched.release(&slow_b);
+    }
+
+    #[test]
+    fn star_gpu_gets_whole_group_tasks() {
+        let (mut sched, part) = build_star(4, 1, 0.5, 2, false);
+        let sub = sched.layout().sub_rows_per_gpu;
+        let t = sched.next_task(WorkerClass::Gpu(0), &part).unwrap();
+        assert_eq!(t.blocks.len(), sub as usize, "static task spans the group");
+        // All in one column.
+        assert!(t.blocks.iter().all(|b| b.col == t.blocks[0].col));
+        // Block rows are exactly the group bands.
+        let bands = sched.layout().gpu_group_bands(0);
+        for (b, r) in t.blocks.iter().zip(bands) {
+            assert_eq!(b.row, r);
+        }
+        assert!(t.points > 0);
+    }
+
+    #[test]
+    fn star_cpu_stays_in_region_without_dynamic() {
+        let (mut sched, part) = build_star(2, 1, 0.5, 1, false);
+        let cpu_bands = sched.layout().cpu_bands;
+        // Drain in rounds: grab every conflict-free block, then release
+        // them all; stop when a fresh round yields nothing.
+        let mut held: Vec<Task> = Vec::new();
+        loop {
+            if let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
+                assert!(
+                    t.blocks.iter().all(|b| b.row < cpu_bands),
+                    "CPU must not leave its region when dynamic is off"
+                );
+                assert!(!t.stolen);
+                held.push(t);
+                continue;
+            }
+            if held.is_empty() {
+                break;
+            }
+            for t in held.drain(..) {
+                sched.release(&t);
+            }
+        }
+        // CPU budget fully spent inside the region (soft caps allow a
+        // per-block spread), GPU region untouched.
+        let spec = sched.spec().clone();
+        let mut cpu_total = 0u64;
+        for r in 0..spec.nrow_blocks() {
+            for c in 0..spec.ncol_blocks() {
+                let count = sched.counts()[spec.flat_index(BlockId::new(r, c))];
+                if r < cpu_bands {
+                    assert!(count <= 1 + SOFT_CAP_SLACK, "cpu block B{r},{c}: {count}");
+                    cpu_total += count as u64;
+                } else {
+                    assert_eq!(count, 0, "gpu block B{r},{c}");
+                }
+            }
+        }
+        assert_eq!(cpu_total, cpu_bands as u64 * spec.ncol_blocks() as u64);
+        assert_eq!(sched.steals(), 0);
+    }
+
+    #[test]
+    fn star_dynamic_lets_cpu_steal_gpu_blocks() {
+        let (mut sched, part) = build_star(2, 1, 0.5, 1, true);
+        // Drain the CPU region sequentially.
+        loop {
+            let Some(t) = sched.next_task(WorkerClass::Cpu, &part) else {
+                break;
+            };
+            let was_cpu = t.blocks[0].row < sched.layout().cpu_bands;
+            sched.release(&t);
+            if !was_cpu {
+                assert!(t.stolen);
+            }
+        }
+        // Everything is done: CPU finished its region then stole all of
+        // the GPU's work.
+        assert_eq!(sched.remaining(), 0);
+        assert!(sched.steals() > 0);
+        let total: u64 = sched.counts().iter().map(|&c| c as u64).sum();
+        assert_eq!(total, sched.completed());
+        assert!(sched.counts().iter().all(|&c| c <= 1 + SOFT_CAP_SLACK));
+    }
+
+    #[test]
+    fn star_dynamic_lets_gpu_steal_cpu_blocks() {
+        let (mut sched, part) = build_star(2, 1, 0.3, 1, true);
+        loop {
+            let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) else {
+                break;
+            };
+            sched.release(&t);
+        }
+        assert_eq!(sched.remaining(), 0, "GPU should finish everything");
+        assert!(sched.steals() > 0);
+        assert!(sched.counts().iter().all(|&c| c <= 1 + SOFT_CAP_SLACK));
+    }
+
+    #[test]
+    fn star_no_dynamic_leaves_other_region() {
+        let (mut sched, part) = build_star(2, 1, 0.4, 1, false);
+        loop {
+            let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) else {
+                break;
+            };
+            sched.release(&t);
+        }
+        // GPU drained its region but cannot touch the CPU's.
+        assert!(sched.remaining() > 0);
+        assert_eq!(sched.steals(), 0);
+    }
+
+    #[test]
+    fn multi_gpu_groups_are_disjoint() {
+        let (mut sched, part) = build_star(4, 2, 0.6, 1, false);
+        let t0 = sched.next_task(WorkerClass::Gpu(0), &part).unwrap();
+        let t1 = sched.next_task(WorkerClass::Gpu(1), &part).unwrap();
+        // Tasks from different groups never share bands or columns.
+        for a in &t0.blocks {
+            for b in &t1.blocks {
+                assert!(!a.conflicts_with(*b));
+            }
+        }
+        sched.release(&t0);
+        sched.release(&t1);
+    }
+
+    #[test]
+    fn gpu_helps_other_group_when_own_is_done() {
+        let (mut sched, part) = build_star(4, 2, 0.6, 1, false);
+        // GPU 0 drains its own group...
+        let own = sched.layout().gpu_group_bands(0);
+        loop {
+            let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) else {
+                break;
+            };
+            let in_own = t.blocks[0].row < own.end && t.blocks[0].row >= own.start;
+            sched.release(&t);
+            if !in_own {
+                // ...then moves into GPU 1's group.
+                assert!(sched.layout().gpu_of_band(t.blocks[0].row) == Some(1));
+                return; // observed the helping behaviour
+            }
+        }
+        panic!("GPU 0 never helped group 1");
+    }
+}

@@ -1,0 +1,518 @@
+//! The virtual-time training loop.
+//!
+//! A deterministic discrete-event simulation drives any
+//! [`BlockScheduler`] over a pool of virtual devices:
+//!
+//! * CPU workers hold one task at a time and request the next on
+//!   completion.
+//! * GPUs keep **two** tasks in flight (current + prefetched), which is
+//!   what lets the stream pipeline overlap the next block's transfer with
+//!   the current kernel — the reason the HSGD\* grid has `2·n_g` extra
+//!   columns.
+//! * Every task executes real SGD arithmetic on the shared model at
+//!   dispatch; its completion event fires at the modeled time. Because
+//!   concurrently scheduled tasks are independent (disjoint factor rows),
+//!   the serialized execution is equivalent to the parallel one.
+//!
+//! Test-RMSE probes fire at iteration boundaries (and optionally on a
+//! virtual-time interval), producing the RMSE-over-time series of
+//! Figs. 12–13; an optional RMSE target stops the run early, the
+//! measurement protocol of Sec. VII-A.
+
+use std::collections::VecDeque;
+
+use mf_des::{Engine, EngineHandle, SimTime};
+use mf_sgd::{eval, Model};
+use mf_sparse::{GridPartition, SparseMatrix};
+
+use crate::config::HeteroConfig;
+use crate::devices::{CpuWorker, GpuWorker};
+use crate::scheduler::{BlockScheduler, Task, WorkerClass};
+use crate::stats::RunReport;
+
+/// The devices participating in a run.
+pub struct DevicePool {
+    /// Number of CPU worker threads.
+    pub cpu_workers: usize,
+    /// GPU devices (may be empty).
+    pub gpus: Vec<GpuWorker>,
+    /// Virtual time at which each GPU becomes available (bulk-load delay
+    /// for the fully resident GPU-Only regime; zero otherwise).
+    pub gpu_start: Vec<SimTime>,
+}
+
+/// A finished run: the trained model plus its report.
+pub struct TrainOutcome {
+    /// The trained factor model.
+    pub model: Model,
+    /// Everything measured during the run.
+    pub report: RunReport,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Dev {
+    Cpu(usize),
+    Gpu(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Kick(Dev),
+    Finish(Dev),
+    Probe,
+}
+
+struct Sim<'a, S: BlockScheduler> {
+    cfg: &'a HeteroConfig,
+    test: &'a SparseMatrix,
+    part: GridPartition,
+    scheduler: S,
+    model: Model,
+    cpu: CpuWorker,
+    cpu_current: Vec<Option<Task>>,
+    gpus: Vec<GpuWorker>,
+    gpu_inflight: Vec<VecDeque<Task>>,
+    // Statistics.
+    cpu_points: u64,
+    gpu_points: u64,
+    cpu_busy: f64,
+    gpu_busy: f64,
+    rmse_series: Vec<(f64, f64)>,
+    time_to_target: Option<f64>,
+    stopped: bool,
+    last_boundary: u64,
+    nblocks: u64,
+    end_time: SimTime,
+}
+
+impl<S: BlockScheduler> Sim<'_, S> {
+    fn is_drained(&self) -> bool {
+        self.cpu_current.iter().all(|c| c.is_none())
+            && self.gpu_inflight.iter().all(|q| q.is_empty())
+    }
+
+    fn is_done(&self) -> bool {
+        (self.scheduler.remaining() == 0 || self.stopped) && self.is_drained()
+    }
+
+    fn probe(&mut self, now: SimTime) {
+        let rmse = eval::rmse(&self.model, self.test);
+        self.rmse_series.push((now.as_secs(), rmse));
+        if let Some(target) = self.cfg.target_rmse {
+            if rmse <= target && self.time_to_target.is_none() {
+                self.time_to_target = Some(now.as_secs());
+                self.stopped = true;
+            }
+        }
+    }
+
+    fn maybe_probe_boundary(&mut self, now: SimTime) {
+        let boundary = self.scheduler.completed() / self.nblocks.max(1);
+        if boundary > self.last_boundary {
+            self.last_boundary = boundary;
+            self.probe(now);
+        }
+    }
+
+    fn dispatch_cpu(&mut self, i: usize, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
+        if self.stopped || self.cpu_current[i].is_some() {
+            return;
+        }
+        if let Some(task) = self.scheduler.next_task(WorkerClass::Cpu, &self.part) {
+            let gamma = self.cfg.hyper.gamma_at(task.pass);
+            let (dur, _sq) = self
+                .cpu
+                .process(&mut self.model, &self.part, &task, gamma, &self.cfg.hyper);
+            self.cpu_busy += dur.as_secs();
+            self.cpu_points += task.points as u64;
+            self.cpu_current[i] = Some(task);
+            h.schedule(now + dur, Ev::Finish(Dev::Cpu(i)));
+        }
+    }
+
+    fn dispatch_gpu(&mut self, g: usize, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
+        if self.stopped {
+            return;
+        }
+        while self.gpu_inflight[g].len() < 2 {
+            let Some(task) = self
+                .scheduler
+                .next_task(WorkerClass::Gpu(g as u32), &self.part)
+            else {
+                break;
+            };
+            let gamma = self.cfg.hyper.gamma_at(task.pass);
+            let (cost, _sq) = self.gpus[g].process(
+                now,
+                &mut self.model,
+                &self.part,
+                &task,
+                gamma,
+                &self.cfg.hyper,
+            );
+            if std::env::var("HSGD_TRACE").is_ok() {
+                eprintln!(
+                    "GPU{} assign t={:.6} pts={} h2d={:.6} kern={:.6} d2h={:.6} h2d_done={:.6} kdone={:.6} done={:.6}",
+                    g, now.as_secs(), task.points,
+                    cost.t_h2d.as_secs(), cost.t_kernel.as_secs(), cost.t_d2h.as_secs(),
+                    cost.times.h2d_done.as_secs(), cost.times.kernel_done.as_secs(), cost.times.done.as_secs()
+                );
+            }
+            self.gpu_busy += cost.t_kernel.as_secs();
+            self.gpu_points += task.points as u64;
+            self.gpu_inflight[g].push_back(task);
+            h.schedule(cost.times.done, Ev::Finish(Dev::Gpu(g)));
+        }
+    }
+
+    fn dispatch_all(&mut self, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
+        // GPUs first: they are the scarce, fast resource and must win the
+        // race for freshly freed column bands. Offering columns to CPU
+        // workers first lets a finishing CPU instantly re-occupy whatever
+        // it (or a neighbor) just released, and a waiting GPU can then
+        // starve behind 16 threads churning small blocks.
+        for g in 0..self.gpus.len() {
+            self.dispatch_gpu(g, now, h);
+        }
+        for i in 0..self.cpu_current.len() {
+            self.dispatch_cpu(i, now, h);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev, h: &mut EngineHandle<'_, Ev>) {
+        match ev {
+            Ev::Kick(Dev::Cpu(i)) => self.dispatch_cpu(i, now, h),
+            Ev::Kick(Dev::Gpu(g)) => self.dispatch_gpu(g, now, h),
+            Ev::Finish(dev) => {
+                let task = match dev {
+                    Dev::Cpu(i) => self.cpu_current[i].take().expect("CPU finish without task"),
+                    Dev::Gpu(g) => self.gpu_inflight[g]
+                        .pop_front()
+                        .expect("GPU finish without task"),
+                };
+                self.scheduler.release(&task);
+                self.end_time = self.end_time.max(now);
+                self.maybe_probe_boundary(now);
+                self.dispatch_all(now, h);
+            }
+            Ev::Probe => {
+                self.probe(now);
+                if let Some(interval) = self.cfg.probe_interval_secs {
+                    if !self.is_done() {
+                        h.schedule_after(SimTime::from_secs(interval), Ev::Probe);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a full training simulation. `alpha_planned` and `label` flow into
+/// the report.
+pub fn run_training<S: BlockScheduler>(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    scheduler: S,
+    pool: DevicePool,
+    cfg: &HeteroConfig,
+    alpha_planned: Option<f64>,
+    label: &str,
+) -> TrainOutcome {
+    let part = GridPartition::build(train, scheduler.spec().clone());
+    let nblocks = scheduler.spec().block_count() as u64;
+    let model = Model::init_for_ratings(
+        train.nrows(),
+        train.ncols(),
+        cfg.hyper.k,
+        cfg.seed,
+        train.mean_rating(),
+    );
+
+    let n_gpus = pool.gpus.len();
+    let mut sim = Sim {
+        cfg,
+        test,
+        part,
+        scheduler,
+        model,
+        cpu: CpuWorker { spec: cfg.cpu },
+        cpu_current: vec![None; pool.cpu_workers],
+        gpus: pool.gpus,
+        gpu_inflight: (0..n_gpus).map(|_| VecDeque::new()).collect(),
+        cpu_points: 0,
+        gpu_points: 0,
+        cpu_busy: 0.0,
+        gpu_busy: 0.0,
+        rmse_series: Vec::new(),
+        time_to_target: None,
+        stopped: false,
+        last_boundary: 0,
+        nblocks,
+        end_time: SimTime::ZERO,
+    };
+
+    // Baseline probe before any update.
+    sim.probe(SimTime::ZERO);
+    // Early-exit: if the initial model already satisfies the target, no
+    // training happens.
+    let mut engine: Engine<Ev> = Engine::new();
+    if !sim.stopped {
+        for i in 0..pool.cpu_workers {
+            engine.schedule(SimTime::ZERO, Ev::Kick(Dev::Cpu(i)));
+        }
+        for g in 0..n_gpus {
+            let start = pool.gpu_start.get(g).copied().unwrap_or(SimTime::ZERO);
+            engine.schedule(start, Ev::Kick(Dev::Gpu(g)));
+        }
+        if let Some(interval) = cfg.probe_interval_secs {
+            engine.schedule(SimTime::from_secs(interval), Ev::Probe);
+        }
+    }
+
+    let mut handler = |now: SimTime, ev: Ev, h: &mut EngineHandle<'_, Ev>| {
+        sim.handle(now, ev, h);
+    };
+    while engine.step(&mut handler) {}
+    drop(handler);
+
+    assert!(
+        sim.scheduler.remaining() == 0 || sim.stopped,
+        "trainer deadlock: {} passes unassigned with all devices idle",
+        sim.scheduler.remaining()
+    );
+
+    // Final probe at the end time.
+    let end = sim.end_time;
+    let final_rmse = eval::rmse(&sim.model, test);
+    if sim
+        .rmse_series
+        .last()
+        .is_none_or(|&(t, _)| t < end.as_secs())
+    {
+        sim.rmse_series.push((end.as_secs(), final_rmse));
+    }
+
+    let report = RunReport {
+        algorithm: label.to_string(),
+        virtual_secs: end.as_secs(),
+        time_to_target_secs: sim.time_to_target,
+        final_test_rmse: final_rmse,
+        rmse_series: sim.rmse_series,
+        update_counts: sim.scheduler.counts().to_vec(),
+        alpha_planned,
+        gpu_points: sim.gpu_points,
+        cpu_points: sim.cpu_points,
+        steals: sim.scheduler.steals(),
+        cpu_busy_secs: sim.cpu_busy,
+        gpu_busy_secs: sim.gpu_busy,
+        iterations: cfg.iterations,
+        total_passes: sim.scheduler.completed(),
+    };
+    TrainOutcome {
+        model: sim.model,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CostModelKind, CpuSpec};
+    use crate::layout::uniform_layout;
+    use crate::scheduler::UniformScheduler;
+    use mf_sgd::HyperParams;
+    use mf_sparse::Rating;
+
+    fn low_rank_data(m: u32, n: u32, seed: u64) -> (SparseMatrix, SparseMatrix) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
+        let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for u in 0..m {
+            for v in 0..n {
+                let x: f32 = rng.random();
+                if x < 0.7 {
+                    let r = 1.0
+                        + 2.0
+                            * (a[u as usize][0] * b[v as usize][0]
+                                + a[u as usize][1] * b[v as usize][1]);
+                    if x < 0.6 {
+                        train.push(Rating::new(u, v, r));
+                    } else {
+                        test.push(Rating::new(u, v, r));
+                    }
+                }
+            }
+        }
+        (
+            SparseMatrix::new(m, n, train).unwrap(),
+            SparseMatrix::new(m, n, test).unwrap(),
+        )
+    }
+
+    fn test_cfg(iterations: u32) -> HeteroConfig {
+        HeteroConfig {
+            hyper: HyperParams {
+                k: 8,
+                lambda_p: 0.01,
+                lambda_q: 0.01,
+                gamma: 0.05,
+                schedule: mf_sgd::LearningRate::Fixed,
+            },
+            nc: 4,
+            ng: 1,
+            gpu: gpu_sim::GpuSpec::default().scaled_down(1000.0),
+            cpu: CpuSpec::default(),
+            iterations,
+            seed: 9,
+            dynamic_scheduling: true,
+            cost_model: CostModelKind::Tailored,
+            probe_interval_secs: None,
+            target_rmse: None,
+        }
+    }
+
+    #[test]
+    fn cpu_only_run_completes_and_converges() {
+        let (train, test) = low_rank_data(40, 40, 1);
+        let cfg = test_cfg(40);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 4,
+            gpus: vec![],
+            gpu_start: vec![],
+        };
+        let out = run_training(&train, &test, sched, pool, &cfg, None, "CPU-Only");
+        assert_eq!(out.report.total_passes, 20 * 40);
+        let slack = crate::scheduler::SOFT_CAP_SLACK;
+        assert!(out
+            .report
+            .update_counts
+            .iter()
+            .all(|&c| c <= 40 + slack && c + 3 * slack >= 40));
+        assert!(out.report.virtual_secs > 0.0);
+        assert!(
+            out.report.final_test_rmse < 0.3,
+            "rmse {}",
+            out.report.final_test_rmse
+        );
+        assert_eq!(out.report.gpu_points, 0);
+        assert!(out.report.cpu_points > 0);
+        // RMSE series is non-trivially populated and time-sorted.
+        assert!(out.report.rmse_series.len() >= 10);
+        assert!(out
+            .report
+            .rmse_series
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn gpu_only_run_completes() {
+        let (train, test) = low_rank_data(40, 40, 2);
+        let cfg = test_cfg(30);
+        let spec = uniform_layout(&train, 1, 3);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let mut gpu = GpuWorker::new(cfg.gpu);
+        gpu.resident_all = true;
+        let load = gpu.initial_load_time(train.nnz() as u64, &Model::init(40, 40, 8, 9));
+        let pool = DevicePool {
+            cpu_workers: 0,
+            gpus: vec![gpu],
+            gpu_start: vec![load],
+        };
+        let out = run_training(&train, &test, sched, pool, &cfg, None, "GPU-Only");
+        assert_eq!(out.report.total_passes, 3 * 30);
+        assert!(out.report.final_test_rmse < 0.35);
+        assert_eq!(out.report.cpu_points, 0);
+        assert!(out.report.gpu_points > 0);
+        assert!(out.report.virtual_secs >= load.as_secs());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test) = low_rank_data(30, 30, 3);
+        let cfg = test_cfg(10);
+        let run = || {
+            let spec = uniform_layout(&train, 5, 4);
+            let sched = UniformScheduler::new(spec, cfg.iterations, true);
+            let pool = DevicePool {
+                cpu_workers: 4,
+                gpus: vec![],
+                gpu_start: vec![],
+            };
+            run_training(&train, &test, sched, pool, &cfg, None, "CPU-Only")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.report.virtual_secs, b.report.virtual_secs);
+        assert_eq!(a.report.rmse_series, b.report.rmse_series);
+    }
+
+    #[test]
+    fn target_rmse_stops_early() {
+        let (train, test) = low_rank_data(40, 40, 4);
+        let mut cfg = test_cfg(200);
+        cfg.target_rmse = Some(0.5);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 4,
+            gpus: vec![],
+            gpu_start: vec![],
+        };
+        let out = run_training(&train, &test, sched, pool, &cfg, None, "CPU-Only");
+        let t = out
+            .report
+            .time_to_target_secs
+            .expect("target should be reached");
+        assert!(t > 0.0);
+        // Stopped early: fewer passes than the full budget.
+        assert!(out.report.total_passes < 20 * 200);
+        assert!(out.report.final_test_rmse <= 0.55);
+    }
+
+    #[test]
+    fn hybrid_run_uses_both_devices() {
+        let (train, test) = low_rank_data(60, 60, 5);
+        let cfg = test_cfg(10);
+        // HSGD-style: uniform grid without per-block cap.
+        let spec = uniform_layout(&train, 6, 5);
+        let sched = UniformScheduler::new(spec, cfg.iterations, false);
+        let pool = DevicePool {
+            cpu_workers: 4,
+            gpus: vec![GpuWorker::new(cfg.gpu)],
+            gpu_start: vec![SimTime::ZERO],
+        };
+        let out = run_training(&train, &test, sched, pool, &cfg, None, "HSGD");
+        assert!(out.report.cpu_points > 0, "CPU should contribute");
+        assert!(out.report.gpu_points > 0, "GPU should contribute");
+        assert_eq!(out.report.total_passes, 30 * 10);
+    }
+
+    #[test]
+    fn interval_probes_fire() {
+        let (train, test) = low_rank_data(40, 40, 6);
+        let mut cfg = test_cfg(20);
+        cfg.probe_interval_secs = Some(5e-5);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 4,
+            gpus: vec![],
+            gpu_start: vec![],
+        };
+        let out = run_training(&train, &test, sched, pool, &cfg, None, "CPU-Only");
+        // Interval probes should outnumber the ~20 boundary probes.
+        assert!(
+            out.report.rmse_series.len() > 25,
+            "only {} probes",
+            out.report.rmse_series.len()
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The workload-split solver (paper Eq. 7–8).
+//!
+//! Total training time with a fraction `α` of the matrix on GPUs is
+//! `T = max(T_g(α)/n_g, T_c(1−α)/n_c)` (Eq. 7); both arguments are
+//! monotone in `α` (one up, one down), so the max is minimized where they
+//! cross. Eq. 8 asks for `α = argmin |T_g(α)/n_g − T_c(1−α)/n_c|`, found
+//! here by bisection on the monotone balance function.
+
+use crate::models::CostModel;
+
+/// Finds `α ∈ [0, 1]` minimizing `|t_gpu(α)/ng − t_cpu(1−α)/nc|` for
+/// monotone per-device time functions, by bisection.
+///
+/// * `t_gpu(α)` — time for **one GPU** to process the `α` fraction.
+/// * `t_cpu(x)` — time for **one CPU thread** to process the `x` fraction.
+///
+/// Returns 0 or 1 when one resource class is absent or dominates even at
+/// the boundary.
+pub fn balance_alpha(
+    t_gpu: impl Fn(f64) -> f64,
+    t_cpu: impl Fn(f64) -> f64,
+    ng: f64,
+    nc: f64,
+) -> f64 {
+    assert!(ng >= 0.0 && nc >= 0.0 && ng + nc > 0.0, "need some workers");
+    if ng == 0.0 {
+        return 0.0;
+    }
+    if nc == 0.0 {
+        return 1.0;
+    }
+    // g(α) = T_g(α)/ng − T_c(1−α)/nc is non-decreasing in α.
+    let g = |alpha: f64| t_gpu(alpha) / ng - t_cpu(1.0 - alpha) / nc;
+    if g(0.0) >= 0.0 {
+        // GPU already slower with no work → give it nothing.
+        return 0.0;
+    }
+    if g(1.0) <= 0.0 {
+        // GPU absorbs everything and still finishes first.
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Convenience wrapper: balances a concrete workload of `total_points`
+/// between `ng` GPUs (cost `gpu`) and `nc` CPU threads (cost `cpu`),
+/// returning `(α, predicted_makespan_secs)`.
+///
+/// Each device's cost model is evaluated on its *per-device share*: the
+/// GPU fraction `α` splits evenly across `ng` GPUs and the CPU fraction
+/// across `nc` threads, matching Eq. 7's `T_g(α)/n_g` normalization where
+/// `T_g` is measured per device.
+pub fn split_workload(
+    total_points: f64,
+    gpu: &impl CostModel,
+    cpu: &impl CostModel,
+    ng: usize,
+    nc: usize,
+) -> (f64, f64) {
+    let alpha = balance_alpha(
+        |a| gpu.time_secs(a * total_points),
+        |x| cpu.time_secs(x * total_points),
+        ng as f64,
+        nc as f64,
+    );
+    let tg = if ng > 0 {
+        gpu.time_secs(alpha * total_points) / ng as f64
+    } else {
+        0.0
+    };
+    let tc = if nc > 0 {
+        cpu.time_secs((1.0 - alpha) * total_points) / nc as f64
+    } else {
+        0.0
+    };
+    (alpha, tg.max(tc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::LinearCost;
+
+    #[test]
+    fn equal_linear_devices_split_evenly() {
+        // 1 GPU and 1 CPU thread with identical linear costs → α = 0.5.
+        let a = balance_alpha(|x| x * 10.0, |x| x * 10.0, 1.0, 1.0);
+        assert!((a - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_gpu_gets_more_work() {
+        // GPU 4x faster than the single CPU thread → α = 0.8.
+        let a = balance_alpha(|x| x * 2.5, |x| x * 10.0, 1.0, 1.0);
+        assert!((a - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiple_cpu_threads_shift_the_split() {
+        // GPU 4x a single thread, but 4 threads → α = 0.5.
+        let a = balance_alpha(|x| x * 2.5, |x| x * 10.0, 1.0, 4.0);
+        assert!((a - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_gpu_means_alpha_zero() {
+        assert_eq!(balance_alpha(|x| x, |x| x, 0.0, 8.0), 0.0);
+    }
+
+    #[test]
+    fn no_cpu_means_alpha_one() {
+        assert_eq!(balance_alpha(|x| x, |x| x, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn boundary_when_gpu_has_overhead_dominating() {
+        // GPU pays a huge constant overhead regardless of share; with a
+        // tiny workload the solver should park everything on the CPU.
+        let a = balance_alpha(|_| 100.0, |x| x * 0.1, 1.0, 1.0);
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn split_workload_balances_makespan() {
+        let gpu = LinearCost::new(1e-8, 0.0); // 100M pts/s
+        let cpu = LinearCost::new(2e-7, 0.0); // 5M pts/s per thread
+        let (alpha, makespan) = split_workload(1e8, &gpu, &cpu, 1, 16);
+        // GPU does 100M/s; CPU pool does 80M/s → α ≈ 100/180.
+        assert!((alpha - 100.0 / 180.0).abs() < 1e-3, "alpha = {alpha}");
+        // Balanced: both sides ≈ total/(combined rate) ≈ 0.5556 s.
+        assert!((makespan - 1e8 / 180e6).abs() / makespan < 1e-3);
+    }
+
+    #[test]
+    fn split_respects_nonlinear_gpu() {
+        // A GPU that is inefficient on small shares (convex start): the
+        // solver still finds a balanced crossing.
+        let gpu_time = |pts: f64| {
+            if pts < 1000.0 {
+                pts / 1e3 // 1k pts/s — terrible when underfed
+            } else {
+                1.0 + (pts - 1000.0) / 1e6 // then 1M pts/s
+            }
+        };
+        let a = balance_alpha(|x| gpu_time(x * 1e6), |x| x * 1e6 / 1e5, 1.0, 1.0);
+        let g = gpu_time(a * 1e6);
+        let c = (1.0 - a) * 1e6 / 1e5;
+        assert!((g - c).abs() / c < 0.01, "unbalanced: {g} vs {c}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Least-squares fitting.
+
+/// A fitted line `y = a·x + b` with its coefficient of determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+    /// R² on the training points (1.0 = perfect).
+    pub r2: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or when all `x` coincide (no unique
+/// line) — both indicate a calibration harness bug.
+pub fn ols(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > 1e-12 * (sxx.abs() + 1.0),
+        "degenerate fit: all x values coincide"
+    );
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+
+    // R².
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (a * p.0 + b)).powi(2))
+        .sum();
+    let r2 = if ss_tot <= 1e-300 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit { a, b, r2 }
+}
+
+/// Fits `y = a·ln(x) + b` by OLS in the transformed feature `ln x`.
+/// Used for the GPU kernel-throughput ramp (Sec. V-B).
+pub fn fit_log(points: &[(f64, f64)]) -> LineFit {
+    let transformed: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y)).collect();
+    ols(&transformed)
+}
+
+/// Fits `y = a·√(ln x) + b` — the PCIe transfer-speed ramp (Sec. V-B).
+pub fn fit_sqrt_log(points: &[(f64, f64)]) -> LineFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| (x.ln().max(0.0).sqrt(), y))
+        .collect();
+    ols(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let f = ols(&pts);
+        assert!((f.a - 3.0).abs() < 1e-9);
+        assert!((f.b - 7.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_handles_noise() {
+        // y = 2x + 1 with deterministic ±0.1 zig-zag noise.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.1 } else { -0.1 };
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = ols(&pts);
+        assert!((f.a - 2.0).abs() < 0.01);
+        assert!((f.b - 1.0).abs() < 0.15);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn ols_flat_line() {
+        let pts = vec![(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)];
+        let f = ols(&pts);
+        assert!(f.a.abs() < 1e-12);
+        assert!((f.b - 5.0).abs() < 1e-12);
+        assert_eq!(f.r2, 1.0); // zero total variance → conventionally perfect
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn ols_rejects_single_point() {
+        let _ = ols(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn ols_rejects_vertical_line() {
+        let _ = ols(&[(2.0, 1.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn log_fit_recovers_planted_curve() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = (i * i * 1000) as f64;
+                (x, 4.5 * x.ln() - 12.0)
+            })
+            .collect();
+        let f = fit_log(&pts);
+        assert!((f.a - 4.5).abs() < 1e-9);
+        assert!((f.b + 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sqrt_log_fit_recovers_planted_curve() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = (i * 100_000) as f64;
+                (x, 7.75 * x.ln().sqrt() - 28.5)
+            })
+            .collect();
+        let f = fit_sqrt_log(&pts);
+        assert!((f.a - 7.75).abs() < 1e-9);
+        assert!((f.b + 28.5).abs() < 1e-6);
+    }
+}

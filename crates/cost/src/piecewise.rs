@@ -1,0 +1,103 @@
+//! Stability-threshold detection for two-stage models.
+//!
+//! The paper (Sec. V-B): *"when the variation of the transfer speed is
+//! less than 2% in a time unit, we consider that the transfer speed has
+//! been stable"* — below the threshold τ the curve is a ramp, above it
+//! throughput is constant and time is linear in size.
+
+/// Relative variation below which a speed curve counts as stable.
+pub const STABILITY_EPS: f64 = 0.02;
+
+/// Given `(size, measured_time)` samples sorted by size, returns the index
+/// of the first sample from which the derived *speed* (`size / time`)
+/// varies by less than `eps` relative to its neighbor for all subsequent
+/// pairs. Returns `samples.len() - 1` when the curve never stabilizes
+/// (everything is stage 1).
+pub fn stability_index(samples: &[(f64, f64)], eps: f64) -> usize {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let speeds: Vec<f64> = samples.iter().map(|&(s, t)| s / t.max(1e-300)).collect();
+    // Find the earliest i such that every adjacent pair from i on is
+    // within eps.
+    let mut idx = speeds.len() - 1;
+    for i in (0..speeds.len() - 1).rev() {
+        let rel = (speeds[i + 1] - speeds[i]).abs() / speeds[i].abs().max(1e-300);
+        if rel < eps {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    idx
+}
+
+/// Splits samples into (ramp, plateau) at the stability threshold. The
+/// threshold sample belongs to both stages so each side has an anchor.
+pub fn split_at_stability(
+    samples: &[(f64, f64)],
+    eps: f64,
+) -> (Vec<(f64, f64)>, Vec<(f64, f64)>, f64) {
+    let idx = stability_index(samples, eps);
+    let tau = samples[idx].0;
+    let ramp: Vec<(f64, f64)> = samples[..=idx].to_vec();
+    let plateau: Vec<(f64, f64)> = samples[idx..].to_vec();
+    (ramp, plateau, tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic speed curve: ramps until 1e6 then exactly flat.
+    fn samples_with_knee() -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for i in 1..=20 {
+            let size = i as f64 * 1e5;
+            let speed = if size < 1e6 { size / 1e6 * 50.0 } else { 50.0 };
+            out.push((size, size / speed));
+        }
+        out
+    }
+
+    #[test]
+    fn finds_the_knee() {
+        let s = samples_with_knee();
+        let idx = stability_index(&s, STABILITY_EPS);
+        // Knee at 1e6 = sample index 9.
+        assert_eq!(s[idx].0, 1e6);
+    }
+
+    #[test]
+    fn never_stable_returns_last() {
+        // Strictly ramping speed: doubling each step.
+        let s: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let size = (1 << i) as f64;
+                let speed = size; // speed doubles with size → 100% variation
+                (size, size / speed)
+            })
+            .collect();
+        assert_eq!(stability_index(&s, STABILITY_EPS), s.len() - 1);
+    }
+
+    #[test]
+    fn immediately_stable_returns_zero() {
+        let s: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, i as f64 / 10.0)).collect();
+        assert_eq!(stability_index(&s, STABILITY_EPS), 0);
+    }
+
+    #[test]
+    fn split_shares_anchor() {
+        let s = samples_with_knee();
+        let (ramp, plateau, tau) = split_at_stability(&s, STABILITY_EPS);
+        assert_eq!(tau, 1e6);
+        assert_eq!(ramp.last().unwrap().0, tau);
+        assert_eq!(plateau.first().unwrap().0, tau);
+        assert_eq!(ramp.len() + plateau.len(), s.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn too_few_samples_panics() {
+        let _ = stability_index(&[(1.0, 1.0)], STABILITY_EPS);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mf-data — synthetic benchmark datasets
+//!
+//! The paper evaluates on four rating datasets (Table I): MovieLens,
+//! Netflix, Yahoo R1 and Yahoo!Music. Those corpora are license-gated, so
+//! this crate generates **synthetic stand-ins** that preserve what the
+//! evaluation actually exercises:
+//!
+//! * the matrix *shape* (`m × n`) and the train/test rating counts of
+//!   Table I, at a configurable `1/scale` reduction (both dimensions and
+//!   counts scale linearly, keeping ratings-per-user constant so
+//!   convergence dynamics survive the reduction);
+//! * *popularity skew* — users and items are drawn from Zipf
+//!   distributions, giving the heavy-tailed per-row/per-column counts that
+//!   make block sizes uneven in practice;
+//! * *learnable structure* — ratings come from a planted low-rank model
+//!   plus user/item biases plus Gaussian noise, scaled and clamped to each
+//!   dataset's rating range (1–5 stars for MovieLens/Netflix, 0–100 for
+//!   R1/Yahoo!Music), so SGD converges to a nontrivial RMSE floor the way
+//!   it does on the real data.
+//!
+//! Everything is deterministic in the seed.
+
+pub mod generator;
+pub mod presets;
+pub mod zipf;
+
+pub use generator::{Dataset, GeneratorConfig};
+pub use presets::{preset, DatasetPreset, PresetName};
+pub use zipf::Zipf;

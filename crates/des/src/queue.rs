@@ -1,0 +1,199 @@
+//! The event priority queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event extracted from the queue: when it fires and what it carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// Virtual timestamp at which the event fires.
+    pub time: SimTime,
+    /// Monotone insertion sequence number; the FIFO tie-breaker.
+    pub seq: u64,
+    /// The caller-supplied payload.
+    pub payload: E,
+}
+
+/// Internal heap node. Ordered so that `BinaryHeap` (a max-heap) pops the
+/// *earliest* time first, and among equal times the *lowest* sequence
+/// number first (FIFO). That stability is what makes simulations
+/// deterministic when many events share a timestamp.
+struct Node<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Node<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Node<E> {}
+
+impl<E> PartialOrd for Node<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Node<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest time = greatest priority. Ties broken by
+        // reversed sequence so the earliest-inserted pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue keyed by [`SimTime`].
+///
+/// Unlike a bare `BinaryHeap<(f64, E)>`, this queue
+///
+/// * tolerates payloads that are not `Ord`,
+/// * breaks timestamp ties in insertion order (stable), and
+/// * refuses NaN timestamps by construction of [`SimTime`].
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Node<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`. Returns the sequence number
+    /// assigned to the event (useful for debugging traces).
+    pub fn push(&mut self, time: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Node { time, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|n| ScheduledEvent {
+            time: n.time,
+            seq: n.seq,
+            payload: n.payload,
+        })
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|n| n.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the sequence counter (so event
+    /// identity remains unique across a simulation's lifetime).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), "c");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(1.0), i);
+        }
+        for i in 0..100 {
+            let ev = q.pop().unwrap();
+            assert_eq!(ev.payload, i);
+            assert_eq!(ev.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), ());
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let mut q = EventQueue::new();
+        let s0 = q.push(t(1.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        let s1 = q.push(t(1.0), ());
+        assert!(s1 > s0);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), "b");
+        q.push(t(1.0), "a");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        q.push(t(0.5), "z");
+        assert_eq!(q.pop().unwrap().payload, "z");
+        assert_eq!(q.pop().unwrap().payload, "b");
+    }
+
+    #[test]
+    fn infinity_sorts_last() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::INFINITY, "never");
+        q.push(t(1e12), "eventually");
+        assert_eq!(q.pop().unwrap().payload, "eventually");
+        assert_eq!(q.pop().unwrap().payload, "never");
+    }
+}

@@ -1,0 +1,219 @@
+//! Virtual timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in seconds from simulation start.
+///
+/// `SimTime` is a thin wrapper around `f64` that enforces the two properties
+/// a simulator needs and `f64` lacks:
+///
+/// * **Total order** — construction rejects NaN, so `Ord` is safe.
+/// * **Non-negativity** — virtual time starts at zero and only moves forward.
+///
+/// Infinity is allowed and is useful as a sentinel ("never").
+#[derive(Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A timestamp later than every finite timestamp.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a timestamp from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative; both indicate a bug in a
+    /// performance model (e.g. a cost function returning garbage) and are
+    /// better caught at the point of creation than deep inside the event
+    /// queue.
+    #[inline]
+    pub fn from_secs(secs: f64) -> SimTime {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs >= 0.0, "SimTime cannot be negative: {secs}");
+        SimTime(secs)
+    }
+
+    /// Creates a timestamp from a duration in milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> SimTime {
+        SimTime::from_secs(ms / 1e3)
+    }
+
+    /// Creates a timestamp from a duration in microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> SimTime {
+        SimTime::from_secs(us / 1e6)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns true for the `INFINITY` sentinel.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: construction forbids NaN.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating difference: simulation intervals are never negative.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "∞")
+        } else if self.0 >= 1.0 {
+            write!(f, "{:.3}s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3}µs", self.0 * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(1.5);
+        assert_eq!(t.as_secs(), 1.5);
+        assert_eq!(t.as_millis(), 1500.0);
+        assert!(t.is_finite());
+        assert!(!SimTime::INFINITY.is_finite());
+    }
+
+    #[test]
+    fn from_millis_and_micros() {
+        assert_eq!(SimTime::from_millis(250.0).as_secs(), 0.25);
+        assert_eq!(SimTime::from_micros(1000.0).as_millis(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert!(b < SimTime::INFINITY);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.5);
+        assert_eq!((a + b).as_secs(), 3.5);
+        assert_eq!((b - a).as_secs(), 1.5);
+        // Saturating subtraction.
+        assert_eq!((a - b).as_secs(), 0.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 3.5);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(2.0)), "2.000s");
+        assert_eq!(format!("{}", SimTime::from_secs(0.002)), "2.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2e-6)), "2.000µs");
+        assert_eq!(format!("{}", SimTime::INFINITY), "∞");
+    }
+}

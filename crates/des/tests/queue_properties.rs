@@ -1,0 +1,60 @@
+//! Property tests for the event queue: for any insertion order, events pop
+//! sorted by (time, insertion sequence).
+
+use mf_des::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pops_sorted_by_time_then_seq(times in prop::collection::vec(0.0f64..1e6, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let mut prev: Option<(SimTime, u64)> = None;
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            if let Some((pt, ps)) = prev {
+                prop_assert!(ev.time >= pt, "time went backwards");
+                if ev.time == pt {
+                    prop_assert!(ev.seq > ps, "FIFO tie-break violated");
+                }
+            }
+            prev = Some((ev.time, ev.seq));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn len_tracks_push_pop(ops in prop::collection::vec((0.0f64..100.0, prop::bool::ANY), 0..200)) {
+        let mut q = EventQueue::new();
+        let mut expected = 0usize;
+        for (t, is_push) in ops {
+            if is_push {
+                q.push(SimTime::from_secs(t), ());
+                expected += 1;
+            } else if q.pop().is_some() {
+                expected -= 1;
+            }
+            prop_assert_eq!(q.len(), expected);
+            prop_assert_eq!(q.is_empty(), expected == 0);
+        }
+    }
+
+    #[test]
+    fn engine_matches_offline_sort(times in prop::collection::vec(0.0f64..1e3, 1..200)) {
+        // Running the engine over pre-scheduled events must visit payloads in
+        // the order of a stable sort by time.
+        let mut engine: mf_des::Engine<usize> = mf_des::Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule(SimTime::from_secs(t), i);
+        }
+        let mut visited = Vec::new();
+        engine.run(|_, idx, _| visited.push(idx));
+
+        let mut expected: Vec<usize> = (0..times.len()).collect();
+        expected.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap().then(a.cmp(&b)));
+        prop_assert_eq!(visited, expected);
+    }
+}

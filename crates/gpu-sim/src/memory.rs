@@ -1,0 +1,144 @@
+//! Global-memory accounting.
+//!
+//! A lightweight allocator model: the heterogeneous trainer registers the
+//! resident factor segments and the in-flight block buffers; exceeding the
+//! device capacity is a hard error (a real cuMF run would OOM), which
+//! keeps experiment configurations honest.
+
+use std::fmt;
+
+/// Error: an allocation would exceed device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuMemError {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes already in use.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for GpuMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GPU out of memory: requested {} B with {} / {} B in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for GpuMemError {}
+
+/// Tracks global-memory usage of one simulated device.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    capacity: u64,
+    in_use: u64,
+    high_water: u64,
+}
+
+impl GlobalMemory {
+    /// A device with `capacity` bytes of global memory.
+    pub fn new(capacity: u64) -> GlobalMemory {
+        GlobalMemory {
+            capacity,
+            in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Reserves `bytes`, failing if capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), GpuMemError> {
+        if self.in_use + bytes > self.capacity {
+            return Err(GpuMemError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.high_water = self.high_water.max(self.in_use);
+        Ok(())
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than is in use (double-free in the caller).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.in_use,
+            "freeing {bytes} B with only {} B in use",
+            self.in_use
+        );
+        self.in_use -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Peak allocation observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Remaining headroom.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_track_usage() {
+        let mut mem = GlobalMemory::new(1000);
+        mem.alloc(300).unwrap();
+        mem.alloc(200).unwrap();
+        assert_eq!(mem.in_use(), 500);
+        assert_eq!(mem.available(), 500);
+        mem.free(300);
+        assert_eq!(mem.in_use(), 200);
+        assert_eq!(mem.high_water(), 500);
+    }
+
+    #[test]
+    fn over_allocation_fails_cleanly() {
+        let mut mem = GlobalMemory::new(100);
+        mem.alloc(80).unwrap();
+        let err = mem.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        // The failed allocation must not change state.
+        assert_eq!(mem.in_use(), 80);
+        mem.alloc(20).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn double_free_panics() {
+        let mut mem = GlobalMemory::new(100);
+        mem.alloc(10).unwrap();
+        mem.free(20);
+    }
+
+    #[test]
+    fn exact_fill() {
+        let mut mem = GlobalMemory::new(64);
+        mem.alloc(64).unwrap();
+        assert_eq!(mem.available(), 0);
+        assert!(mem.alloc(1).is_err());
+    }
+}

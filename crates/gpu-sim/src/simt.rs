@@ -1,0 +1,254 @@
+//! SIMT execution of the SGD kernel — the *numerics* of cuMF_SGD.
+//!
+//! cuMF_SGD assigns each of `W` parallel workers a contiguous segment of
+//! the block's ratings; workers advance in lock-step (warps execute the
+//! same instruction), racing Hogwild-style on factor rows within the
+//! block. We emulate that schedule deterministically: at step `t` every
+//! lane `l` processes its `t`-th rating, lanes iterated in order. The
+//! visitation order therefore interleaves across the block exactly like
+//! the hardware schedule, while staying bit-reproducible.
+//!
+//! The optional half-precision mode rounds every factor read and write
+//! through IEEE 754 binary16, emulating cuMF's `__half` storage.
+
+use mf_sgd::{kernel, Model};
+use mf_sparse::Rating;
+
+use crate::spec::GpuSpec;
+
+/// Rounds an `f32` to the nearest representable IEEE 754 binary16 value
+/// (round-to-nearest-even), returned as `f32`. Overflow saturates to
+/// ±infinity, underflow flushes through subnormals exactly as binary16
+/// does.
+pub fn f16_round(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    // NaN propagates; infinity stays infinity.
+    if exp == 0xff {
+        return x;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflows binary16 → ±inf.
+        return f32::from_bits(sign | 0x7f80_0000);
+    }
+    if unbiased >= -14 {
+        // Normal range: keep 10 fraction bits, round to nearest even.
+        let shift = 13; // 23 − 10
+        let lsb = 1u32 << shift;
+        let half = lsb >> 1;
+        let rounded = frac + half - 1 + ((frac >> shift) & 1);
+        let mut frac16 = rounded >> shift;
+        let mut exp16 = unbiased;
+        if frac16 == 0x400 {
+            // Rounded up past the fraction width.
+            frac16 = 0;
+            exp16 += 1;
+            if exp16 > 15 {
+                return f32::from_bits(sign | 0x7f80_0000);
+            }
+        }
+        let back = sign | (((exp16 + 127) as u32) << 23) | (frac16 << shift);
+        return f32::from_bits(back);
+    }
+    if unbiased >= -24 {
+        // Subnormal in binary16: quantize to multiples of 2^-24.
+        let scale = (-24f32).exp2();
+        let q = (x / scale).round_ties_even();
+        return q * scale;
+    }
+    // Underflows to ±0.
+    f32::from_bits(sign)
+}
+
+/// The simulated kernel: execution geometry plus the precision mode.
+#[derive(Debug, Clone, Copy)]
+pub struct SimtKernel {
+    workers: usize,
+    half_precision: bool,
+}
+
+impl SimtKernel {
+    /// Builds a kernel matching a device spec.
+    pub fn new(spec: &GpuSpec) -> SimtKernel {
+        SimtKernel {
+            workers: spec.parallel_workers as usize,
+            half_precision: spec.half_precision,
+        }
+    }
+
+    /// Number of parallel lanes.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes the SGD kernel over `block`, mutating `model` exactly as
+    /// the GPU would. Returns the sum of squared pre-update errors.
+    pub fn execute(
+        &self,
+        model: &mut Model,
+        block: &[Rating],
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f64 {
+        if block.is_empty() {
+            return 0.0;
+        }
+        let w = self.workers.max(1);
+        let seg = block.len().div_ceil(w);
+        let mut sq_err = 0f64;
+        // Lock-step schedule: step t, lane l → rating l·seg + t.
+        for t in 0..seg {
+            for l in 0..w {
+                let idx = l * seg + t;
+                if idx >= block.len() {
+                    continue;
+                }
+                let e = block[idx];
+                let (p, q) = model.pq_rows_mut(e.u, e.v);
+                if self.half_precision {
+                    for x in p.iter_mut() {
+                        *x = f16_round(*x);
+                    }
+                    for x in q.iter_mut() {
+                        *x = f16_round(*x);
+                    }
+                }
+                let err = kernel::sgd_step(p, q, e.r, gamma, lambda_p, lambda_q);
+                if self.half_precision {
+                    let (p, q) = model.pq_rows_mut(e.u, e.v);
+                    for x in p.iter_mut() {
+                        *x = f16_round(*x);
+                    }
+                    for x in q.iter_mut() {
+                        *x = f16_round(*x);
+                    }
+                }
+                sq_err += (err as f64) * (err as f64);
+            }
+        }
+        sq_err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_with(workers: u32, half: bool) -> GpuSpec {
+        let mut s = GpuSpec::default().with_workers(workers);
+        s.half_precision = half;
+        s
+    }
+
+    #[test]
+    fn f16_round_exact_values_unchanged() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25] {
+            assert_eq!(f16_round(v), v, "{v} is exactly representable");
+        }
+    }
+
+    #[test]
+    fn f16_round_quantizes() {
+        // binary16 spacing near 1.0 is 2^-10 = 2ε with ε = 2^-11.
+        let eps = (2f32).powi(-11);
+        // 1 + ε is a tie between 1.0 and 1 + 2ε: even mantissa (1.0) wins.
+        assert_eq!(f16_round(1.0 + eps), 1.0);
+        // 1 + 3ε is a tie between 1 + 2ε (odd) and 1 + 4ε (even): even wins.
+        assert_eq!(f16_round(1.0 + 3.0 * eps), 1.0 + 4.0 * eps);
+        // 1 + 2.5ε is closer to 1 + 2ε — no tie.
+        assert_eq!(f16_round(1.0 + 2.5 * eps), 1.0 + 2.0 * eps);
+    }
+
+    #[test]
+    fn f16_round_overflow_and_underflow() {
+        assert_eq!(f16_round(1e6), f32::INFINITY);
+        assert_eq!(f16_round(-1e6), f32::NEG_INFINITY);
+        assert_eq!(f16_round(1e-9), 0.0);
+        assert!(f16_round(f32::NAN).is_nan());
+        // Largest binary16 normal: 65504.
+        assert_eq!(f16_round(65504.0), 65504.0);
+        assert_eq!(f16_round(65520.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn f16_round_subnormals() {
+        let tiny = (2f32).powi(-24); // smallest positive binary16 subnormal
+        assert_eq!(f16_round(tiny), tiny);
+        assert_eq!(f16_round(tiny * 0.4), 0.0);
+        assert_eq!(f16_round(tiny * 2.5), tiny * 2.0); // ties to even
+    }
+
+    #[test]
+    fn single_lane_matches_sequential_kernel() {
+        let block: Vec<Rating> = (0..20)
+            .map(|i| Rating::new(i % 5, i % 4, 1.0 + (i % 3) as f32))
+            .collect();
+        let mut gpu_model = Model::init(5, 4, 8, 1);
+        let mut seq_model = gpu_model.clone();
+
+        let kernel1 = SimtKernel::new(&spec_with(1, false));
+        let sq_gpu = kernel1.execute(&mut gpu_model, &block, 0.01, 0.05, 0.05);
+
+        let mut sq_seq = 0.0;
+        for e in &block {
+            let (p, q) = seq_model.pq_rows_mut(e.u, e.v);
+            let err = kernel::sgd_step(p, q, e.r, 0.01, 0.05, 0.05);
+            sq_seq += (err as f64) * (err as f64);
+        }
+        assert_eq!(gpu_model, seq_model);
+        assert_eq!(sq_gpu, sq_seq);
+    }
+
+    #[test]
+    fn many_lanes_visit_every_rating_once() {
+        // With disjoint (u, v) pairs, order doesn't matter: any lane count
+        // must produce the same model as sequential processing.
+        let block: Vec<Rating> = (0..64).map(|i| Rating::new(i, i, 2.0)).collect();
+        let mut a = Model::init(64, 64, 4, 2);
+        let mut b = a.clone();
+        SimtKernel::new(&spec_with(1, false)).execute(&mut a, &block, 0.05, 0.0, 0.0);
+        SimtKernel::new(&spec_with(16, false)).execute(&mut b, &block, 0.05, 0.0, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_interleaving_changes_visit_order_on_shared_rows() {
+        // Ratings share rows, so the Hogwild-like interleaved order gives a
+        // (slightly) different — but still convergent — result.
+        let block: Vec<Rating> = (0..64).map(|i| Rating::new(0, i % 8, 3.0)).collect();
+        let mut a = Model::init(1, 8, 4, 3);
+        let mut b = a.clone();
+        SimtKernel::new(&spec_with(1, false)).execute(&mut a, &block, 0.05, 0.0, 0.0);
+        SimtKernel::new(&spec_with(8, false)).execute(&mut b, &block, 0.05, 0.0, 0.0);
+        assert_ne!(a, b, "interleaving should reorder racy updates");
+    }
+
+    #[test]
+    fn half_precision_still_converges() {
+        let block: Vec<Rating> = (0..50)
+            .map(|i| Rating::new(i % 10, (i * 3) % 10, 2.5))
+            .collect();
+        let mut model = Model::init(10, 10, 8, 4);
+        let k = SimtKernel::new(&spec_with(32, true));
+        let mut last = f64::INFINITY;
+        for _ in 0..30 {
+            last = k.execute(&mut model, &block, 0.02, 0.01, 0.01);
+        }
+        let mse = last / block.len() as f64;
+        assert!(mse < 0.05, "half precision should still fit, mse={mse}");
+    }
+
+    #[test]
+    fn empty_block_is_noop() {
+        let mut model = Model::init(2, 2, 2, 5);
+        let before = model.clone();
+        let sq = SimtKernel::new(&spec_with(128, false)).execute(&mut model, &[], 0.1, 0.0, 0.0);
+        assert_eq!(sq, 0.0);
+        assert_eq!(model, before);
+    }
+}

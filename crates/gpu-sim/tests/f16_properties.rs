@@ -1,0 +1,49 @@
+//! Property tests for the binary16 rounding used by the half-precision
+//! kernel mode: idempotence, monotonicity, symmetry, and boundedness of
+//! the rounding error — the invariants that keep half-precision training
+//! numerically sane.
+
+use gpu_sim::simt::f16_round;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn idempotent(x in -70000.0f32..70000.0) {
+        let once = f16_round(x);
+        let twice = f16_round(once);
+        prop_assert!(once == twice || (once.is_nan() && twice.is_nan()));
+    }
+
+    #[test]
+    fn monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16_round(lo) <= f16_round(hi));
+    }
+
+    #[test]
+    fn odd_symmetry(x in -70000.0f32..70000.0) {
+        prop_assert_eq!(f16_round(-x), -f16_round(x));
+    }
+
+    #[test]
+    fn relative_error_bounded_in_normal_range(x in 6.2e-5f32..65000.0) {
+        // binary16 has 11 significand bits: relative rounding error is at
+        // most 2^-11 for normal values.
+        let r = f16_round(x);
+        let rel = ((r - x) / x).abs();
+        prop_assert!(rel <= 1.0 / 2048.0 + 1e-9, "x={x}, r={r}, rel={rel}");
+    }
+
+    #[test]
+    fn result_is_exactly_representable(x in -60000.0f32..60000.0) {
+        // Every output must have at most 10 fraction bits (normal) or be a
+        // multiple of 2^-24 (subnormal) — checked via idempotence plus a
+        // scaled-integer test for the subnormal range.
+        let r = f16_round(x);
+        if r != 0.0 && r.abs() < 6.103515625e-5 {
+            let q = r / (2f32).powi(-24);
+            prop_assert_eq!(q.fract(), 0.0, "subnormal {} not on grid", r);
+        }
+        prop_assert_eq!(f16_round(r), r);
+    }
+}

@@ -1,0 +1,291 @@
+//! Alternating least squares (Koren et al. — paper \[16\], Sec. III-C).
+//!
+//! Each iteration solves, for every user, the ridge-regression normal
+//! equations with all item factors fixed, then symmetrically for every
+//! item. The regularization is weighted by the user's/item's rating count
+//! (ALS-WR), which makes the minimized objective identical to the SGD loss
+//! of Eq. 2 where `λ‖p_u‖²` is charged once per rating.
+//!
+//! ALS is one of the non-SGD baselines the paper positions against; it is
+//! included so the examples and benches can contrast convergence behaviour.
+
+use mf_sparse::{CscView, CsrView, SparseMatrix};
+
+use crate::hyper::HyperParams;
+use crate::model::Model;
+
+/// Solves the SPD system `A x = b` in place via Cholesky decomposition.
+/// `a` is `k×k` row-major and is destroyed; `b` becomes the solution.
+/// Returns `false` if the matrix is not positive definite (degenerate
+/// system), in which case `b` is garbage and the caller should skip the
+/// update.
+pub fn cholesky_solve(a: &mut [f64], b: &mut [f64], k: usize) -> bool {
+    debug_assert_eq!(a.len(), k * k);
+    debug_assert_eq!(b.len(), k);
+    // Decompose: A = L·Lᵀ, storing L in the lower triangle.
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = a[i * k + j];
+            for l in 0..j {
+                sum -= a[i * k + l] * a[j * k + l];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return false;
+                }
+                a[i * k + i] = sum.sqrt();
+            } else {
+                a[i * k + j] = sum / a[j * k + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    for i in 0..k {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= a[i * k + j] * b[j];
+        }
+        b[i] = sum / a[i * k + i];
+    }
+    // Back solve Lᵀ x = y.
+    for i in (0..k).rev() {
+        let mut sum = b[i];
+        for j in i + 1..k {
+            sum -= a[j * k + i] * b[j];
+        }
+        b[i] = sum / a[i * k + i];
+    }
+    true
+}
+
+/// ALS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AlsConfig {
+    /// Shared hyper-parameters; `gamma` and `schedule` are unused by ALS.
+    pub hyper: HyperParams,
+    /// Number of alternating iterations (each updates all of P then all
+    /// of Q).
+    pub iterations: u32,
+    /// Seed for factor initialization.
+    pub seed: u64,
+}
+
+/// Trains a model with ALS.
+pub fn train(data: &SparseMatrix, cfg: &AlsConfig) -> Model {
+    train_with(data, cfg, |_, _| {})
+}
+
+/// Trains with ALS, invoking `probe(iteration, &model)` after each full
+/// alternation.
+pub fn train_with<F>(data: &SparseMatrix, cfg: &AlsConfig, mut probe: F) -> Model
+where
+    F: FnMut(u32, &Model),
+{
+    let k = cfg.hyper.k;
+    let mut model = Model::init(data.nrows(), data.ncols(), k, cfg.seed);
+    if data.is_empty() {
+        return model;
+    }
+    let csr = CsrView::build(data);
+    let csc = CscView::build(data);
+    let mut a = vec![0f64; k * k];
+    let mut b = vec![0f64; k];
+
+    for it in 0..cfg.iterations {
+        // Update every user factor with items fixed.
+        for u in 0..data.nrows() {
+            let count = csr.row_len(u);
+            if count == 0 {
+                continue;
+            }
+            build_normal_eq(
+                &mut a,
+                &mut b,
+                k,
+                csr.row(u),
+                |v| model.q_row(v),
+                cfg.hyper.lambda_p as f64 * count as f64,
+            );
+            if cholesky_solve(&mut a, &mut b, k) {
+                let pu = model.p_row_mut(u);
+                for (dst, &src) in pu.iter_mut().zip(b.iter()) {
+                    *dst = src as f32;
+                }
+            }
+        }
+        // Update every item factor with users fixed.
+        for v in 0..data.ncols() {
+            let count = csc.col_len(v);
+            if count == 0 {
+                continue;
+            }
+            build_normal_eq(
+                &mut a,
+                &mut b,
+                k,
+                csc.col(v),
+                |u| model.p_row(u),
+                cfg.hyper.lambda_q as f64 * count as f64,
+            );
+            if cholesky_solve(&mut a, &mut b, k) {
+                let qv = model.q_row_mut(v);
+                for (dst, &src) in qv.iter_mut().zip(b.iter()) {
+                    *dst = src as f32;
+                }
+            }
+        }
+        probe(it, &model);
+    }
+    model
+}
+
+/// Accumulates `A = Σ f·fᵀ + ridge·I` and `b = Σ r·f` over the neighbor
+/// factors of one user/item.
+fn build_normal_eq<'m>(
+    a: &mut [f64],
+    b: &mut [f64],
+    k: usize,
+    neighbors: impl Iterator<Item = (u32, f32)>,
+    factor_of: impl Fn(u32) -> &'m [f32],
+    ridge: f64,
+) {
+    a.fill(0.0);
+    b.fill(0.0);
+    for (other, r) in neighbors {
+        let f = factor_of(other);
+        for i in 0..k {
+            let fi = f[i] as f64;
+            b[i] += r as f64 * fi;
+            // Symmetric rank-one update; fill the full matrix (simplifies
+            // the solver).
+            for j in 0..k {
+                a[i * k + j] += fi * f[j] as f64;
+            }
+        }
+    }
+    for i in 0..k {
+        a[i * k + i] += ridge;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use mf_sparse::Rating;
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 9] → x = [1.5, 2].
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![10.0, 9.0];
+        assert!(cholesky_solve(&mut a, &mut b, 2));
+        assert!((b[0] - 1.5).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        let mut b = vec![1.0, 1.0];
+        assert!(!cholesky_solve(&mut a, &mut b, 2));
+    }
+
+    #[test]
+    fn cholesky_identity() {
+        let k = 5;
+        let mut a = vec![0.0; k * k];
+        for i in 0..k {
+            a[i * k + i] = 1.0;
+        }
+        let mut b: Vec<f64> = (0..k).map(|i| i as f64).collect();
+        let expect = b.clone();
+        assert!(cholesky_solve(&mut a, &mut b, k));
+        for (x, e) in b.iter().zip(&expect) {
+            assert!((x - e).abs() < 1e-12);
+        }
+    }
+
+    fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
+        let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
+        let mut entries = Vec::new();
+        for u in 0..m {
+            for v in 0..n {
+                if rng.random::<f32>() < 0.6 {
+                    let r = 1.0
+                        + 2.0
+                            * (a[u as usize][0] * b[v as usize][0]
+                                + a[u as usize][1] * b[v as usize][1]);
+                    entries.push(Rating::new(u, v, r));
+                }
+            }
+        }
+        SparseMatrix::new(m, n, entries).unwrap()
+    }
+
+    #[test]
+    fn als_converges_fast() {
+        let data = low_rank_data(40, 35, 21);
+        let cfg = AlsConfig {
+            hyper: HyperParams {
+                k: 8,
+                lambda_p: 0.01,
+                lambda_q: 0.01,
+                gamma: 0.0,
+                schedule: crate::LearningRate::Fixed,
+            },
+            iterations: 10,
+            seed: 5,
+        };
+        let model = train(&data, &cfg);
+        let rmse = eval::rmse(&model, &data);
+        assert!(rmse < 0.05, "als should nail low-rank data, got {rmse}");
+    }
+
+    #[test]
+    fn als_rmse_monotone_over_iterations() {
+        let data = low_rank_data(30, 30, 22);
+        let cfg = AlsConfig {
+            hyper: HyperParams {
+                k: 4,
+                lambda_p: 0.05,
+                lambda_q: 0.05,
+                gamma: 0.0,
+                schedule: crate::LearningRate::Fixed,
+            },
+            iterations: 6,
+            seed: 6,
+        };
+        let mut history = Vec::new();
+        let _ = train_with(&data, &cfg, |_, m| history.push(eval::rmse(m, &data)));
+        assert_eq!(history.len(), 6);
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "ALS loss must not increase: {history:?}");
+        }
+    }
+
+    #[test]
+    fn handles_users_with_no_ratings() {
+        // User 2 and item 2 have no ratings; ALS must leave them untouched
+        // and not crash.
+        let data = SparseMatrix::new(
+            3,
+            3,
+            vec![Rating::new(0, 0, 1.0), Rating::new(1, 1, 2.0)],
+        )
+        .unwrap();
+        let cfg = AlsConfig {
+            hyper: HyperParams::movielens(4),
+            iterations: 3,
+            seed: 7,
+        };
+        let init = Model::init(3, 3, 4, 7);
+        let model = train(&data, &cfg);
+        assert_eq!(model.p_row(2), init.p_row(2));
+        assert_eq!(model.q_row(2), init.q_row(2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Loss and accuracy metrics.
+
+use mf_sparse::SparseMatrix;
+
+use crate::model::Model;
+
+/// Root-mean-square error of the model on `data` — the paper's training
+/// quality metric (Sec. VII-A). Accumulates in `f64` so hundreds of
+/// millions of test points do not lose precision.
+pub fn rmse(model: &Model, data: &SparseMatrix) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0f64;
+    for e in data.entries() {
+        let err = (e.r - model.predict(e.u, e.v)) as f64;
+        acc += err * err;
+    }
+    (acc / data.nnz() as f64).sqrt()
+}
+
+/// Mean absolute error on `data`.
+pub fn mae(model: &Model, data: &SparseMatrix) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0f64;
+    for e in data.entries() {
+        acc += ((e.r - model.predict(e.u, e.v)) as f64).abs();
+    }
+    acc / data.nnz() as f64
+}
+
+/// The full regularized loss of Eq. 2:
+/// `Σ (r − p·q)² + λ_P Σ_u |p_u|² + λ_Q Σ_v |q_v|²`.
+///
+/// The regularization sums run over users/items that appear in `data`
+/// (each counted once), matching the objective SGD minimizes.
+pub fn regularized_loss(model: &Model, data: &SparseMatrix, lambda_p: f32, lambda_q: f32) -> f64 {
+    let mut sq = 0f64;
+    for e in data.entries() {
+        let err = (e.r - model.predict(e.u, e.v)) as f64;
+        sq += err * err;
+    }
+    let mut seen_u = vec![false; model.nrows() as usize];
+    let mut seen_v = vec![false; model.ncols() as usize];
+    for e in data.entries() {
+        seen_u[e.u as usize] = true;
+        seen_v[e.v as usize] = true;
+    }
+    let mut reg = 0f64;
+    for (u, &s) in seen_u.iter().enumerate() {
+        if s {
+            let norm: f32 = model.p_row(u as u32).iter().map(|x| x * x).sum();
+            reg += lambda_p as f64 * norm as f64;
+        }
+    }
+    for (v, &s) in seen_v.iter().enumerate() {
+        if s {
+            let norm: f32 = model.q_row(v as u32).iter().map(|x| x * x).sum();
+            reg += lambda_q as f64 * norm as f64;
+        }
+    }
+    sq + reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::SparseMatrix;
+
+    fn perfect_model() -> (Model, SparseMatrix) {
+        // p_u = [u+1], q_v = [v+1]  →  prediction (u+1)(v+1).
+        let p = vec![1.0, 2.0];
+        let q = vec![1.0, 2.0, 3.0];
+        let model = Model::from_parts(2, 3, 1, p, q);
+        let data = SparseMatrix::from_triples(vec![
+            (0, 0, 1.0),
+            (0, 2, 3.0),
+            (1, 1, 4.0),
+        ]);
+        (model, data)
+    }
+
+    #[test]
+    fn rmse_zero_on_perfect_fit() {
+        let (model, data) = perfect_model();
+        assert_eq!(rmse(&model, &data), 0.0);
+        assert_eq!(mae(&model, &data), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let (model, mut data) = perfect_model();
+        // Perturb one rating by 3: rmse = sqrt(9/3) = sqrt(3).
+        data.entries_mut()[0].r += 3.0;
+        assert!((rmse(&model, &data) - 3f64.sqrt()).abs() < 1e-9);
+        assert!((mae(&model, &data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_data_gives_zero() {
+        let (model, _) = perfect_model();
+        let empty = SparseMatrix::empty(2, 3);
+        assert_eq!(rmse(&model, &empty), 0.0);
+        assert_eq!(mae(&model, &empty), 0.0);
+    }
+
+    #[test]
+    fn regularized_loss_counts_each_factor_once() {
+        let (model, data) = perfect_model();
+        // Perfect fit → loss is purely regularization.
+        // Users present: 0, 1 → |p_0|² + |p_1|² = 1 + 4 = 5.
+        // Items present: 0, 1, 2 → 1 + 4 + 9 = 14.
+        let loss = regularized_loss(&model, &data, 0.5, 2.0);
+        assert!((loss - (0.5 * 5.0 + 2.0 * 14.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regularized_loss_includes_errors() {
+        let (model, mut data) = perfect_model();
+        data.entries_mut()[0].r += 1.0;
+        let loss = regularized_loss(&model, &data, 0.0, 0.0);
+        assert!((loss - 1.0).abs() < 1e-9);
+    }
+}

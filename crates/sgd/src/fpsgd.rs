@@ -1,0 +1,295 @@
+//! FPSGD — fast parallel SGD in shared memory (Zhuang et al., RecSys'13 —
+//! paper \[9\]). This is the paper's **CPU-Only** baseline, implemented on
+//! real threads.
+//!
+//! The rating matrix is divided into a uniform grid; each worker thread
+//! repeatedly asks a scheduler for a *free* block — one whose row band and
+//! column band are not being processed by any other worker — with the
+//! smallest update count (keeping per-block pass counts balanced). Blocks
+//! sharing a row band update the same rows of `P`, and blocks sharing a
+//! column band the same rows of `Q`; the independence rule is exactly what
+//! makes the lock-free factor updates safe (see
+//! [`crate::shared::SharedModel::sgd_block_exclusive`]).
+
+use parking_lot::{Condvar, Mutex};
+
+use mf_sparse::{BlockId, GridPartition, GridSpec, SparseMatrix};
+
+use crate::model::Model;
+use crate::sequential::TrainConfig;
+use crate::shared::SharedModel;
+
+/// FPSGD-specific configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FpsgdConfig {
+    /// Shared training options (hyper-parameters, iterations, seed).
+    pub train: TrainConfig,
+    /// Number of worker threads (the paper's `nc`).
+    pub threads: usize,
+    /// Grid shape `(rows, cols)`. Defaults to `(threads + 1, threads)` —
+    /// Rule 1 with `ng = 0` — which guarantees an idle worker always finds
+    /// a free block.
+    pub grid: Option<(u32, u32)>,
+}
+
+impl FpsgdConfig {
+    /// Default configuration for `threads` workers.
+    pub fn new(threads: usize) -> FpsgdConfig {
+        FpsgdConfig {
+            train: TrainConfig::default(),
+            threads,
+            grid: None,
+        }
+    }
+
+    fn grid_shape(&self) -> (u32, u32) {
+        self.grid.unwrap_or((self.threads as u32 + 1, self.threads.max(1) as u32))
+    }
+}
+
+/// What happened during a run: per-block pass counts and grid geometry.
+/// The update-count spread is the statistic behind the paper's Example 3.
+#[derive(Debug, Clone)]
+pub struct FpsgdReport {
+    /// Pass count per block (row-major).
+    pub update_counts: Vec<u32>,
+    /// Grid rows.
+    pub grid_rows: u32,
+    /// Grid columns.
+    pub grid_cols: u32,
+    /// Total block passes executed.
+    pub total_passes: u64,
+}
+
+struct Sched {
+    rows: u32,
+    cols: u32,
+    row_busy: Vec<bool>,
+    col_busy: Vec<bool>,
+    /// Pass count per block, row-major.
+    counts: Vec<u32>,
+    /// Block passes not yet assigned.
+    remaining: u64,
+    /// Each block is processed exactly this many times.
+    target: u32,
+}
+
+impl Sched {
+    /// The free block with the smallest pass count that still needs
+    /// passes, or `None`.
+    fn pick(&self) -> Option<BlockId> {
+        let mut best: Option<(u32, BlockId)> = None;
+        for r in 0..self.rows {
+            if self.row_busy[r as usize] {
+                continue;
+            }
+            for c in 0..self.cols {
+                if self.col_busy[c as usize] {
+                    continue;
+                }
+                let count = self.counts[(r * self.cols + c) as usize];
+                if count >= self.target {
+                    continue;
+                }
+                match best {
+                    Some((b, _)) if b <= count => {}
+                    _ => best = Some((count, BlockId::new(r, c))),
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+/// Trains with FPSGD and returns the model.
+pub fn train(data: &SparseMatrix, cfg: &FpsgdConfig) -> Model {
+    train_with_report(data, cfg).0
+}
+
+/// Trains with FPSGD, also returning scheduling statistics.
+pub fn train_with_report(data: &SparseMatrix, cfg: &FpsgdConfig) -> (Model, FpsgdReport) {
+    assert!(cfg.threads > 0, "need at least one worker");
+    let (rows, cols) = cfg.grid_shape();
+    let spec = GridSpec::uniform(data.nrows(), data.ncols(), rows, cols);
+    let part = GridPartition::build(data, spec);
+    let mut model = Model::init_for_ratings(
+        data.nrows(),
+        data.ncols(),
+        cfg.train.hyper.k,
+        cfg.train.seed,
+        data.mean_rating(),
+    );
+
+    let nblocks = (rows * cols) as usize;
+    let target = cfg.train.iterations;
+    let sched = Mutex::new(Sched {
+        rows,
+        cols,
+        row_busy: vec![false; rows as usize],
+        col_busy: vec![false; cols as usize],
+        counts: vec![0; nblocks],
+        remaining: nblocks as u64 * target as u64,
+        target,
+    });
+    let cond = Condvar::new();
+    let shared = SharedModel::new(&mut model);
+    let hyper = cfg.train.hyper;
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.threads {
+            let sched = &sched;
+            let cond = &cond;
+            let part = &part;
+            let shared = &shared;
+            s.spawn(move || loop {
+                // Acquire a block (or learn that the run is over).
+                let (id, pass) = {
+                    let mut st = sched.lock();
+                    loop {
+                        if st.remaining == 0 {
+                            cond.notify_all();
+                            return;
+                        }
+                        if let Some(id) = st.pick() {
+                            let flat = (id.row * st.cols + id.col) as usize;
+                            let pass = st.counts[flat];
+                            st.counts[flat] += 1;
+                            st.remaining -= 1;
+                            st.row_busy[id.row as usize] = true;
+                            st.col_busy[id.col as usize] = true;
+                            break (id, pass);
+                        }
+                        cond.wait(&mut st);
+                    }
+                };
+                // Process it outside the lock. SAFETY: the scheduler marked
+                // this block's row and column bands busy, so no other worker
+                // touches the same factor rows until we release them.
+                let gamma = hyper.gamma_at(pass);
+                unsafe {
+                    shared.sgd_block_exclusive(
+                        part.block(id),
+                        gamma,
+                        hyper.lambda_p,
+                        hyper.lambda_q,
+                    );
+                }
+                // Release.
+                {
+                    let mut st = sched.lock();
+                    st.row_busy[id.row as usize] = false;
+                    st.col_busy[id.col as usize] = false;
+                }
+                cond.notify_all();
+            });
+        }
+    });
+    drop(shared);
+
+    let st = sched.into_inner();
+    let total: u64 = st.counts.iter().map(|&c| c as u64).sum();
+    (
+        model,
+        FpsgdReport {
+            update_counts: st.counts,
+            grid_rows: rows,
+            grid_cols: cols,
+            total_passes: total,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::hyper::HyperParams;
+    use mf_sparse::Rating;
+
+    fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
+        let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
+        let mut entries = Vec::new();
+        for u in 0..m {
+            for v in 0..n {
+                if rng.random::<f32>() < 0.5 {
+                    let r = 1.0
+                        + 2.0
+                            * (a[u as usize][0] * b[v as usize][0]
+                                + a[u as usize][1] * b[v as usize][1]);
+                    entries.push(Rating::new(u, v, r));
+                }
+            }
+        }
+        SparseMatrix::new(m, n, entries).unwrap()
+    }
+
+    fn cfg(threads: usize, iterations: u32) -> FpsgdConfig {
+        FpsgdConfig {
+            train: TrainConfig {
+                hyper: HyperParams {
+                    k: 8,
+                    lambda_p: 0.01,
+                    lambda_q: 0.01,
+                    gamma: 0.05,
+                    schedule: crate::LearningRate::Fixed,
+                },
+                iterations,
+                seed: 3,
+                reshuffle: true,
+            },
+            threads,
+            grid: None,
+        }
+    }
+
+    #[test]
+    fn every_block_processed_exactly_target_times() {
+        let data = low_rank_data(50, 50, 8);
+        let (_, report) = train_with_report(&data, &cfg(4, 7));
+        assert!(report.update_counts.iter().all(|&c| c == 7));
+        assert_eq!(
+            report.total_passes,
+            (report.grid_rows * report.grid_cols) as u64 * 7
+        );
+    }
+
+    #[test]
+    fn converges_with_multiple_threads() {
+        let data = low_rank_data(60, 60, 9);
+        let model = train(&data, &cfg(4, 40));
+        let rmse = eval::rmse(&model, &data);
+        assert!(rmse < 0.2, "fpsgd rmse too high: {rmse}");
+    }
+
+    #[test]
+    fn single_thread_matches_quality() {
+        let data = low_rank_data(40, 40, 10);
+        let model = train(&data, &cfg(1, 40));
+        assert!(eval::rmse(&model, &data) < 0.2);
+    }
+
+    #[test]
+    fn custom_grid_respected() {
+        let data = low_rank_data(30, 30, 11);
+        let mut c = cfg(2, 3);
+        c.grid = Some((5, 4));
+        let (_, report) = train_with_report(&data, &c);
+        assert_eq!((report.grid_rows, report.grid_cols), (5, 4));
+        assert_eq!(report.update_counts.len(), 20);
+    }
+
+    #[test]
+    fn zero_iterations_is_noop() {
+        let data = low_rank_data(10, 10, 12);
+        let (model, report) = train_with_report(&data, &cfg(2, 0));
+        assert_eq!(report.total_passes, 0);
+        assert_eq!(
+            model,
+            Model::init_for_ratings(data.nrows(), data.ncols(), 8, 3, data.mean_rating())
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Hogwild: lock-free parallel SGD (Recht et al., NIPS'11 — paper \[19\]).
+//!
+//! Worker threads race on the factor matrices without any coordination.
+//! On sparse problems the probability that two concurrent updates touch
+//! the same factor row is small, so convergence survives the races. All
+//! racy access is funneled through relaxed atomics
+//! ([`crate::shared::SharedModel::sgd_step_atomic`]), so the implementation
+//! is sound Rust — the races are semantic, not undefined behaviour.
+
+use mf_sparse::{shuffle, SparseMatrix};
+
+use crate::model::Model;
+use crate::sequential::TrainConfig;
+use crate::shared::SharedModel;
+
+/// Trains with `n_threads` Hogwild workers. Each iteration shuffles the
+/// data (seeded) and splits it into contiguous chunks, one per worker;
+/// workers update the shared model concurrently with no locking.
+///
+/// The result is **not** bit-deterministic across runs (thread interleaving
+/// is real), but convergence quality matches sequential SGD on sparse data.
+pub fn train(data: &SparseMatrix, cfg: &TrainConfig, n_threads: usize) -> Model {
+    assert!(n_threads > 0, "need at least one worker");
+    let mut model =
+        Model::init_for_ratings(data.nrows(), data.ncols(), cfg.hyper.k, cfg.seed, data.mean_rating());
+    if data.is_empty() {
+        return model;
+    }
+    let mut order = data.clone();
+    for it in 0..cfg.iterations {
+        if cfg.reshuffle {
+            shuffle::shuffle_entries(&mut order, cfg.seed.wrapping_add(1 + it as u64));
+        }
+        let gamma = cfg.hyper.gamma_at(it);
+        let shared = SharedModel::new(&mut model);
+        let entries = order.entries();
+        let chunk = entries.len().div_ceil(n_threads);
+        std::thread::scope(|s| {
+            for worker in 0..n_threads {
+                let lo = worker * chunk;
+                let hi = ((worker + 1) * chunk).min(entries.len());
+                if lo >= hi {
+                    continue;
+                }
+                let my = &entries[lo..hi];
+                let sm = &shared;
+                let hyper = cfg.hyper;
+                s.spawn(move || {
+                    for &e in my {
+                        sm.sgd_step_atomic(e, gamma, hyper.lambda_p, hyper.lambda_q);
+                    }
+                });
+            }
+        });
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::hyper::HyperParams;
+    use mf_sparse::Rating;
+
+    fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
+        let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
+        let mut entries = Vec::new();
+        for u in 0..m {
+            for v in 0..n {
+                if rng.random::<f32>() < 0.5 {
+                    let r = 1.0
+                        + 2.0
+                            * (a[u as usize][0] * b[v as usize][0]
+                                + a[u as usize][1] * b[v as usize][1]);
+                    entries.push(Rating::new(u, v, r));
+                }
+            }
+        }
+        SparseMatrix::new(m, n, entries).unwrap()
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            hyper: HyperParams {
+                k: 8,
+                lambda_p: 0.01,
+                lambda_q: 0.01,
+                gamma: 0.05,
+                schedule: crate::LearningRate::Fixed,
+            },
+            iterations: 40,
+            seed: 2,
+            reshuffle: true,
+        }
+    }
+
+    #[test]
+    fn single_thread_converges() {
+        let data = low_rank_data(30, 30, 5);
+        let model = train(&data, &cfg(), 1);
+        assert!(eval::rmse(&model, &data) < 0.2);
+    }
+
+    #[test]
+    fn four_threads_converge() {
+        let data = low_rank_data(60, 60, 6);
+        let model = train(&data, &cfg(), 4);
+        let rmse = eval::rmse(&model, &data);
+        assert!(rmse < 0.25, "hogwild rmse too high: {rmse}");
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        let data = SparseMatrix::empty(4, 4);
+        let model = train(&data, &cfg(), 4);
+        assert_eq!(model, Model::init(4, 4, cfg().hyper.k, cfg().seed));
+    }
+}

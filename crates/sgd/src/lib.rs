@@ -1,0 +1,34 @@
+//! # mf-sgd — stochastic-gradient matrix factorization substrate
+//!
+//! Everything needed to *train* a factorization `R ≈ P·Q` (paper Sec. II):
+//!
+//! * [`Model`] — the dense factor matrices `P (m×k)` and `Qᵀ (n×k)`, stored
+//!   row-major so one rating update touches two contiguous `k`-vectors.
+//! * [`kernel`] — the inner SGD update (Eq. 4–6), written so LLVM can
+//!   vectorize it; this exact routine runs on CPU workers, inside the
+//!   FPSGD thread pool, and inside the simulated GPU's SIMT lanes.
+//! * [`HyperParams`] / [`LearningRate`] — `k`, `λ_P`, `λ_Q`, `γ` and the
+//!   learning-rate schedules of Chin et al. (PAKDD'15), the paper's \[43\].
+//! * [`eval`] — RMSE / MAE / regularized loss (Eq. 2).
+//! * Trainers:
+//!   [`sequential::train`] (Algorithm 1),
+//!   [`hogwild::train`] (lock-free multicore, Recht et al.),
+//!   [`fpsgd::train`] (the block-grid shared-memory scheduler of Zhuang et
+//!   al. — the paper's **CPU-Only** baseline, on real threads),
+//!   [`als::train`] and [`ccd::train`] (the non-SGD baselines of
+//!   Sec. III-C).
+
+pub mod als;
+pub mod ccd;
+pub mod eval;
+pub mod fpsgd;
+pub mod hogwild;
+pub mod hyper;
+pub mod io;
+pub mod kernel;
+pub mod model;
+pub mod sequential;
+pub mod shared;
+
+pub use hyper::{HyperParams, LearningRate};
+pub use model::Model;

@@ -1,0 +1,219 @@
+//! Shared-memory access to a [`Model`] from multiple worker threads.
+//!
+//! Two concurrency regimes exist in this workspace, and each gets its own
+//! access path:
+//!
+//! * **Disjoint regions** (FPSGD, HSGD, HSGD\*): the block scheduler
+//!   guarantees that concurrently processed blocks share no row band and no
+//!   column band, so the factor rows they touch are disjoint.
+//!   [`SharedModel::sgd_block_exclusive`] uses plain raw-pointer access at
+//!   full (vectorizable) speed; the scheduler invariant is the safety
+//!   contract.
+//! * **Racy access** (Hogwild): threads intentionally race on factor rows.
+//!   [`SharedModel::sgd_step_atomic`] performs every load/store as a
+//!   relaxed atomic, which keeps the program sound (no UB) while preserving
+//!   Hogwild's lock-free semantics.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mf_sparse::Rating;
+
+use crate::kernel;
+use crate::model::Model;
+
+/// Maximum latent dimension supported by the atomic (Hogwild) path, which
+/// stages factor rows in fixed stack buffers to avoid per-step allocation.
+pub const MAX_ATOMIC_K: usize = 512;
+
+/// A raw view over a model's factor buffers, shareable across threads.
+///
+/// Construction borrows the model mutably for the lifetime `'a`, so no
+/// safe alias can exist while workers run.
+pub struct SharedModel<'a> {
+    p: *mut f32,
+    q: *mut f32,
+    k: usize,
+    m: u32,
+    n: u32,
+    _marker: std::marker::PhantomData<&'a mut Model>,
+}
+
+// SAFETY: the raw pointers refer to buffers owned by the exclusively
+// borrowed Model; all concurrent access goes through the two disciplines
+// documented on the struct.
+unsafe impl Send for SharedModel<'_> {}
+unsafe impl Sync for SharedModel<'_> {}
+
+impl<'a> SharedModel<'a> {
+    /// Creates the shared view.
+    pub fn new(model: &'a mut Model) -> SharedModel<'a> {
+        let (p, q, k, m, n) = model.raw_parts_mut();
+        assert!(
+            k <= MAX_ATOMIC_K,
+            "latent dimension {k} exceeds MAX_ATOMIC_K ({MAX_ATOMIC_K})"
+        );
+        SharedModel {
+            p,
+            q,
+            k,
+            m,
+            n,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Latent dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Runs the SGD kernel over a whole block at full speed.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that, for the duration of this call, no
+    /// other thread accesses the factor rows of any user or item appearing
+    /// in `block`. The FPSGD/HSGD schedulers provide exactly this guarantee
+    /// by never co-scheduling blocks that share a row band or column band.
+    pub unsafe fn sgd_block_exclusive(
+        &self,
+        block: &[Rating],
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f64 {
+        let mut sq_err = 0f64;
+        for e in block {
+            debug_assert!(e.u < self.m && e.v < self.n);
+            // SAFETY: rows are in bounds (matrix invariant) and exclusively
+            // ours (caller contract).
+            let pu = unsafe {
+                std::slice::from_raw_parts_mut(self.p.add(e.u as usize * self.k), self.k)
+            };
+            let qv = unsafe {
+                std::slice::from_raw_parts_mut(self.q.add(e.v as usize * self.k), self.k)
+            };
+            let err = kernel::sgd_step(pu, qv, e.r, gamma, lambda_p, lambda_q);
+            sq_err += (err as f64) * (err as f64);
+        }
+        sq_err
+    }
+
+    /// One SGD step with every factor load/store performed as a relaxed
+    /// atomic. Safe to call concurrently from any number of threads — this
+    /// is the Hogwild access path. Returns the pre-update error.
+    pub fn sgd_step_atomic(&self, e: Rating, gamma: f32, lambda_p: f32, lambda_q: f32) -> f32 {
+        debug_assert!(e.u < self.m && e.v < self.n);
+        let k = self.k;
+        // Stage the rows in stack buffers via relaxed atomic loads.
+        let mut pu = [0f32; MAX_ATOMIC_K];
+        let mut qv = [0f32; MAX_ATOMIC_K];
+        let p_base = self.p as *const AtomicU32;
+        let q_base = self.q as *const AtomicU32;
+        // SAFETY: AtomicU32 has the same size/alignment as f32; indices are
+        // in bounds; buffers outlive the view.
+        unsafe {
+            for i in 0..k {
+                pu[i] = f32::from_bits(
+                    (*p_base.add(e.u as usize * k + i)).load(Ordering::Relaxed),
+                );
+                qv[i] = f32::from_bits(
+                    (*q_base.add(e.v as usize * k + i)).load(Ordering::Relaxed),
+                );
+            }
+        }
+        let err = kernel::sgd_step(&mut pu[..k], &mut qv[..k], e.r, gamma, lambda_p, lambda_q);
+        unsafe {
+            for i in 0..k {
+                (*p_base.add(e.u as usize * k + i))
+                    .store(pu[i].to_bits(), Ordering::Relaxed);
+                (*q_base.add(e.v as usize * k + i))
+                    .store(qv[i].to_bits(), Ordering::Relaxed);
+            }
+        }
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_block_matches_direct_kernel() {
+        let k = 4;
+        let mut a = Model::init(4, 4, k, 3);
+        let mut b = a.clone();
+        let block = vec![
+            Rating::new(0, 1, 3.0),
+            Rating::new(2, 3, 4.0),
+            Rating::new(0, 1, 2.0),
+        ];
+        // Direct path.
+        let mut direct_sq = 0.0;
+        for e in &block {
+            let (p, q) = a.pq_rows_mut(e.u, e.v);
+            let err = kernel::sgd_step(p, q, e.r, 0.01, 0.05, 0.05);
+            direct_sq += (err as f64) * (err as f64);
+        }
+        // Shared path.
+        let shared = SharedModel::new(&mut b);
+        let shared_sq = unsafe { shared.sgd_block_exclusive(&block, 0.01, 0.05, 0.05) };
+        drop(shared);
+        assert_eq!(a, b);
+        assert_eq!(direct_sq, shared_sq);
+    }
+
+    #[test]
+    fn atomic_step_matches_direct_kernel() {
+        let k = 8;
+        let mut a = Model::init(3, 3, k, 9);
+        let mut b = a.clone();
+        let e = Rating::new(1, 2, 4.5);
+        let (p, q) = a.pq_rows_mut(e.u, e.v);
+        let err_direct = kernel::sgd_step(p, q, e.r, 0.02, 0.1, 0.1);
+        let shared = SharedModel::new(&mut b);
+        let err_atomic = shared.sgd_step_atomic(e, 0.02, 0.1, 0.1);
+        drop(shared);
+        assert_eq!(err_direct, err_atomic);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_disjoint_blocks_from_threads() {
+        // Two threads update blocks with disjoint rows & columns; the result
+        // must equal sequential application (in any order).
+        let k = 4;
+        let mut par = Model::init(8, 8, k, 5);
+        let mut seq = par.clone();
+        let block_a: Vec<Rating> = (0..4).map(|i| Rating::new(i, i, 2.0)).collect();
+        let block_b: Vec<Rating> = (4..8).map(|i| Rating::new(i, i, 3.0)).collect();
+
+        let shared = SharedModel::new(&mut par);
+        std::thread::scope(|s| {
+            let sa = &shared;
+            let ba = &block_a;
+            let bb = &block_b;
+            s.spawn(move || unsafe {
+                sa.sgd_block_exclusive(ba, 0.01, 0.0, 0.0);
+            });
+            s.spawn(move || unsafe {
+                sa.sgd_block_exclusive(bb, 0.01, 0.0, 0.0);
+            });
+        });
+        drop(shared);
+
+        for e in block_a.iter().chain(&block_b) {
+            let (p, q) = seq.pq_rows_mut(e.u, e.v);
+            kernel::sgd_step(p, q, e.r, 0.01, 0.0, 0.0);
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_ATOMIC_K")]
+    fn oversized_k_rejected() {
+        let mut m = Model::constant(1, 1, MAX_ATOMIC_K + 1, 0.0);
+        let _ = SharedModel::new(&mut m);
+    }
+}

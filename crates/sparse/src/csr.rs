@@ -1,0 +1,195 @@
+//! Compressed row/column views over a [`SparseMatrix`].
+//!
+//! SGD itself only needs the COO stream, but the ALS and CCD++ reference
+//! solvers (related-work baselines, paper Sec. III-C) need per-row and
+//! per-column access, as do the dataset statistics used by the experiment
+//! harness. These views index into the original matrix without copying the
+//! rating values.
+
+use crate::matrix::{Rating, SparseMatrix};
+
+/// Compressed sparse-row view: for each row, the entries in that row.
+#[derive(Debug, Clone)]
+pub struct CsrView {
+    /// `row_ptr[u]..row_ptr[u+1]` indexes `cols`/`vals` for row `u`.
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl CsrView {
+    /// Builds the view in `O(nnz + m)` with a counting sort by row.
+    pub fn build(m: &SparseMatrix) -> CsrView {
+        let nrows = m.nrows() as usize;
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for e in m.entries() {
+            row_ptr[e.u as usize + 1] += 1;
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut cols = vec![0u32; m.nnz()];
+        let mut vals = vec![0f32; m.nnz()];
+        for e in m.entries() {
+            let at = cursor[e.u as usize];
+            cols[at] = e.v;
+            vals[at] = e.r;
+            cursor[e.u as usize] += 1;
+        }
+        CsrView { row_ptr, cols, vals }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The `(column, value)` pairs of row `u`.
+    pub fn row(&self, u: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.row_ptr[u as usize];
+        let hi = self.row_ptr[u as usize + 1];
+        self.cols[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Number of entries in row `u`.
+    pub fn row_len(&self, u: u32) -> usize {
+        self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]
+    }
+}
+
+/// Compressed sparse-column view: for each column, the entries in it.
+#[derive(Debug, Clone)]
+pub struct CscView {
+    col_ptr: Vec<usize>,
+    rows: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl CscView {
+    /// Builds the view in `O(nnz + n)` with a counting sort by column.
+    pub fn build(m: &SparseMatrix) -> CscView {
+        let ncols = m.ncols() as usize;
+        let mut col_ptr = vec![0usize; ncols + 1];
+        for e in m.entries() {
+            col_ptr[e.v as usize + 1] += 1;
+        }
+        for i in 0..ncols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut rows = vec![0u32; m.nnz()];
+        let mut vals = vec![0f32; m.nnz()];
+        for e in m.entries() {
+            let at = cursor[e.v as usize];
+            rows[at] = e.u;
+            vals[at] = e.r;
+            cursor[e.v as usize] += 1;
+        }
+        CscView { col_ptr, rows, vals }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The `(row, value)` pairs of column `v`.
+    pub fn col(&self, v: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.col_ptr[v as usize];
+        let hi = self.col_ptr[v as usize + 1];
+        self.rows[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Number of entries in column `v`.
+    pub fn col_len(&self, v: u32) -> usize {
+        self.col_ptr[v as usize + 1] - self.col_ptr[v as usize]
+    }
+}
+
+/// Reconstructs the COO triples from a CSR view, in row-major order.
+/// Primarily used by tests to check the round trip.
+pub fn csr_to_triples(csr: &CsrView) -> Vec<Rating> {
+    let mut out = Vec::with_capacity(csr.nnz());
+    for u in 0..csr.nrows() as u32 {
+        for (v, r) in csr.row(u) {
+            out.push(Rating::new(u, v, r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_triples(vec![
+            (2, 0, 1.0),
+            (0, 1, 2.0),
+            (0, 0, 3.0),
+            (1, 2, 4.0),
+            (2, 2, 5.0),
+        ])
+    }
+
+    #[test]
+    fn csr_groups_by_row() {
+        let csr = CsrView::build(&sample());
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.nnz(), 5);
+        let row0: Vec<_> = csr.row(0).collect();
+        assert_eq!(row0, vec![(1, 2.0), (0, 3.0)]); // storage order preserved
+        assert_eq!(csr.row_len(1), 1);
+        assert_eq!(csr.row_len(2), 2);
+    }
+
+    #[test]
+    fn csc_groups_by_col() {
+        let csc = CscView::build(&sample());
+        assert_eq!(csc.ncols(), 3);
+        assert_eq!(csc.nnz(), 5);
+        let col2: Vec<_> = csc.col(2).collect();
+        assert_eq!(col2, vec![(1, 4.0), (2, 5.0)]);
+        assert_eq!(csc.col_len(0), 2);
+        assert_eq!(csc.col_len(1), 1);
+    }
+
+    #[test]
+    fn empty_rows_and_cols() {
+        let m = SparseMatrix::new(3, 3, vec![Rating::new(0, 0, 1.0)]).unwrap();
+        let csr = CsrView::build(&m);
+        assert_eq!(csr.row_len(1), 0);
+        assert_eq!(csr.row(2).count(), 0);
+        let csc = CscView::build(&m);
+        assert_eq!(csc.col_len(2), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_multiset() {
+        let m = sample();
+        let csr = CsrView::build(&m);
+        let mut got = csr_to_triples(&csr);
+        let mut want = m.entries().to_vec();
+        let key = |r: &Rating| (r.u, r.v, r.r.to_bits());
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,553 @@
+//! Matrix blocking (the grid partition).
+//!
+//! Every parallel SGD algorithm in the paper's lineage — DSGD, FPSGD, HSGD,
+//! HSGD\* — divides the rating matrix into a grid of blocks and schedules
+//! *independent* blocks (sharing no row band and no column band) onto
+//! workers. This module owns that division:
+//!
+//! * [`GridSpec`] describes the cut points. Cuts may be **nonuniform** —
+//!   that is the paper's core idea (Sec. VI): the GPU's share of rows is cut
+//!   into a few tall bands while the CPU's share is cut finely.
+//! * [`GridPartition`] buckets a matrix's entries by block so that each
+//!   block's ratings are one contiguous slice, cheap to hand to a worker or
+//!   to "transfer" to the simulated GPU.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::matrix::{Rating, SparseMatrix};
+
+/// Identifies one block of the grid: row band `row`, column band `col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Row-band index, `0 <= row < nrow_blocks`.
+    pub row: u32,
+    /// Column-band index, `0 <= col < ncol_blocks`.
+    pub col: u32,
+}
+
+impl BlockId {
+    /// Convenience constructor.
+    pub fn new(row: u32, col: u32) -> BlockId {
+        BlockId { row, col }
+    }
+
+    /// Two blocks conflict when they share a row band or a column band
+    /// (they would update the same region of P or Q — paper Sec. III-A).
+    pub fn conflicts_with(self, other: BlockId) -> bool {
+        self.row == other.row || self.col == other.col
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{},{}", self.row, self.col)
+    }
+}
+
+/// Errors from validating grid cut points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The first cut must be 0.
+    FirstCutNotZero,
+    /// The last cut must equal the matrix dimension.
+    LastCutMismatch { last: u32, dim: u32 },
+    /// Cuts must be non-decreasing.
+    NotMonotone { at: usize },
+    /// A grid needs at least one row band and one column band.
+    Empty,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::FirstCutNotZero => write!(f, "first cut must be 0"),
+            GridError::LastCutMismatch { last, dim } => {
+                write!(f, "last cut {last} must equal dimension {dim}")
+            }
+            GridError::NotMonotone { at } => write!(f, "cuts decrease at index {at}"),
+            GridError::Empty => write!(f, "grid must have at least one band per axis"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// The cut points of a grid over an `m × n` matrix.
+///
+/// `row_cuts` has `nrow_blocks + 1` non-decreasing values starting at 0 and
+/// ending at `m`; row band `i` covers rows `row_cuts[i]..row_cuts[i+1]`.
+/// Empty bands (repeated cuts) are allowed — they arise when a tiny matrix
+/// is divided into more bands than it has rows, and the scheduler handles
+/// them as zero-work blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSpec {
+    row_cuts: Vec<u32>,
+    col_cuts: Vec<u32>,
+}
+
+impl GridSpec {
+    /// Builds a spec from explicit cut vectors.
+    pub fn from_cuts(row_cuts: Vec<u32>, col_cuts: Vec<u32>) -> Result<GridSpec, GridError> {
+        Self::validate(&row_cuts)?;
+        Self::validate(&col_cuts)?;
+        Ok(GridSpec { row_cuts, col_cuts })
+    }
+
+    fn validate(cuts: &[u32]) -> Result<(), GridError> {
+        if cuts.len() < 2 {
+            return Err(GridError::Empty);
+        }
+        if cuts[0] != 0 {
+            return Err(GridError::FirstCutNotZero);
+        }
+        for (i, w) in cuts.windows(2).enumerate() {
+            if w[1] < w[0] {
+                return Err(GridError::NotMonotone { at: i + 1 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Uniform division into `row_blocks × col_blocks` (FPSGD-style).
+    /// Bands differ in size by at most one row/column.
+    pub fn uniform(nrows: u32, ncols: u32, row_blocks: u32, col_blocks: u32) -> GridSpec {
+        GridSpec {
+            row_cuts: uniform_cuts(nrows, row_blocks),
+            col_cuts: uniform_cuts(ncols, col_blocks),
+        }
+    }
+
+    /// Number of row bands.
+    pub fn nrow_blocks(&self) -> u32 {
+        (self.row_cuts.len() - 1) as u32
+    }
+
+    /// Number of column bands.
+    pub fn ncol_blocks(&self) -> u32 {
+        (self.col_cuts.len() - 1) as u32
+    }
+
+    /// Total number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.nrow_blocks() as usize * self.ncol_blocks() as usize
+    }
+
+    /// Rows covered by row band `i`.
+    pub fn row_range(&self, i: u32) -> Range<u32> {
+        self.row_cuts[i as usize]..self.row_cuts[i as usize + 1]
+    }
+
+    /// Columns covered by column band `j`.
+    pub fn col_range(&self, j: u32) -> Range<u32> {
+        self.col_cuts[j as usize]..self.col_cuts[j as usize + 1]
+    }
+
+    /// The row band containing row `u`.
+    ///
+    /// With repeated cuts (empty bands) the non-empty band containing `u`
+    /// is returned.
+    pub fn row_block_of(&self, u: u32) -> u32 {
+        band_of(&self.row_cuts, u)
+    }
+
+    /// The column band containing column `v`.
+    pub fn col_block_of(&self, v: u32) -> u32 {
+        band_of(&self.col_cuts, v)
+    }
+
+    /// The block containing entry `(u, v)`.
+    pub fn block_of(&self, u: u32, v: u32) -> BlockId {
+        BlockId::new(self.row_block_of(u), self.col_block_of(v))
+    }
+
+    /// Row cut points (length `nrow_blocks + 1`).
+    pub fn row_cuts(&self) -> &[u32] {
+        &self.row_cuts
+    }
+
+    /// Column cut points (length `ncol_blocks + 1`).
+    pub fn col_cuts(&self) -> &[u32] {
+        &self.col_cuts
+    }
+
+    /// Flat row-major index of a block.
+    #[inline]
+    pub fn flat_index(&self, id: BlockId) -> usize {
+        id.row as usize * self.ncol_blocks() as usize + id.col as usize
+    }
+
+    /// Inverse of [`GridSpec::flat_index`].
+    #[inline]
+    pub fn from_flat(&self, idx: usize) -> BlockId {
+        let ncols = self.ncol_blocks() as usize;
+        BlockId::new((idx / ncols) as u32, (idx % ncols) as u32)
+    }
+
+    /// Iterates over all block ids, row-major.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let ncols = self.ncol_blocks();
+        (0..self.nrow_blocks())
+            .flat_map(move |r| (0..ncols).map(move |c| BlockId::new(r, c)))
+    }
+}
+
+/// `blocks + 1` cut points distributing `dim` as evenly as possible.
+fn uniform_cuts(dim: u32, blocks: u32) -> Vec<u32> {
+    assert!(blocks > 0, "need at least one band");
+    (0..=blocks as u64)
+        .map(|i| (i * dim as u64 / blocks as u64) as u32)
+        .collect()
+}
+
+/// Cut points dividing `weights` (per-row or per-column entry counts) into
+/// `bands` groups of approximately **equal total weight** — the
+/// equal-frequency division that keeps block workloads balanced when
+/// popularity is skewed. Uniform index ranges leave the band holding the
+/// most popular rows/columns several times heavier than the rest, which
+/// serializes schedulers on that band; equal-weight cuts are the robust
+/// realization of the balance the paper's preprocessing shuffle aims for.
+///
+/// Cut `i` is placed at the first index where the running weight reaches
+/// `i/bands` of the total. Zero-weight dimensions fall back to uniform
+/// index cuts.
+pub fn balanced_cuts(weights: &[u32], bands: u32) -> Vec<u32> {
+    assert!(bands > 0, "need at least one band");
+    let dim = weights.len() as u32;
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    if total == 0 || dim < bands {
+        return uniform_cuts(dim, bands);
+    }
+    let mut cuts = Vec::with_capacity(bands as usize + 1);
+    cuts.push(0u32);
+    let mut acc = 0u64;
+    let mut idx = 0u32;
+    for band in 1..bands {
+        let want = band as u64 * total / bands as u64;
+        while acc < want && idx < dim {
+            acc += weights[idx as usize] as u64;
+            idx += 1;
+        }
+        // Strictness: every band must hold at least one index — an empty
+        // band produces zero-cost blocks that a least-count scheduler can
+        // spin on — and must leave enough indices for the bands after it.
+        let lo = cuts[band as usize - 1] + 1;
+        let hi = dim - (bands - band);
+        let clamped = idx.clamp(lo, hi);
+        if clamped != idx {
+            // Re-sync the running weight with the forced cut position.
+            while idx < clamped {
+                acc += weights[idx as usize] as u64;
+                idx += 1;
+            }
+            while idx > clamped {
+                idx -= 1;
+                acc -= weights[idx as usize] as u64;
+            }
+        }
+        cuts.push(idx);
+    }
+    cuts.push(dim);
+    cuts
+}
+
+/// Index of the band containing `x`: the last band whose start is <= x and
+/// whose end is > x. `partition_point` finds the first cut strictly greater
+/// than `x`; the band is the one before it.
+fn band_of(cuts: &[u32], x: u32) -> u32 {
+    debug_assert!(x < *cuts.last().unwrap(), "index {x} outside grid");
+    let idx = cuts.partition_point(|&c| c <= x);
+    (idx - 1) as u32
+}
+
+/// A [`SparseMatrix`] bucketed by a [`GridSpec`]: each block's entries form
+/// one contiguous slice.
+///
+/// Bucketing is **stable**: within a block, entries keep the relative order
+/// they had in the source matrix, so a pre-shuffled matrix yields shuffled
+/// per-block streams (what SGD wants).
+#[derive(Debug, Clone)]
+pub struct GridPartition {
+    spec: GridSpec,
+    /// All entries, grouped by block in row-major block order.
+    entries: Vec<Rating>,
+    /// `offsets[flat]..offsets[flat + 1]` is block `flat`'s slice.
+    offsets: Vec<usize>,
+    nrows: u32,
+    ncols: u32,
+}
+
+impl GridPartition {
+    /// Buckets `m`'s entries by `spec` in `O(nnz + blocks)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's final cuts disagree with `m`'s shape.
+    pub fn build(m: &SparseMatrix, spec: GridSpec) -> GridPartition {
+        assert_eq!(
+            *spec.row_cuts.last().unwrap(),
+            m.nrows(),
+            "row cuts must end at nrows"
+        );
+        assert_eq!(
+            *spec.col_cuts.last().unwrap(),
+            m.ncols(),
+            "col cuts must end at ncols"
+        );
+        let nblocks = spec.block_count();
+        let mut counts = vec![0usize; nblocks + 1];
+        // Pass 1: count entries per block.
+        let flat_of = |e: &Rating| spec.flat_index(spec.block_of(e.u, e.v));
+        for e in m.entries() {
+            counts[flat_of(e) + 1] += 1;
+        }
+        // Prefix-sum into offsets.
+        for i in 0..nblocks {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        // Pass 2: scatter (stable).
+        let mut cursor = offsets.clone();
+        let mut entries = vec![Rating::new(0, 0, 0.0); m.nnz()];
+        for e in m.entries() {
+            let b = flat_of(e);
+            entries[cursor[b]] = *e;
+            cursor[b] += 1;
+        }
+        GridPartition {
+            spec,
+            entries,
+            offsets,
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+        }
+    }
+
+    /// The grid geometry.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Matrix row count.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Matrix column count.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Total number of ratings across all blocks.
+    pub fn total_nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The ratings of one block, as a contiguous slice.
+    pub fn block(&self, id: BlockId) -> &[Rating] {
+        let flat = self.spec.flat_index(id);
+        &self.entries[self.offsets[flat]..self.offsets[flat + 1]]
+    }
+
+    /// Number of ratings in a block (the paper's "block size" in points).
+    pub fn block_len(&self, id: BlockId) -> usize {
+        let flat = self.spec.flat_index(id);
+        self.offsets[flat + 1] - self.offsets[flat]
+    }
+
+    /// Bytes transferred to ship this block's ratings over the (simulated)
+    /// PCIe bus.
+    pub fn block_wire_bytes(&self, id: BlockId) -> usize {
+        self.block_len(id) * Rating::WIRE_BYTES
+    }
+
+    /// Per-block sizes, row-major. Handy for load statistics.
+    pub fn block_sizes(&self) -> Vec<usize> {
+        (0..self.spec.block_count())
+            .map(|i| self.offsets[i + 1] - self.offsets[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_8x8() -> SparseMatrix {
+        // One entry at every (u, v) with u+v even, 32 entries total.
+        let mut triples = Vec::new();
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                if (u + v) % 2 == 0 {
+                    triples.push((u, v, (u + v) as f32));
+                }
+            }
+        }
+        SparseMatrix::from_triples(triples)
+    }
+
+    #[test]
+    fn uniform_cuts_cover_dimension() {
+        assert_eq!(uniform_cuts(8, 4), vec![0, 2, 4, 6, 8]);
+        assert_eq!(uniform_cuts(10, 3), vec![0, 3, 6, 10]);
+        assert_eq!(uniform_cuts(2, 4), vec![0, 0, 1, 1, 2]); // empty bands ok
+    }
+
+    #[test]
+    fn balanced_cuts_equalize_weight() {
+        // One heavy column among light ones: the heavy one gets its own
+        // band.
+        let weights = vec![1, 1, 90, 1, 1, 1, 1, 1, 1, 2];
+        let cuts = balanced_cuts(&weights, 2);
+        assert_eq!(cuts.first(), Some(&0));
+        assert_eq!(cuts.last(), Some(&10));
+        // The first band must stop right after the heavy column.
+        assert_eq!(cuts[1], 3);
+        // Band weights: 92 vs 8 — as balanced as a single heavy item
+        // allows.
+        let w0: u32 = weights[..cuts[1] as usize].iter().sum();
+        let w1: u32 = weights[cuts[1] as usize..].iter().sum();
+        assert_eq!((w0, w1), (92, 8));
+    }
+
+    #[test]
+    fn balanced_cuts_uniform_weights_give_uniform_bands() {
+        let weights = vec![5u32; 12];
+        let cuts = balanced_cuts(&weights, 4);
+        assert_eq!(cuts, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn balanced_cuts_zero_weight_falls_back() {
+        let cuts = balanced_cuts(&[0, 0, 0, 0], 2);
+        assert_eq!(cuts, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn balanced_cuts_never_produce_empty_bands() {
+        // A pathologically heavy head: bands after it must still each get
+        // at least one index.
+        let weights = vec![1000, 1, 1, 1, 1, 1, 1, 1];
+        let cuts = balanced_cuts(&weights, 4);
+        for w in cuts.windows(2) {
+            assert!(w[1] > w[0], "empty band in {cuts:?}");
+        }
+        // Fewer indices than bands: falls back to uniform (empty bands
+        // unavoidable).
+        let cuts = balanced_cuts(&[5, 5], 4);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!(*cuts.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn balanced_cuts_are_valid_grid_cuts() {
+        let weights = vec![3, 0, 7, 1, 1, 9, 2, 2];
+        for bands in 1..=8 {
+            let cuts = balanced_cuts(&weights, bands);
+            assert_eq!(cuts.len(), bands as usize + 1);
+            let spec = GridSpec::from_cuts(cuts, vec![0, 1]).unwrap();
+            assert_eq!(spec.nrow_blocks(), bands);
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(GridSpec::from_cuts(vec![0, 4, 8], vec![0, 8]).is_ok());
+        assert_eq!(
+            GridSpec::from_cuts(vec![1, 8], vec![0, 8]).unwrap_err(),
+            GridError::FirstCutNotZero
+        );
+        assert_eq!(
+            GridSpec::from_cuts(vec![0, 5, 3], vec![0, 8]).unwrap_err(),
+            GridError::NotMonotone { at: 2 }
+        );
+        assert_eq!(
+            GridSpec::from_cuts(vec![0], vec![0, 8]).unwrap_err(),
+            GridError::Empty
+        );
+    }
+
+    #[test]
+    fn band_lookup() {
+        let spec = GridSpec::from_cuts(vec![0, 2, 2, 6, 8], vec![0, 8]).unwrap();
+        assert_eq!(spec.row_block_of(0), 0);
+        assert_eq!(spec.row_block_of(1), 0);
+        // Row 2 falls in band 2 (band 1 is empty: 2..2).
+        assert_eq!(spec.row_block_of(2), 2);
+        assert_eq!(spec.row_block_of(5), 2);
+        assert_eq!(spec.row_block_of(7), 3);
+    }
+
+    #[test]
+    fn partition_covers_all_entries_exactly_once() {
+        let m = matrix_8x8();
+        let spec = GridSpec::uniform(8, 8, 4, 4);
+        let part = GridPartition::build(&m, spec);
+        assert_eq!(part.total_nnz(), m.nnz());
+        let mut seen = 0;
+        for id in part.spec().blocks() {
+            for e in part.block(id) {
+                // Every entry is inside its block's ranges.
+                let rr = part.spec().row_range(id.row);
+                let cr = part.spec().col_range(id.col);
+                assert!(rr.contains(&e.u), "{e:?} outside row range {rr:?}");
+                assert!(cr.contains(&e.v), "{e:?} outside col range {cr:?}");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, m.nnz());
+    }
+
+    #[test]
+    fn partition_is_stable_within_block() {
+        let m = SparseMatrix::from_triples(vec![
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (0, 0, 3.0), // duplicate coordinate, later in stream
+        ]);
+        let part = GridPartition::build(&m, GridSpec::uniform(1, 2, 1, 1));
+        let b = part.block(BlockId::new(0, 0));
+        assert_eq!(b[0].r, 1.0);
+        assert_eq!(b[1].r, 2.0);
+        assert_eq!(b[2].r, 3.0);
+    }
+
+    #[test]
+    fn nonuniform_partition() {
+        let m = matrix_8x8();
+        // GPU gets rows 0..6 in one tall band; CPU rows 6..8 in two bands.
+        let spec = GridSpec::from_cuts(vec![0, 6, 7, 8], vec![0, 4, 8]).unwrap();
+        let part = GridPartition::build(&m, spec);
+        let tall = part.block_len(BlockId::new(0, 0)) + part.block_len(BlockId::new(0, 1));
+        // 6 of 8 rows, half the entries each row → 24 of 32 entries.
+        assert_eq!(tall, 24);
+        assert_eq!(part.total_nnz(), 32);
+    }
+
+    #[test]
+    fn conflict_predicate() {
+        let a = BlockId::new(0, 0);
+        assert!(a.conflicts_with(BlockId::new(0, 5)));
+        assert!(a.conflicts_with(BlockId::new(5, 0)));
+        assert!(!a.conflicts_with(BlockId::new(1, 1)));
+        assert!(a.conflicts_with(a));
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let spec = GridSpec::uniform(10, 10, 3, 5);
+        for id in spec.blocks() {
+            assert_eq!(spec.from_flat(spec.flat_index(id)), id);
+        }
+    }
+
+    #[test]
+    fn wire_bytes() {
+        let m = matrix_8x8();
+        let part = GridPartition::build(&m, GridSpec::uniform(8, 8, 1, 1));
+        assert_eq!(
+            part.block_wire_bytes(BlockId::new(0, 0)),
+            32 * Rating::WIRE_BYTES
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # mf-sparse — sparse rating-matrix substrate
+//!
+//! Storage and partitioning for the user-item rating matrices that all
+//! matrix-factorization algorithms in this workspace consume:
+//!
+//! * [`Rating`] / [`SparseMatrix`] — coordinate (COO) storage of the rating
+//!   triples `(u, v, r)` with shape metadata, exactly the "triadic tuple"
+//!   representation used by the paper's Algorithm 1.
+//! * [`CsrView`] / [`CscView`] — compressed row/column index structures built
+//!   on demand (used by the ALS / CCD++ reference solvers and by analytics).
+//! * [`grid`] — the **matrix blocking** machinery at the heart of FPSGD,
+//!   HSGD, and HSGD\*: cut a matrix into a grid of blocks along arbitrary
+//!   (possibly nonuniform) row/column boundaries, and access each block's
+//!   entries as a contiguous slice.
+//! * [`shuffle`] — deterministic entry shuffling and row/column permutation
+//!   (the paper shuffles the input so the training samples are not skewed by
+//!   input order, Sec. V-A).
+//! * [`io`] — text (one `u v r` triple per line) and compact binary formats.
+//!
+//! All RNG flows through caller-provided seeds; there is no hidden global
+//! randomness anywhere in this workspace.
+
+pub mod csr;
+pub mod grid;
+pub mod io;
+pub mod matrix;
+pub mod shuffle;
+
+pub use csr::{CscView, CsrView};
+pub use grid::{balanced_cuts, BlockId, GridPartition, GridSpec};
+pub use matrix::{Rating, SparseMatrix};

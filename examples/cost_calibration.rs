@@ -1,0 +1,71 @@
+//! The offline phase in isolation: probe the devices, fit both cost
+//! models, and show where Qilin's straight line breaks (the paper's
+//! Sec. V argument in numbers).
+//!
+//! Run with: `cargo run --example cost_calibration`
+
+use hsgd_star::cost::models::CostModel;
+use hsgd_star::cost::{balance_alpha, LinearCost};
+use hsgd_star::gpu::{GpuDevice, GpuSpec};
+use hsgd_star::hetero::{calibration, CpuSpec};
+
+fn main() {
+    let cpu = CpuSpec::default();
+    let gpu = GpuDevice::new(GpuSpec::quadro_p4000());
+    let nnz = 100_000_000u64; // Netflix-scale workload
+
+    let models = calibration::calibrate(&cpu, &gpu, nnz, 12.0, 7);
+
+    println!("== fitted models ==");
+    println!(
+        "CPU:   t = {:.3e}·points + {:.3e}",
+        models.cpu.a, models.cpu.b
+    );
+    println!(
+        "Qilin: t = {:.3e}·points + {:.3e}",
+        models.qilin_gpu.a, models.qilin_gpu.b
+    );
+    println!(
+        "ours:  max(transfer, kernel), kernel tau = {:.2e} pts, transfer tau = {:.2e} B",
+        models.gpu.kernel.tau, models.gpu.transfer.tau
+    );
+
+    println!("\n== prediction vs device truth across block sizes ==");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "points", "truth (ms)", "ours (ms)", "qilin (ms)"
+    );
+    for exp in [4.0f64, 4.5, 5.0, 5.5, 6.0, 6.5, 7.0] {
+        let pts = 10f64.powf(exp);
+        let truth = gpu.kernel_model().time_for(pts as u64).as_secs();
+        println!(
+            "{:>12.0} {:>12.3} {:>12.3} {:>12.3}",
+            pts,
+            truth * 1e3,
+            models.gpu.kernel.time_secs(pts) * 1e3,
+            models.qilin_gpu.time_secs(pts) * 1e3
+        );
+    }
+
+    println!("\n== α split (Eq. 8) for 16 threads + 1 GPU ==");
+    for kind in [
+        hsgd_star::hetero::CostModelKind::Tailored,
+        hsgd_star::hetero::CostModelKind::Qilin,
+    ] {
+        let alpha = calibration::plan_alpha(&models, kind, nnz, 16, 1);
+        println!("  {kind:?}: α = {alpha:.3}");
+    }
+
+    println!("\n== the balance function in action (toy devices) ==");
+    // Two linear devices; the solver finds the crossing analytically
+    // derivable as α = 2/3.
+    let gpu_toy = LinearCost::new(1.0, 0.0);
+    let cpu_toy = LinearCost::new(2.0, 0.0);
+    let alpha = balance_alpha(
+        |a| gpu_toy.time_secs(a),
+        |x| cpu_toy.time_secs(x),
+        1.0,
+        1.0,
+    );
+    println!("  t_gpu = 1·w, t_cpu = 2·w  →  α = {alpha:.4} (expect 0.6667)");
+}

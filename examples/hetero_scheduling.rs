@@ -1,0 +1,105 @@
+//! Anatomy of a heterogeneous run: cost calibration, the α split, the
+//! nonuniform grid, and a comparison of all six algorithm variants.
+//!
+//! This example walks through the paper's pipeline step by step, printing
+//! what each stage decides — the closest thing to watching Algorithm 2
+//! execute.
+//!
+//! Run with: `cargo run --release --example hetero_scheduling`
+
+use hsgd_star::cost::models::CostModel;
+use hsgd_star::data::{preset, PresetName};
+use hsgd_star::hetero::layout::StarLayout;
+use hsgd_star::hetero::{calibration, experiments, Algorithm, CpuSpec, HeteroConfig};
+use hsgd_star::sgd::{HyperParams, LearningRate};
+
+fn main() {
+    const SCALE: u64 = 200;
+    let p = preset(PresetName::YahooMusic, SCALE, 1);
+    let ds = p.build();
+    let cfg = HeteroConfig {
+        hyper: HyperParams {
+            k: 16,
+            lambda_p: p.lambda_p,
+            lambda_q: p.lambda_q,
+            gamma: p.gamma,
+            schedule: LearningRate::Fixed,
+        },
+        nc: 16,
+        ng: 1,
+        gpu: hsgd_star::gpu::GpuSpec::quadro_p4000().scaled_down(SCALE as f64),
+        cpu: CpuSpec::default().scaled_down(SCALE as f64),
+        iterations: 10,
+        seed: 1,
+        dynamic_scheduling: true,
+        cost_model: hsgd_star::hetero::CostModelKind::Tailored,
+        probe_interval_secs: None,
+        target_rmse: None,
+    };
+
+    println!("== offline phase: cost-model calibration (Algorithm 3) ==");
+    let models = experiments::calibrate_for(&cfg, &ds.train);
+    println!(
+        "CPU model:  t(points) = {:.3e}·points + {:.3e}  (≈ {:.1} M updates/s/thread)",
+        models.cpu.a,
+        models.cpu.b,
+        1.0 / models.cpu.a / 1e6
+    );
+    println!(
+        "GPU model:  max(transfer, kernel); kernel tau = {:.0} points",
+        models.gpu.kernel.tau
+    );
+    for pts in [10e3, 100e3, 1e6] {
+        println!(
+            "  f_g({:>9.0} pts) = {:>9.3} ms   (Qilin line: {:>9.3} ms)",
+            pts,
+            models.gpu.time_for_points(pts) * 1e3,
+            models.qilin_gpu.time_secs(pts) * 1e3
+        );
+    }
+
+    println!("\n== online phase: workload split and grid (Sec. VI, Fig. 9) ==");
+    let alpha = calibration::plan_alpha(
+        &models,
+        hsgd_star::hetero::CostModelKind::Tailored,
+        ds.train.nnz() as u64,
+        cfg.nc,
+        cfg.ng,
+    );
+    println!("α (GPU share by Eq. 8) = {alpha:.3}");
+    let layout = StarLayout::build(&ds.train, cfg.nc as u32, cfg.ng as u32, alpha);
+    println!(
+        "grid: {} columns × ({} CPU rows + {} GPUs × {} sub-rows); row split at matrix row {}",
+        layout.cols(),
+        layout.cpu_bands,
+        layout.ng,
+        layout.sub_rows_per_gpu,
+        layout.row_split
+    );
+
+    println!("\n== all six algorithm variants ({} iterations) ==", cfg.iterations);
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "algorithm", "time", "rmse", "gpu share", "steals", "cv"
+    );
+    for alg in [
+        Algorithm::CpuOnly,
+        Algorithm::GpuOnly,
+        Algorithm::Hsgd,
+        Algorithm::HsgdStarQ,
+        Algorithm::HsgdStarM,
+        Algorithm::HsgdStar,
+    ] {
+        let out = experiments::run(alg, &ds.train, &ds.test, &cfg);
+        let r = &out.report;
+        println!(
+            "{:>10} {:>10.3}ms {:>10.3} {:>10.2} {:>8} {:>8.3}",
+            r.algorithm,
+            r.virtual_secs * 1e3,
+            r.final_test_rmse,
+            r.gpu_share(),
+            r.steals,
+            r.imbalance().cv
+        );
+    }
+}

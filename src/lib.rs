@@ -1,0 +1,63 @@
+//! # hsgd-star — heterogeneous CPU-GPU matrix factorization
+//!
+//! A production-quality Rust reproduction of **Yu et al., "Efficient
+//! Matrix Factorization on Heterogeneous CPU-GPU Systems" (ICDE 2021)**:
+//! SGD-based matrix factorization that divides the rating matrix
+//! *nonuniformly* between CPU threads and GPUs, sizes the split with a
+//! tailored cost model, and rebalances at runtime with dynamic work
+//! stealing.
+//!
+//! This facade crate re-exports the workspace's public API. Start from:
+//!
+//! * [`hetero::experiments::run`] — run any of the paper's six algorithm
+//!   variants on a train/test pair and get a trained model plus a full
+//!   run report.
+//! * [`data::preset`] — the Table I benchmark datasets (synthetic
+//!   stand-ins at configurable scale).
+//! * [`sgd`] — the single-resource trainers (sequential, Hogwild, FPSGD
+//!   on real threads, ALS, CCD++).
+//! * [`gpu`] — the virtual GPU device used in place of CUDA hardware.
+//!
+//! ```
+//! use hsgd_star::data::{preset, PresetName};
+//! use hsgd_star::hetero::{experiments, Algorithm, HeteroConfig};
+//! use hsgd_star::sgd::HyperParams;
+//!
+//! // A tiny MovieLens-shaped dataset and the paper's default rig,
+//! // with device constants scaled to match the reduced size.
+//! let ds = preset(PresetName::MovieLens, 2000, 7).build();
+//! let mut cfg = HeteroConfig::paper_default(HyperParams::movielens(8));
+//! cfg.nc = 4;
+//! cfg.gpu = cfg.gpu.scaled_down(2000.0);
+//! cfg.iterations = 3;
+//!
+//! let out = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg);
+//! assert!(out.report.final_test_rmse.is_finite());
+//! println!(
+//!     "trained in {:.3} virtual ms, test RMSE {:.3}",
+//!     out.report.virtual_secs * 1e3,
+//!     out.report.final_test_rmse
+//! );
+//! ```
+
+/// The paper's contribution: layouts, schedulers, cost-model calibration,
+/// the virtual-time trainer, and the six algorithm variants.
+pub use hsgd_core as hetero;
+
+/// Synthetic benchmark datasets (Table I stand-ins).
+pub use mf_data as data;
+
+/// Cost models: OLS fitting, piecewise ramps, Qilin baseline, α solver.
+pub use mf_cost as cost;
+
+/// Deterministic discrete-event simulation core.
+pub use mf_des as des;
+
+/// SGD substrate: model, kernels, trainers, metrics, ALS/CCD++.
+pub use mf_sgd as sgd;
+
+/// Sparse rating-matrix substrate: COO/CSR, grid partitioning, I/O.
+pub use mf_sparse as sparse;
+
+/// The virtual GPU device (SIMT kernel, PCIe model, stream pipeline).
+pub use gpu_sim as gpu;

@@ -1,0 +1,92 @@
+//! Reproducibility: the entire virtual-time pipeline is bit-deterministic
+//! in the seed, across every algorithm variant — the property that makes
+//! the experiment suite auditable.
+
+use hsgd_star::data::{generator, GeneratorConfig};
+use hsgd_star::hetero::{experiments, Algorithm, CpuSpec, HeteroConfig};
+use hsgd_star::sgd::{HyperParams, LearningRate};
+
+fn dataset(seed: u64) -> generator::Dataset {
+    generator::generate(&GeneratorConfig {
+        name: "det".into(),
+        num_users: 2_000,
+        num_items: 800,
+        num_train: 60_000,
+        num_test: 3_000,
+        planted_rank: 4,
+        noise_std: 0.4,
+        rating_min: 1.0,
+        rating_max: 5.0,
+        user_skew: 0.5,
+        item_skew: 0.5,
+        seed,
+    })
+}
+
+fn cfg(seed: u64) -> HeteroConfig {
+    HeteroConfig {
+        hyper: HyperParams {
+            k: 8,
+            lambda_p: 0.05,
+            lambda_q: 0.05,
+            gamma: 0.01,
+            schedule: LearningRate::Fixed,
+        },
+        nc: 8,
+        ng: 2,
+        gpu: hsgd_star::gpu::GpuSpec::quadro_p4000().scaled_down(200.0),
+        cpu: CpuSpec::default().scaled_down(200.0),
+        iterations: 4,
+        seed,
+        dynamic_scheduling: true,
+        cost_model: hsgd_star::hetero::CostModelKind::Tailored,
+        probe_interval_secs: Some(1e-3),
+        target_rmse: None,
+    }
+}
+
+#[test]
+fn every_algorithm_is_bit_deterministic() {
+    let ds = dataset(7);
+    for alg in [
+        Algorithm::CpuOnly,
+        Algorithm::GpuOnly,
+        Algorithm::Hsgd,
+        Algorithm::HsgdStarQ,
+        Algorithm::HsgdStarM,
+        Algorithm::HsgdStar,
+    ] {
+        let a = experiments::run(alg, &ds.train, &ds.test, &cfg(11));
+        let b = experiments::run(alg, &ds.train, &ds.test, &cfg(11));
+        assert_eq!(a.model, b.model, "{} model differs", alg.label());
+        assert_eq!(
+            a.report.virtual_secs, b.report.virtual_secs,
+            "{} time differs",
+            alg.label()
+        );
+        assert_eq!(
+            a.report.rmse_series, b.report.rmse_series,
+            "{} series differs",
+            alg.label()
+        );
+        assert_eq!(
+            a.report.update_counts, b.report.update_counts,
+            "{} counts differ",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let ds = dataset(7);
+    let a = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg(1));
+    let b = experiments::run(Algorithm::HsgdStar, &ds.train, &ds.test, &cfg(2));
+    assert_ne!(a.model, b.model);
+}
+
+#[test]
+fn dataset_generation_is_deterministic_and_seed_sensitive() {
+    assert_eq!(dataset(9).train, dataset(9).train);
+    assert_ne!(dataset(9).train, dataset(10).train);
+}

@@ -1,0 +1,134 @@
+//! Property tests over the heterogeneous scheduler: for random task
+//! request/release interleavings, the conflict-freedom and accounting
+//! invariants must hold.
+
+use hsgd_star::hetero::layout::StarLayout;
+use hsgd_star::hetero::scheduler::{
+    BlockScheduler, StarScheduler, UniformScheduler, WorkerClass,
+};
+use hsgd_star::sparse::{GridPartition, GridSpec, Rating, SparseMatrix};
+use proptest::prelude::*;
+
+fn dense(m: u32, n: u32) -> SparseMatrix {
+    let mut e = Vec::new();
+    for u in 0..m {
+        for v in 0..n {
+            e.push(Rating::new(u, v, 1.0));
+        }
+    }
+    SparseMatrix::new(m, n, e).unwrap()
+}
+
+/// Drives a scheduler with a random interleaving of "request work for X"
+/// and "release the oldest held task", checking invariants throughout.
+fn drive<S: BlockScheduler>(
+    mut sched: S,
+    part: &GridPartition,
+    ops: &[(u8, bool)],
+    workers: &[WorkerClass],
+) -> Result<(), TestCaseError> {
+    let mut held: Vec<hsgd_star::hetero::scheduler::Task> = Vec::new();
+    for &(widx, is_release) in ops {
+        if is_release {
+            if !held.is_empty() {
+                let t = held.remove(0);
+                sched.release(&t);
+            }
+        } else {
+            let who = workers[widx as usize % workers.len()];
+            if let Some(t) = sched.next_task(who, part) {
+                // Invariant: no conflict with any held task.
+                for other in &held {
+                    for a in &t.blocks {
+                        for b in &other.blocks {
+                            prop_assert!(
+                                !a.conflicts_with(*b),
+                                "conflicting assignment {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+                held.push(t);
+            }
+        }
+    }
+    // Drain and check accounting.
+    for t in held.drain(..) {
+        sched.release(&t);
+    }
+    let assigned: u64 = sched.counts().iter().map(|&c| c as u64).sum();
+    prop_assert_eq!(assigned, sched.completed());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_scheduler_never_conflicts(
+        ops in prop::collection::vec((0u8..8, prop::bool::ANY), 1..400),
+        rows in 3u32..8,
+        cols in 3u32..8,
+    ) {
+        let data = dense(32, 32);
+        let spec = GridSpec::uniform(32, 32, rows, cols);
+        let part = GridPartition::build(&data, spec.clone());
+        let sched = UniformScheduler::new(spec, 3, true);
+        let workers = [WorkerClass::Cpu, WorkerClass::Gpu(0)];
+        drive(sched, &part, &ops, &workers)?;
+    }
+
+    #[test]
+    fn star_scheduler_never_conflicts(
+        ops in prop::collection::vec((0u8..8, prop::bool::ANY), 1..400),
+        nc in 2u32..5,
+        ng in 1u32..3,
+        alpha in 0.1f64..0.9,
+        dynamic in prop::bool::ANY,
+    ) {
+        let data = dense(48, 48);
+        let layout = StarLayout::build(&data, nc, ng, alpha);
+        let part = GridPartition::build(&data, layout.spec.clone());
+        let sched = StarScheduler::new(layout, 2, dynamic);
+        let workers = [
+            WorkerClass::Cpu,
+            WorkerClass::Gpu(0),
+            WorkerClass::Gpu(ng - 1),
+        ];
+        drive(sched, &part, &ops, &workers)?;
+    }
+
+    #[test]
+    fn star_budget_is_exact_when_fully_drained(
+        nc in 2u32..5,
+        ng in 1u32..3,
+        alpha in 0.1f64..0.9,
+        iterations in 1u32..4,
+    ) {
+        // Sequentially drain everything: total passes must equal
+        // blocks × iterations exactly, and every count must respect the
+        // soft cap.
+        let data = dense(40, 40);
+        let layout = StarLayout::build(&data, nc, ng, alpha);
+        let part = GridPartition::build(&data, layout.spec.clone());
+        let blocks = layout.spec.block_count() as u64;
+        let mut sched = StarScheduler::new(layout, iterations, true);
+        loop {
+            let cpu = sched.next_task(WorkerClass::Cpu, &part);
+            if let Some(t) = cpu {
+                sched.release(&t);
+                continue;
+            }
+            let gpu = sched.next_task(WorkerClass::Gpu(0), &part);
+            if let Some(t) = gpu {
+                sched.release(&t);
+                continue;
+            }
+            break;
+        }
+        prop_assert_eq!(sched.remaining(), 0);
+        prop_assert_eq!(sched.completed(), blocks * iterations as u64);
+        let cap = iterations + hsgd_star::hetero::scheduler::SOFT_CAP_SLACK;
+        prop_assert!(sched.counts().iter().all(|&c| c <= cap));
+    }
+}
