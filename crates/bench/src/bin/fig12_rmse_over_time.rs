@@ -47,7 +47,12 @@ fn main() {
                 p.generator.name
             ),
             &[
-                "cpu t(s)", "cpu rmse", "gpu t(s)", "gpu rmse", "hsgd* t(s)", "hsgd* rmse",
+                "cpu t(s)",
+                "cpu rmse",
+                "gpu t(s)",
+                "gpu rmse",
+                "hsgd* t(s)",
+                "hsgd* rmse",
             ],
             &rows,
         );

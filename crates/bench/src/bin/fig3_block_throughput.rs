@@ -55,7 +55,10 @@ fn main() {
     );
 
     let sat = gpu.kernel_model().saturated_throughput() / 1e6;
-    println!("\nGPU saturated speed: {sat:.1} M pts/s at {} workers", args.workers);
+    println!(
+        "\nGPU saturated speed: {sat:.1} M pts/s at {} workers",
+        args.workers
+    );
     println!(
         "CPU flat speed:      {:.1} M pts/s per thread",
         cpu.updates_per_sec / 1e6

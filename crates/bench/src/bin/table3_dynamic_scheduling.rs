@@ -23,7 +23,10 @@ fn main() {
             name.label().to_string(),
             fmt_secs(m.virtual_secs),
             fmt_secs(full.virtual_secs),
-            format!("{:+.1}%", (full.virtual_secs / m.virtual_secs - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (full.virtual_secs / m.virtual_secs - 1.0) * 100.0
+            ),
             full.steals.to_string(),
         ]);
     }

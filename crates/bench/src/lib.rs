@@ -1,7 +1,8 @@
 //! # mf-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper's evaluation (Sec. VII); see
-//! DESIGN.md §5 for the index. All binaries share the conventions here:
+//! the README's "Reproducing the paper's figures and tables" section for
+//! the index. All binaries share the conventions here:
 //!
 //! * Datasets are the Table I synthetic stand-ins at `1/scale` size, with
 //!   the virtual devices' knees and latencies scaled by the same factor so
@@ -190,7 +191,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -14,7 +14,7 @@
 //!   *end-to-end* GPU times (Table II's HSGD\*-Q).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use gpu_sim::GpuDevice;
 use mf_cost::calibrate::{
@@ -70,16 +70,10 @@ pub fn calibrate(
     let spec = gpu.spec();
     let mut t_noise = noise_stream(seed ^ 0x2);
     let mut k_noise = noise_stream(seed ^ 0x3);
-    let mut transfer_probe = |bytes: f64| {
-        gpu.bus()
-            .h2d
-            .time_for(bytes.round() as u64)
-            .as_secs()
-            * t_noise()
-    };
-    let mut kernel_probe = |points: f64| {
-        gpu.kernel_model().time_for(points.round() as u64).as_secs() * k_noise()
-    };
+    let mut transfer_probe =
+        |bytes: f64| gpu.bus().h2d.time_for(bytes.round() as u64).as_secs() * t_noise();
+    let mut kernel_probe =
+        |points: f64| gpu.kernel_model().time_for(points.round() as u64).as_secs() * k_noise();
     let byte_lo = (spec.pcie_small_bytes / 8.0).max(16.0);
     let byte_hi = spec.pcie_saturation_bytes * 8.0;
     // Probe from just above the latency-bound zone, like the paper's own
@@ -103,8 +97,7 @@ pub fn calibrate(
     let mut q_noise = noise_stream(seed ^ 0x4);
     let extra_bytes = (bytes_per_point - Rating::WIRE_BYTES as f64).max(0.0);
     let qilin_samples = probe_prefixes(total, &cfg, |points| {
-        gpu.probe_end_to_end_secs(points.round() as u64, (points * extra_bytes) as u64)
-            * q_noise()
+        gpu.probe_end_to_end_secs(points.round() as u64, (points * extra_bytes) as u64) * q_noise()
     });
     let qilin_gpu = fit_cpu(&qilin_samples);
 
@@ -159,10 +152,7 @@ mod tests {
     use gpu_sim::GpuSpec;
 
     fn rig() -> (CpuSpec, GpuDevice) {
-        (
-            CpuSpec::default(),
-            GpuDevice::new(GpuSpec::quadro_p4000()),
-        )
+        (CpuSpec::default(), GpuDevice::new(GpuSpec::quadro_p4000()))
     }
 
     #[test]

@@ -198,8 +198,14 @@ mod tests {
         let (mut model, part, task) = setup();
         let hyper = mf_sgd::HyperParams::movielens(4);
         let mut cold = GpuWorker::new(gpu_sim::GpuSpec::default());
-        let (cost_cold, _) =
-            cold.process(SimTime::ZERO, &mut model.clone(), &part, &task, 0.01, &hyper);
+        let (cost_cold, _) = cold.process(
+            SimTime::ZERO,
+            &mut model.clone(),
+            &part,
+            &task,
+            0.01,
+            &hyper,
+        );
         let mut warm = GpuWorker::new(gpu_sim::GpuSpec::default());
         warm.resident_all = true;
         let (cost_warm, _) = warm.process(SimTime::ZERO, &mut model, &part, &task, 0.01, &hyper);

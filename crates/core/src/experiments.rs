@@ -60,7 +60,13 @@ pub fn calibrate_for(cfg: &HeteroConfig, train: &SparseMatrix) -> CalibratedMode
         cfg.nc,
         cfg.ng,
     );
-    calibration::calibrate(&cfg.cpu, &gpu, train.nnz() as u64, bytes_per_point, cfg.seed)
+    calibration::calibrate(
+        &cfg.cpu,
+        &gpu,
+        train.nnz() as u64,
+        bytes_per_point,
+        cfg.seed,
+    )
 }
 
 fn run_cpu_only(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> TrainOutcome {
@@ -74,7 +80,15 @@ fn run_cpu_only(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -
         gpus: vec![],
         gpu_start: vec![],
     };
-    run_training(train, test, sched, pool, cfg, None, Algorithm::CpuOnly.label())
+    run_training(
+        train,
+        test,
+        sched,
+        pool,
+        cfg,
+        None,
+        Algorithm::CpuOnly.label(),
+    )
 }
 
 fn run_gpu_only(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> TrainOutcome {
@@ -98,7 +112,15 @@ fn run_gpu_only(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -
         gpus,
         gpu_start: starts,
     };
-    run_training(train, test, sched, pool, cfg, None, Algorithm::GpuOnly.label())
+    run_training(
+        train,
+        test,
+        sched,
+        pool,
+        cfg,
+        None,
+        Algorithm::GpuOnly.label(),
+    )
 }
 
 fn run_hsgd(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> TrainOutcome {
@@ -150,8 +172,7 @@ fn run_star(
     let t_gpu_col = models.gpu.time_for_points(col_points).max(1e-12);
     let t_cpu_col = mf_cost::models::CostModel::time_secs(&models.cpu, col_points);
     let steal_ratio = t_cpu_col / t_gpu_col;
-    let sched =
-        StarScheduler::new(layout, cfg.iterations, dynamic).with_steal_ratio(steal_ratio);
+    let sched = StarScheduler::new(layout, cfg.iterations, dynamic).with_steal_ratio(steal_ratio);
     let pool = DevicePool {
         cpu_workers: cfg.nc,
         gpus,

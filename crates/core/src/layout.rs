@@ -77,7 +77,11 @@ impl StarLayout {
                 break;
             }
         }
-        let alpha = if nnz == 0 { 0.0 } else { acc as f64 / nnz as f64 };
+        let alpha = if nnz == 0 {
+            0.0
+        } else {
+            acc as f64 / nnz as f64
+        };
 
         // Rule 1 demands *at least* nc + ng CPU row bands; we provision
         // twice that. With exactly nc+ng bands and nc busy workers there
@@ -190,7 +194,7 @@ mod tests {
         let data = uniform_rows_matrix(90, 10);
         let l = StarLayout::build(&data, 4, 2, 0.5);
         assert_eq!(l.cols(), 4 + 2 * 2 + 1); // 9
-        // Rule 1 requires at least nc + ng = 6 CPU bands; we provision 2x.
+                                             // Rule 1 requires at least nc + ng = 6 CPU bands; we provision 2x.
         assert_eq!(l.cpu_bands, 12);
         assert_eq!(l.sub_rows_per_gpu, 3);
         assert_eq!(l.total_bands(), 12 + 2 * 3);

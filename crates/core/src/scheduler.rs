@@ -134,8 +134,16 @@ fn task_from_blocks(
     let col = blocks[0].col;
     debug_assert!(blocks.iter().all(|b| b.col == col));
     let points = blocks.iter().map(|&b| part.block_len(b)).sum();
-    let row_start = blocks.iter().map(|b| spec.row_range(b.row).start).min().unwrap();
-    let row_end = blocks.iter().map(|b| spec.row_range(b.row).end).max().unwrap();
+    let row_start = blocks
+        .iter()
+        .map(|b| spec.row_range(b.row).start)
+        .min()
+        .unwrap();
+    let row_end = blocks
+        .iter()
+        .map(|b| spec.row_range(b.row).end)
+        .max()
+        .unwrap();
     Task {
         points,
         p_rows: row_start..row_end,
@@ -420,7 +428,13 @@ impl StarScheduler {
         best
     }
 
-    fn assign(&mut self, part: &GridPartition, blocks: Vec<BlockId>, pass: u32, stolen: bool) -> Task {
+    fn assign(
+        &mut self,
+        part: &GridPartition,
+        blocks: Vec<BlockId>,
+        pass: u32,
+        stolen: bool,
+    ) -> Task {
         let spec = &self.layout.spec;
         for b in &blocks {
             self.counts[spec.flat_index(*b)] += 1;

@@ -120,9 +120,9 @@ impl<S: BlockScheduler> Sim<'_, S> {
         }
         if let Some(task) = self.scheduler.next_task(WorkerClass::Cpu, &self.part) {
             let gamma = self.cfg.hyper.gamma_at(task.pass);
-            let (dur, _sq) = self
-                .cpu
-                .process(&mut self.model, &self.part, &task, gamma, &self.cfg.hyper);
+            let (dur, _sq) =
+                self.cpu
+                    .process(&mut self.model, &self.part, &task, gamma, &self.cfg.hyper);
             self.cpu_busy += dur.as_secs();
             self.cpu_points += task.points as u64;
             self.cpu_current[i] = Some(task);
@@ -325,7 +325,7 @@ mod tests {
 
     fn low_rank_data(m: u32, n: u32, seed: u64) -> (SparseMatrix, SparseMatrix) {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
         let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
@@ -404,11 +404,7 @@ mod tests {
         assert!(out.report.cpu_points > 0);
         // RMSE series is non-trivially populated and time-sorted.
         assert!(out.report.rmse_series.len() >= 10);
-        assert!(out
-            .report
-            .rmse_series
-            .windows(2)
-            .all(|w| w[0].0 <= w[1].0));
+        assert!(out.report.rmse_series.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub fn probe_prefixes<F: FnMut(f64) -> f64>(
     (1..=cfg.num_segments)
         .map(|i| {
             let size = total * i as f64 / cfg.num_segments as f64;
-            let mean: f64 = (0..cfg.repeats).map(|_| measure(size)).sum::<f64>()
-                / cfg.repeats as f64;
+            let mean: f64 =
+                (0..cfg.repeats).map(|_| measure(size)).sum::<f64>() / cfg.repeats as f64;
             (size, mean)
         })
         .collect()
@@ -68,8 +68,7 @@ pub fn probe_geometric<F: FnMut(f64) -> f64>(
     let mut out = Vec::new();
     let mut size = lo;
     while size <= hi {
-        let mean: f64 =
-            (0..cfg.repeats).map(|_| measure(size)).sum::<f64>() / cfg.repeats as f64;
+        let mean: f64 = (0..cfg.repeats).map(|_| measure(size)).sum::<f64>() / cfg.repeats as f64;
         out.push((size, mean));
         size *= 2.0;
     }
@@ -156,10 +155,18 @@ pub struct GpuCalibration<'p> {
 
 /// Runs the GPU calibration, returning the fitted Eq. 9 model.
 pub fn calibrate_gpu(cal: GpuCalibration<'_>, cfg: &CalibrationConfig) -> GpuCost {
-    let transfer_samples =
-        probe_geometric(cal.byte_range.0, cal.byte_range.1, cfg, &mut *cal.transfer_probe);
-    let kernel_samples =
-        probe_geometric(cal.point_range.0, cal.point_range.1, cfg, &mut *cal.kernel_probe);
+    let transfer_samples = probe_geometric(
+        cal.byte_range.0,
+        cal.byte_range.1,
+        cfg,
+        &mut *cal.transfer_probe,
+    );
+    let kernel_samples = probe_geometric(
+        cal.point_range.0,
+        cal.point_range.1,
+        cfg,
+        &mut *cal.kernel_probe,
+    );
     GpuCost {
         transfer: fit_ramp(&transfer_samples, RampKind::SqrtLog, cfg.stability_eps),
         kernel: fit_ramp(&kernel_samples, RampKind::Log, cfg.stability_eps),

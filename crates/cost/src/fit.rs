@@ -35,10 +35,7 @@ pub fn ols(points: &[(f64, f64)]) -> LineFit {
     // R².
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|p| (p.1 - (a * p.0 + b)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
     let r2 = if ss_tot <= 1e-300 {
         1.0
     } else {

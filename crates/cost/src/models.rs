@@ -112,7 +112,9 @@ impl GpuCost {
     /// Estimated time for `points` ratings (Eq. 9).
     pub fn time_for_points(&self, points: f64) -> f64 {
         let bytes = points * self.bytes_per_point;
-        self.transfer.time_secs(bytes).max(self.kernel.time_secs(points))
+        self.transfer
+            .time_secs(bytes)
+            .max(self.kernel.time_secs(points))
     }
 }
 

@@ -1,7 +1,7 @@
 //! The synthetic rating generator.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use mf_sparse::{Rating, SparseMatrix};
@@ -120,9 +120,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Dataset {
             let u = user_dist.sample(rng);
             let v = item_dist.sample(rng);
             let dot: f32 = (0..r)
-                .map(|i| {
-                    user_factors[u as usize * r + i] * item_factors[v as usize * r + i]
-                })
+                .map(|i| user_factors[u as usize * r + i] * item_factors[v as usize * r + i])
                 .sum();
             let clean = mid + amp * dot + user_bias[u as usize] + item_bias[v as usize];
             let noisy = clean + gaussian(rng) * cfg.noise_std;
@@ -232,8 +230,11 @@ mod tests {
         let n = 100_000;
         let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
     }

@@ -5,7 +5,7 @@
 //! sample, and deterministic across platforms.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// A Zipf distribution over `0..n`: `P(i) ∝ 1 / (i + 1)^s`.
 #[derive(Debug, Clone)]

@@ -199,9 +199,7 @@ impl GpuDevice {
         // Real arithmetic, slice by slice.
         let mut sq_err = 0.0;
         for slice in slices {
-            sq_err += self
-                .kernel
-                .execute(model, slice, gamma, lambda_p, lambda_q);
+            sq_err += self.kernel.execute(model, slice, gamma, lambda_p, lambda_q);
         }
         self.points_processed += total_points as u64;
 
@@ -240,9 +238,7 @@ impl GpuDevice {
             .submit(now, SimTime::ZERO, t_kernel, SimTime::ZERO);
         let mut sq_err = 0.0;
         for slice in slices {
-            sq_err += self
-                .kernel
-                .execute(model, slice, gamma, lambda_p, lambda_q);
+            sq_err += self.kernel.execute(model, slice, gamma, lambda_p, lambda_q);
         }
         self.points_processed += total_points as u64;
         (
@@ -298,16 +294,7 @@ mod tests {
         let before = model.clone();
         let b = block(100);
         let (cost, sq) = dev
-            .process_block(
-                SimTime::ZERO,
-                &mut model,
-                &b,
-                0..8,
-                0..8,
-                0.01,
-                0.05,
-                0.05,
-            )
+            .process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.05, 0.05)
             .unwrap();
         assert_ne!(model, before, "kernel must actually update factors");
         assert!(sq > 0.0);
@@ -350,16 +337,7 @@ mod tests {
         let mut dev = GpuDevice::new(spec);
         let mut model = Model::init(8, 8, 4, 3);
         let b = block(1000);
-        let err = dev.process_block(
-            SimTime::ZERO,
-            &mut model,
-            &b,
-            0..8,
-            0..8,
-            0.01,
-            0.0,
-            0.0,
-        );
+        let err = dev.process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.0, 0.0);
         assert!(err.is_err());
         assert_eq!(dev.memory().in_use(), 0);
         assert_eq!(dev.points_processed(), 0);

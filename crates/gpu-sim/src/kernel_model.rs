@@ -253,8 +253,7 @@ mod tests {
         assert!(full.throughput(knee_small) < 15e6);
         // The floor scales with the knee.
         assert!(
-            (scaled.floor_points() - full.floor_points() / 100.0).abs()
-                / scaled.floor_points()
+            (scaled.floor_points() - full.floor_points() / 100.0).abs() / scaled.floor_points()
                 < 1e-9
         );
     }

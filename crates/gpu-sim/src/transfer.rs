@@ -186,13 +186,12 @@ mod tests {
         let bus = PcieBus::new(&GpuSpec::default());
         let big = 1u64 << 30;
         assert!(
-            bus.time_for(Direction::DeviceToHost, big)
-                > bus.time_for(Direction::HostToDevice, big)
+            bus.time_for(Direction::DeviceToHost, big) > bus.time_for(Direction::HostToDevice, big)
         );
     }
 
     #[test]
-    fn time_scales_roughly_linearly_when_saturated(){
+    fn time_scales_roughly_linearly_when_saturated() {
         let m = model();
         let t1 = m.time_for(1 << 30).as_secs();
         let t2 = m.time_for(1 << 31).as_secs();

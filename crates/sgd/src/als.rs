@@ -208,7 +208,7 @@ mod tests {
 
     fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
         let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
@@ -264,7 +264,10 @@ mod tests {
         let _ = train_with(&data, &cfg, |_, m| history.push(eval::rmse(m, &data)));
         assert_eq!(history.len(), 6);
         for w in history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-6, "ALS loss must not increase: {history:?}");
+            assert!(
+                w[1] <= w[0] + 1e-6,
+                "ALS loss must not increase: {history:?}"
+            );
         }
     }
 
@@ -272,12 +275,8 @@ mod tests {
     fn handles_users_with_no_ratings() {
         // User 2 and item 2 have no ratings; ALS must leave them untouched
         // and not crash.
-        let data = SparseMatrix::new(
-            3,
-            3,
-            vec![Rating::new(0, 0, 1.0), Rating::new(1, 1, 2.0)],
-        )
-        .unwrap();
+        let data =
+            SparseMatrix::new(3, 3, vec![Rating::new(0, 0, 1.0), Rating::new(1, 1, 2.0)]).unwrap();
         let cfg = AlsConfig {
             hyper: HyperParams::movielens(4),
             iterations: 3,

@@ -9,7 +9,7 @@
 //! update solves an exact 1-D least-squares problem, so the objective is
 //! monotonically non-increasing — a property the tests pin down.
 
-use mf_sparse::{SparseMatrix};
+use mf_sparse::SparseMatrix;
 
 use crate::hyper::HyperParams;
 use crate::model::Model;
@@ -187,7 +187,7 @@ mod tests {
 
     fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
         let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();

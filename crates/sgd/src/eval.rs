@@ -74,11 +74,7 @@ mod tests {
         let p = vec![1.0, 2.0];
         let q = vec![1.0, 2.0, 3.0];
         let model = Model::from_parts(2, 3, 1, p, q);
-        let data = SparseMatrix::from_triples(vec![
-            (0, 0, 1.0),
-            (0, 2, 3.0),
-            (1, 1, 4.0),
-        ]);
+        let data = SparseMatrix::from_triples(vec![(0, 0, 1.0), (0, 2, 3.0), (1, 1, 4.0)]);
         (model, data)
     }
 

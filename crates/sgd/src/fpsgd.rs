@@ -43,7 +43,8 @@ impl FpsgdConfig {
     }
 
     fn grid_shape(&self) -> (u32, u32) {
-        self.grid.unwrap_or((self.threads as u32 + 1, self.threads.max(1) as u32))
+        self.grid
+            .unwrap_or((self.threads as u32 + 1, self.threads.max(1) as u32))
     }
 }
 
@@ -208,7 +209,7 @@ mod tests {
 
     fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
         let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();

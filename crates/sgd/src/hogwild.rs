@@ -21,8 +21,13 @@ use crate::shared::SharedModel;
 /// is real), but convergence quality matches sequential SGD on sparse data.
 pub fn train(data: &SparseMatrix, cfg: &TrainConfig, n_threads: usize) -> Model {
     assert!(n_threads > 0, "need at least one worker");
-    let mut model =
-        Model::init_for_ratings(data.nrows(), data.ncols(), cfg.hyper.k, cfg.seed, data.mean_rating());
+    let mut model = Model::init_for_ratings(
+        data.nrows(),
+        data.ncols(),
+        cfg.hyper.k,
+        cfg.seed,
+        data.mean_rating(),
+    );
     if data.is_empty() {
         return model;
     }
@@ -65,7 +70,7 @@ mod tests {
 
     fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
         let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();

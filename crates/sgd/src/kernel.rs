@@ -24,7 +24,14 @@ pub fn dot(p: &[f32], q: &[f32]) -> f32 {
 /// streaming loss estimates. The update uses the pre-update `p` in the `q`
 /// rule (and vice versa), matching Algorithm 1 exactly.
 #[inline]
-pub fn sgd_step(p: &mut [f32], q: &mut [f32], r: f32, gamma: f32, lambda_p: f32, lambda_q: f32) -> f32 {
+pub fn sgd_step(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
     debug_assert_eq!(p.len(), q.len());
     let e = r - dot(p, q);
     let ge = gamma * e;
@@ -142,7 +149,10 @@ mod tests {
             assert!(e <= last + 1e-3, "error should shrink: {e} > {last}");
             last = e;
         }
-        assert!(last < 0.05, "should converge close to the target, got {last}");
+        assert!(
+            last < 0.05,
+            "should converge close to the target, got {last}"
+        );
     }
 
     #[test]

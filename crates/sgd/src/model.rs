@@ -1,7 +1,7 @@
 //! The factor matrices `P` and `Q`.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The dense result of matrix factorization: `P ∈ R^{m×k}` and
@@ -37,9 +37,8 @@ impl Model {
         assert!(k > 0, "latent dimension must be positive");
         assert!(scale > 0.0 && scale.is_finite(), "invalid init scale");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut fill = |len: usize| -> Vec<f32> {
-            (0..len).map(|_| rng.random::<f32>() * scale).collect()
-        };
+        let mut fill =
+            |len: usize| -> Vec<f32> { (0..len).map(|_| rng.random::<f32>() * scale).collect() };
         let p = fill(m as usize * k);
         let q = fill(n as usize * k);
         Model { m, n, k, p, q }
@@ -153,7 +152,13 @@ impl Model {
     /// Raw pointers + geometry for the shared-memory trainers. See
     /// [`crate::shared::SharedModel`].
     pub(crate) fn raw_parts_mut(&mut self) -> (*mut f32, *mut f32, usize, u32, u32) {
-        (self.p.as_mut_ptr(), self.q.as_mut_ptr(), self.k, self.m, self.n)
+        (
+            self.p.as_mut_ptr(),
+            self.q.as_mut_ptr(),
+            self.k,
+            self.m,
+            self.n,
+        )
     }
 
     /// Bytes needed to ship the factors of `rows` user rows over a bus:

@@ -100,7 +100,7 @@ mod tests {
     /// A small exactly-rank-2 matrix: r_uv = a_u·b_v with planted factors.
     fn low_rank_data(m: u32, n: u32, seed: u64) -> SparseMatrix {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
         let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
@@ -109,8 +109,10 @@ mod tests {
             for v in 0..n {
                 // 60% observed.
                 if rng.random::<f32>() < 0.6 {
-                    let r = 1.0 + 2.0 * (a[u as usize][0] * b[v as usize][0]
-                        + a[u as usize][1] * b[v as usize][1]);
+                    let r = 1.0
+                        + 2.0
+                            * (a[u as usize][0] * b[v as usize][0]
+                                + a[u as usize][1] * b[v as usize][1]);
                     entries.push(Rating::new(u, v, r));
                 }
             }
@@ -141,7 +143,10 @@ mod tests {
             rmse1 < rmse0 * 0.2,
             "rmse should drop by >5x: {rmse0:.4} -> {rmse1:.4}"
         );
-        assert!(rmse1 < 0.15, "low-rank data should fit well, got {rmse1:.4}");
+        assert!(
+            rmse1 < 0.15,
+            "low-rank data should fit well, got {rmse1:.4}"
+        );
     }
 
     #[test]
@@ -154,7 +159,9 @@ mod tests {
         let mut stats = Vec::new();
         let _ = train_with(&data, &cfg, |s, _| stats.push(s));
         assert_eq!(stats.len(), 12);
-        assert!(stats.windows(2).all(|w| w[1].iteration == w[0].iteration + 1));
+        assert!(stats
+            .windows(2)
+            .all(|w| w[1].iteration == w[0].iteration + 1));
         // Loss after the last iteration is far below the first.
         assert!(stats.last().unwrap().train_mse < stats[0].train_mse * 0.8);
     }

@@ -114,21 +114,15 @@ impl<'a> SharedModel<'a> {
         // in bounds; buffers outlive the view.
         unsafe {
             for i in 0..k {
-                pu[i] = f32::from_bits(
-                    (*p_base.add(e.u as usize * k + i)).load(Ordering::Relaxed),
-                );
-                qv[i] = f32::from_bits(
-                    (*q_base.add(e.v as usize * k + i)).load(Ordering::Relaxed),
-                );
+                pu[i] = f32::from_bits((*p_base.add(e.u as usize * k + i)).load(Ordering::Relaxed));
+                qv[i] = f32::from_bits((*q_base.add(e.v as usize * k + i)).load(Ordering::Relaxed));
             }
         }
         let err = kernel::sgd_step(&mut pu[..k], &mut qv[..k], e.r, gamma, lambda_p, lambda_q);
         unsafe {
             for i in 0..k {
-                (*p_base.add(e.u as usize * k + i))
-                    .store(pu[i].to_bits(), Ordering::Relaxed);
-                (*q_base.add(e.v as usize * k + i))
-                    .store(qv[i].to_bits(), Ordering::Relaxed);
+                (*p_base.add(e.u as usize * k + i)).store(pu[i].to_bits(), Ordering::Relaxed);
+                (*q_base.add(e.v as usize * k + i)).store(qv[i].to_bits(), Ordering::Relaxed);
             }
         }
         err

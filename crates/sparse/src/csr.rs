@@ -37,7 +37,11 @@ impl CsrView {
             vals[at] = e.r;
             cursor[e.u as usize] += 1;
         }
-        CsrView { row_ptr, cols, vals }
+        CsrView {
+            row_ptr,
+            cols,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -94,7 +98,11 @@ impl CscView {
             vals[at] = e.r;
             cursor[e.v as usize] += 1;
         }
-        CscView { col_ptr, rows, vals }
+        CscView {
+            col_ptr,
+            rows,
+            vals,
+        }
     }
 
     /// Number of columns.

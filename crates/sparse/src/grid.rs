@@ -51,9 +51,17 @@ pub enum GridError {
     /// The first cut must be 0.
     FirstCutNotZero,
     /// The last cut must equal the matrix dimension.
-    LastCutMismatch { last: u32, dim: u32 },
+    LastCutMismatch {
+        /// The offending final cut value.
+        last: u32,
+        /// The matrix dimension it should have equaled.
+        dim: u32,
+    },
     /// Cuts must be non-decreasing.
-    NotMonotone { at: usize },
+    NotMonotone {
+        /// Index of the first cut that decreases.
+        at: usize,
+    },
     /// A grid needs at least one row band and one column band.
     Empty,
 }
@@ -187,8 +195,7 @@ impl GridSpec {
     /// Iterates over all block ids, row-major.
     pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
         let ncols = self.ncol_blocks();
-        (0..self.nrow_blocks())
-            .flat_map(move |r| (0..ncols).map(move |c| BlockId::new(r, c)))
+        (0..self.nrow_blocks()).flat_map(move |r| (0..ncols).map(move |c| BlockId::new(r, c)))
     }
 }
 

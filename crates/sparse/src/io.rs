@@ -22,11 +22,19 @@ pub enum LoadError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A malformed line or field, with its 1-based line number.
-    Parse { line: usize, what: String },
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Description of what failed to parse.
+        what: String,
+    },
     /// Binary header mismatch.
     BadMagic,
     /// Entry out of declared bounds.
-    OutOfBounds { index: usize },
+    OutOfBounds {
+        /// Index of the offending entry.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for LoadError {

@@ -48,10 +48,7 @@ impl SparseMatrix {
     ///
     /// Returns the index of the first out-of-bounds entry.
     pub fn new(nrows: u32, ncols: u32, entries: Vec<Rating>) -> Result<SparseMatrix, usize> {
-        if let Some(bad) = entries
-            .iter()
-            .position(|e| e.u >= nrows || e.v >= ncols)
-        {
+        if let Some(bad) = entries.iter().position(|e| e.u >= nrows || e.v >= ncols) {
             return Err(bad);
         }
         Ok(SparseMatrix {

@@ -8,18 +8,17 @@ use proptest::prelude::*;
 /// Strategy: a matrix with shape up to 64x64 and up to 400 entries.
 fn arb_matrix() -> impl Strategy<Value = SparseMatrix> {
     (1u32..64, 1u32..64).prop_flat_map(|(m, n)| {
-        prop::collection::vec((0..m, 0..n, -10.0f32..10.0), 0..400)
-            .prop_map(move |trips| {
-                SparseMatrix::new(
-                    m,
-                    n,
-                    trips
-                        .into_iter()
-                        .map(|(u, v, r)| Rating::new(u, v, r))
-                        .collect(),
-                )
-                .expect("in-bounds by construction")
-            })
+        prop::collection::vec((0..m, 0..n, -10.0f32..10.0), 0..400).prop_map(move |trips| {
+            SparseMatrix::new(
+                m,
+                n,
+                trips
+                    .into_iter()
+                    .map(|(u, v, r)| Rating::new(u, v, r))
+                    .collect(),
+            )
+            .expect("in-bounds by construction")
+        })
     })
 }
 

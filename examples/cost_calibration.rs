@@ -61,11 +61,6 @@ fn main() {
     // derivable as α = 2/3.
     let gpu_toy = LinearCost::new(1.0, 0.0);
     let cpu_toy = LinearCost::new(2.0, 0.0);
-    let alpha = balance_alpha(
-        |a| gpu_toy.time_secs(a),
-        |x| cpu_toy.time_secs(x),
-        1.0,
-        1.0,
-    );
+    let alpha = balance_alpha(|a| gpu_toy.time_secs(a), |x| cpu_toy.time_secs(x), 1.0, 1.0);
     println!("  t_gpu = 1·w, t_cpu = 2·w  →  α = {alpha:.4} (expect 0.6667)");
 }

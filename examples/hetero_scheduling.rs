@@ -77,7 +77,10 @@ fn main() {
         layout.row_split
     );
 
-    println!("\n== all six algorithm variants ({} iterations) ==", cfg.iterations);
+    println!(
+        "\n== all six algorithm variants ({} iterations) ==",
+        cfg.iterations
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
         "algorithm", "time", "rmse", "gpu share", "steals", "cv"

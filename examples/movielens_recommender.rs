@@ -59,7 +59,11 @@ fn main() {
         r.final_test_rmse, ds.noise_std
     );
     println!("convergence (virtual time → test RMSE):");
-    for (t, rmse) in r.rmse_series.iter().step_by(r.rmse_series.len().div_ceil(8)) {
+    for (t, rmse) in r
+        .rmse_series
+        .iter()
+        .step_by(r.rmse_series.len().div_ceil(8))
+    {
         println!("  {:>9.3} ms   {:.4}", t * 1e3, rmse);
     }
 

@@ -63,5 +63,8 @@ fn main() {
     println!("\ntraining RMSE: {:.4}", eval::rmse(&model, &r));
 
     // The matrix is rank-deficient enough for k = 2 to fit it well.
-    assert!(eval::rmse(&model, &r) < 0.2, "quickstart failed to converge");
+    assert!(
+        eval::rmse(&model, &r) < 0.2,
+        "quickstart failed to converge"
+    );
 }

@@ -40,6 +40,8 @@
 //! );
 //! ```
 
+#![warn(missing_docs)]
+
 /// The paper's contribution: layouts, schedulers, cost-model calibration,
 /// the virtual-time trainer, and the six algorithm variants.
 pub use hsgd_core as hetero;

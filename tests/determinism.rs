@@ -60,17 +60,20 @@ fn every_algorithm_is_bit_deterministic() {
         let b = experiments::run(alg, &ds.train, &ds.test, &cfg(11));
         assert_eq!(a.model, b.model, "{} model differs", alg.label());
         assert_eq!(
-            a.report.virtual_secs, b.report.virtual_secs,
+            a.report.virtual_secs,
+            b.report.virtual_secs,
             "{} time differs",
             alg.label()
         );
         assert_eq!(
-            a.report.rmse_series, b.report.rmse_series,
+            a.report.rmse_series,
+            b.report.rmse_series,
             "{} series differs",
             alg.label()
         );
         assert_eq!(
-            a.report.update_counts, b.report.update_counts,
+            a.report.update_counts,
+            b.report.update_counts,
             "{} counts differ",
             alg.label()
         );

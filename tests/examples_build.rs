@@ -1,0 +1,51 @@
+//! Smoke test: every example in `examples/` must compile.
+//!
+//! Examples are the README's contract with new users, so a PR that breaks
+//! one should fail `cargo test`, not wait for someone to run
+//! `cargo run --example` by hand. `cargo test` does compile the root
+//! package's examples on its own; what this adds is (a) a guard that the
+//! README's list and `examples/` stay in sync, and (b) a check of the
+//! literal `cargo build --examples` command the README advertises. The
+//! nested build reuses its own target dir across runs, so it costs ~3 s
+//! once after a clean and ~50 ms thereafter.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The examples this workspace ships; keep in sync with `examples/`.
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "movielens_recommender",
+    "hetero_scheduling",
+    "gpu_pipeline",
+    "cost_calibration",
+];
+
+#[test]
+fn all_examples_compile() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for name in EXAMPLES {
+        let path = Path::new(manifest_dir)
+            .join("examples")
+            .join(format!("{name}.rs"));
+        assert!(path.is_file(), "missing example source {}", path.display());
+    }
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = Command::new(cargo)
+        .current_dir(manifest_dir)
+        // A private target dir sidesteps the flock held by the outer
+        // `cargo test` on the main build directory.
+        .args(["build", "--examples", "--target-dir"])
+        .arg(
+            Path::new(manifest_dir)
+                .join("target")
+                .join("examples-smoke"),
+        )
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(
+        status.success(),
+        "`cargo build --examples` failed: {status}"
+    );
+}

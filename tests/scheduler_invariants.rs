@@ -3,9 +3,7 @@
 //! invariants must hold.
 
 use hsgd_star::hetero::layout::StarLayout;
-use hsgd_star::hetero::scheduler::{
-    BlockScheduler, StarScheduler, UniformScheduler, WorkerClass,
-};
+use hsgd_star::hetero::scheduler::{BlockScheduler, StarScheduler, UniformScheduler, WorkerClass};
 use hsgd_star::sparse::{GridPartition, GridSpec, Rating, SparseMatrix};
 use proptest::prelude::*;
 

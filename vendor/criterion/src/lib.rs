@@ -1,0 +1,258 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal benchmark harness with criterion's API shape — enough for the
+//! workspace's `[[bench]]` targets (`harness = false`) to compile and for
+//! `cargo bench` to print honest wall-clock numbers. It measures a mean
+//! over a short adaptive run instead of criterion's full bootstrap
+//! statistics, and reports throughput when a group sets one. Swapping in
+//! upstream criterion later requires no changes to the bench sources.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark. Kept short: these numbers guide
+/// optimization work, they are not publication-grade statistics.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u64 = 1000;
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.throughput,
+            |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterization of a benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (ratings, events, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup. The stub runs every
+/// batch per-iteration, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per allocation.
+    SmallInput,
+    /// Large inputs: criterion would batch few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures closures: handed to every benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warmup call outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} {:>12} /iter over {} iters{rate}",
+        format_time(per_iter),
+        b.iters,
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one named runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs this criterion benchmark group."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(3));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter_batched(|| x, |v| black_box(v * 2), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,150 @@
+//! Vendored offline stand-in for `parking_lot`.
+//!
+//! Exposes `parking_lot`'s ergonomic lock API — `lock()` returning a guard
+//! directly, `Condvar::wait(&mut guard)` — implemented over `std::sync`.
+//! Poisoning is absorbed the way parking_lot absorbs it (a poisoned lock
+//! just hands back the inner guard): a worker thread that panicked while
+//! holding the FPSGD scheduler lock is already propagating a panic through
+//! its `JoinHandle`, so the poison flag carries no extra information here.
+//!
+//! Performance note: `std::sync::Mutex` on Linux is a futex-based lock with
+//! very similar fast-path cost to parking_lot's; none of the workspace's
+//! hot loops hold a lock (block updates run lock-free between scheduler
+//! calls), so the difference is unobservable in practice.
+
+use std::sync;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the underlying data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A condition variable with `parking_lot`'s API.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and waits for a notification,
+    /// reacquiring the lock before returning. Spurious wakeups are
+    /// possible, exactly as with parking_lot.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Move the guard out to hand ownership to std's wait, then move the
+        // reacquired guard back in.
+        take_mut(guard, |g| {
+            self.inner
+                .wait(g)
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        });
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Replaces `*dest` with `f(old)`. Aborts the process if `f` panics, which
+/// cannot happen here: `Condvar::wait` only unwinds on poison, and the
+/// closure maps poison to the inner guard without panicking.
+fn take_mut<T>(dest: &mut T, f: impl FnOnce(T) -> T) {
+    struct AbortOnDrop;
+    impl Drop for AbortOnDrop {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    let bomb = AbortOnDrop;
+    unsafe {
+        let old = std::ptr::read(dest);
+        let new = f(old);
+        std::ptr::write(dest, new);
+    }
+    std::mem::forget(bomb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            *ready = true;
+            cvar.notify_one();
+            drop(ready);
+        });
+        let (lock, cvar) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cvar.wait(&mut ready);
+        }
+        t.join().unwrap();
+        assert!(*ready);
+    }
+}

@@ -1,0 +1,207 @@
+//! Vendored offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *small* slice of the `rand` API its code actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::StdRng`] — a deterministic,
+//!   platform-independent 64-bit generator (SplitMix64),
+//! * [`Rng::random`] — uniform samples for the primitive types the
+//!   trainers draw (`f32`, `f64`, and the integer widths),
+//! * [`seq::SliceRandom::shuffle`] — an in-place Fisher–Yates shuffle.
+//!
+//! Determinism matters more than statistical perfection here: every
+//! experiment in the workspace is seeded, and the discrete-event
+//! simulation promises bit-for-bit reproducible runs, so `StdRng` must
+//! produce the same stream on every platform. SplitMix64 is a well-known
+//! 64-bit mixer (Steele et al., "Fast splittable pseudorandom number
+//! generators") with full period over its 64-bit state — more than
+//! adequate for sampling synthetic datasets and shuffling training data.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&x));
+//! // Same seed, same stream.
+//! let mut rng2 = StdRng::seed_from_u64(42);
+//! assert_eq!(rng.random::<u64>(), { rng2.random::<f64>(); rng2.random::<u64>() });
+//! ```
+
+/// A source of raw random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform sample of type `T`: floats in `[0, 1)`, integers
+    /// over their full range, `bool` with probability 1/2.
+    fn random<T: SampleUniformUnit>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that [`Rng::random`] can produce.
+pub trait SampleUniformUnit: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUniformUnit for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniformUnit for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // 24 random mantissa bits → uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleUniformUnit for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniformUnit for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl SampleUniformUnit for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleUniformUnit for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64.
+    ///
+    /// Fixed algorithm (unlike upstream `rand`, which reserves the right to
+    /// change `StdRng` between versions) so seeded experiments reproduce
+    /// bit-for-bit forever.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`. Deterministic for a given
+        /// seed and slice length.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                // Modulo bias is ≤ len/2^64 — immaterial for shuffling
+                // training data, and keeps the stream platform-stable.
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "seed 5 should not produce the identity permutation"
+        );
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

@@ -1,0 +1,28 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough of serde's surface for the workspace to compile: the
+//! [`Serialize`] / [`Deserialize`] traits (as blanket-implemented markers)
+//! and matching no-op `#[derive(...)]` macros. No serialization backend
+//! (serde_json, bincode, …) exists in this environment, so nothing in the
+//! workspace may rely on actual wire formats — code that wants to persist
+//! models goes through explicit binary I/O (see `mf_sgd::io`) instead.
+//!
+//! When a real registry is available, swapping this stub for upstream
+//! serde is a one-line change in the workspace manifest; the derive
+//! annotations in the source are already upstream-compatible.
+
+/// Marker for types that would be serializable under real serde.
+///
+/// Blanket-implemented so that generic bounds like `T: Serialize` hold
+/// everywhere they would hold upstream.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

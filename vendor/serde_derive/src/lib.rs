@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stub.
+//!
+//! The stub's traits are blanket-implemented, so the derives have nothing
+//! to generate — they only need to *exist* so `#[derive(Serialize)]`
+//! annotations (kept upstream-compatible throughout the workspace)
+//! resolve. Each accepts the `#[serde(...)]` helper attribute for the same
+//! reason.
+
+use proc_macro::TokenStream;
+
+/// Derives the (blanket-implemented) `serde::Serialize` marker. Emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (blanket-implemented) `serde::Deserialize` marker. Emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
