@@ -33,6 +33,10 @@ pub struct BenchArgs {
     pub seed: u64,
     /// CPU worker threads (paper default 16).
     pub nc: usize,
+    /// Whether `--nc` was passed explicitly (vs the default): lets
+    /// binaries that would otherwise auto-size real-thread runs honor an
+    /// explicit request even when it equals the default.
+    pub nc_from_cli: bool,
     /// GPU count (paper default 1).
     pub ng: usize,
     /// GPU parallel workers (paper default 128).
@@ -49,6 +53,7 @@ impl Default for BenchArgs {
             iterations: 20,
             seed: 42,
             nc: 16,
+            nc_from_cli: false,
             ng: 1,
             workers: 128,
             quick: false,
@@ -93,6 +98,7 @@ impl BenchArgs {
                 "--nc" => {
                     take(&mut value);
                     out.nc = value.parse().expect("--nc: integer");
+                    out.nc_from_cli = true;
                 }
                 "--ng" => {
                     take(&mut value);

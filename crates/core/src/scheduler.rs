@@ -20,7 +20,7 @@
 
 use std::ops::Range;
 
-use mf_sparse::{BlockId, GridPartition, GridSpec};
+use mf_sparse::{BlockId, FreeBlockPool, GridPartition, GridSpec};
 
 use crate::layout::StarLayout;
 
@@ -159,16 +159,20 @@ fn task_from_blocks(
 // ---------------------------------------------------------------------------
 
 /// FPSGD-style scheduling over a uniform grid.
+///
+/// Selection is delegated to a [`FreeBlockPool`], so each `next_task` is
+/// amortized O(log B) rather than a full O(rows × cols) grid scan; the
+/// policy (least count, row-major tie-break, per-block soft cap) is
+/// bit-identical to the exhaustive scan it replaced — the pool tests
+/// cross-check against that oracle.
 #[derive(Debug, Clone)]
 pub struct UniformScheduler {
     spec: GridSpec,
-    occ: Occupancy,
-    counts: Vec<u32>,
-    /// Per-block soft cap (`target + SOFT_CAP_SLACK`). `Some`: counts stay
-    /// within slack of the target (CPU-Only / GPU-Only). `None`: only the
-    /// global total is bounded — the HSGD policy that Example 3 shows can
-    /// go badly unbalanced.
-    per_block_cap: Option<u32>,
+    /// Free-block selection + per-block counts + band occupancy. The cap
+    /// (`iterations + SOFT_CAP_SLACK` when per-block capping is on, `None`
+    /// for the HSGD policy Example 3 shows can go badly unbalanced) lives
+    /// inside the pool.
+    pool: FreeBlockPool,
     remaining: u64,
     completed: u64,
 }
@@ -179,9 +183,11 @@ impl UniformScheduler {
     pub fn new(spec: GridSpec, iterations: u32, cap_per_block: bool) -> UniformScheduler {
         let blocks = spec.block_count();
         UniformScheduler {
-            occ: Occupancy::new(spec.nrow_blocks(), spec.ncol_blocks()),
-            counts: vec![0; blocks],
-            per_block_cap: cap_per_block.then_some(iterations + SOFT_CAP_SLACK),
+            pool: FreeBlockPool::new(
+                spec.nrow_blocks(),
+                spec.ncol_blocks(),
+                cap_per_block.then_some(iterations + SOFT_CAP_SLACK),
+            ),
             remaining: blocks as u64 * iterations as u64,
             completed: 0,
             spec,
@@ -198,37 +204,14 @@ impl BlockScheduler for UniformScheduler {
         if self.remaining == 0 {
             return None;
         }
-        let mut best: Option<(u32, BlockId)> = None;
-        for r in 0..self.spec.nrow_blocks() {
-            if self.occ.row_busy[r as usize] {
-                continue;
-            }
-            for c in 0..self.spec.ncol_blocks() {
-                if self.occ.col_busy[c as usize] {
-                    continue;
-                }
-                let id = BlockId::new(r, c);
-                let count = self.counts[self.spec.flat_index(id)];
-                if let Some(cap) = self.per_block_cap {
-                    if count >= cap {
-                        continue;
-                    }
-                }
-                if best.is_none_or(|(b, _)| count < b) {
-                    best = Some((count, id));
-                }
-            }
-        }
-        let (count, id) = best?;
-        self.counts[self.spec.flat_index(id)] += 1;
+        let (id, count) = self.pool.acquire()?;
         self.remaining -= 1;
-        let task = task_from_blocks(&self.spec, part, vec![id], count, false);
-        self.occ.acquire(&task);
-        Some(task)
+        Some(task_from_blocks(&self.spec, part, vec![id], count, false))
     }
 
     fn release(&mut self, task: &Task) {
-        self.occ.release(task);
+        debug_assert_eq!(task.blocks.len(), 1, "uniform tasks are single blocks");
+        self.pool.release(task.blocks[0]);
         self.completed += task.blocks.len() as u64;
     }
 
@@ -241,7 +224,7 @@ impl BlockScheduler for UniformScheduler {
     }
 
     fn counts(&self) -> &[u32] {
-        &self.counts
+        self.pool.counts()
     }
 }
 
@@ -623,6 +606,106 @@ mod tests {
         assert_eq!(sched.remaining(), 0);
         assert!(sched.counts().iter().all(|&c| c == 4));
         assert_eq!(sched.completed(), 9 * 4);
+    }
+
+    /// The pre-pool `next_task`: an exhaustive O(rows × cols) scan for the
+    /// least-count free block. Kept as the oracle the pool-backed
+    /// scheduler is cross-checked against — deliberately *not* expressed
+    /// via `FreeBlockPool::scan_reference_pick`, so this test stays an
+    /// independent replica of the replaced implementation (own state, own
+    /// pick loop) rather than validating the pool against itself.
+    struct ScanOracle {
+        rows: u32,
+        cols: u32,
+        row_busy: Vec<bool>,
+        col_busy: Vec<bool>,
+        counts: Vec<u32>,
+        cap: Option<u32>,
+    }
+
+    impl ScanOracle {
+        fn new(rows: u32, cols: u32, cap: Option<u32>) -> ScanOracle {
+            ScanOracle {
+                rows,
+                cols,
+                row_busy: vec![false; rows as usize],
+                col_busy: vec![false; cols as usize],
+                counts: vec![0; (rows * cols) as usize],
+                cap,
+            }
+        }
+
+        fn next(&mut self) -> Option<BlockId> {
+            let mut best: Option<(u32, BlockId)> = None;
+            for r in 0..self.rows {
+                if self.row_busy[r as usize] {
+                    continue;
+                }
+                for c in 0..self.cols {
+                    if self.col_busy[c as usize] {
+                        continue;
+                    }
+                    let count = self.counts[(r * self.cols + c) as usize];
+                    if self.cap.is_some_and(|cap| count >= cap) {
+                        continue;
+                    }
+                    if best.is_none_or(|(b, _)| count < b) {
+                        best = Some((count, BlockId::new(r, c)));
+                    }
+                }
+            }
+            let (_, id) = best?;
+            self.counts[(id.row * self.cols + id.col) as usize] += 1;
+            self.row_busy[id.row as usize] = true;
+            self.col_busy[id.col as usize] = true;
+            Some(id)
+        }
+
+        fn release(&mut self, id: BlockId) {
+            self.row_busy[id.row as usize] = false;
+            self.col_busy[id.col as usize] = false;
+        }
+    }
+
+    #[test]
+    fn uniform_pool_matches_exhaustive_scan_oracle() {
+        for cap_per_block in [true, false] {
+            let iterations = 3;
+            let data = dense_matrix(12, 20);
+            let spec = GridSpec::uniform(12, 20, 6, 5);
+            let part = GridPartition::build(&data, spec.clone());
+            let mut sched = UniformScheduler::new(spec, iterations, cap_per_block);
+            let cap = cap_per_block.then_some(iterations + SOFT_CAP_SLACK);
+            let mut oracle = ScanOracle::new(6, 5, cap);
+            let mut held: Vec<Task> = Vec::new();
+            // Deterministic mixed acquire/release traffic, as a worker
+            // pool would generate it.
+            for step in 0..500u64 {
+                if step % 4 == 3 && !held.is_empty() {
+                    let t = held.remove(step as usize % held.len());
+                    oracle.release(t.blocks[0]);
+                    sched.release(&t);
+                } else {
+                    let want = if sched.remaining() == 0 {
+                        None
+                    } else {
+                        oracle.next()
+                    };
+                    let got = sched.next_task(WorkerClass::Cpu, &part);
+                    assert_eq!(
+                        got.as_ref().map(|t| t.blocks[0]),
+                        want,
+                        "step {step}: pool pick diverged from scan oracle"
+                    );
+                    match got {
+                        Some(t) => held.push(t),
+                        None if held.is_empty() => break,
+                        None => {}
+                    }
+                }
+            }
+            assert_eq!(sched.counts(), &oracle.counts[..]);
+        }
     }
 
     #[test]

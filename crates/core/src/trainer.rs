@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 
 use mf_des::{Engine, EngineHandle, SimTime};
 use mf_sgd::{eval, Model};
-use mf_sparse::{GridPartition, SparseMatrix};
+use mf_sparse::{BlockOrder, GridPartition, SparseMatrix};
 
 use crate::config::HeteroConfig;
 use crate::devices::{CpuWorker, GpuWorker};
@@ -218,7 +218,10 @@ pub fn run_training<S: BlockScheduler>(
     alpha_planned: Option<f64>,
     label: &str,
 ) -> TrainOutcome {
-    let part = GridPartition::build(train, scheduler.spec().clone());
+    // User-major within each block: consecutive updates reuse the same
+    // cache-resident `P` row (see `BlockOrder::UserMajor`).
+    let part =
+        GridPartition::build_with_order(train, scheduler.spec().clone(), BlockOrder::UserMajor);
     let nblocks = scheduler.spec().block_count() as u64;
     let model = Model::init_for_ratings(
         train.nrows(),

@@ -13,7 +13,7 @@
 
 use parking_lot::{Condvar, Mutex};
 
-use mf_sparse::{BlockId, GridPartition, GridSpec, SparseMatrix};
+use mf_sparse::{BlockOrder, FreeBlockPool, GridPartition, GridSpec, SparseMatrix};
 
 use crate::model::Model;
 use crate::sequential::TrainConfig;
@@ -62,44 +62,14 @@ pub struct FpsgdReport {
     pub total_passes: u64,
 }
 
+/// Scheduler state under the mutex: the incremental free-block pool plus
+/// the global pass budget. Picking the least-updated conflict-free block
+/// is amortized O(log B) (see [`FreeBlockPool`]) instead of the naive
+/// O(rows × cols) grid scan, so the critical section is bookkeeping only.
 struct Sched {
-    rows: u32,
-    cols: u32,
-    row_busy: Vec<bool>,
-    col_busy: Vec<bool>,
-    /// Pass count per block, row-major.
-    counts: Vec<u32>,
+    pool: FreeBlockPool,
     /// Block passes not yet assigned.
     remaining: u64,
-    /// Each block is processed exactly this many times.
-    target: u32,
-}
-
-impl Sched {
-    /// The free block with the smallest pass count that still needs
-    /// passes, or `None`.
-    fn pick(&self) -> Option<BlockId> {
-        let mut best: Option<(u32, BlockId)> = None;
-        for r in 0..self.rows {
-            if self.row_busy[r as usize] {
-                continue;
-            }
-            for c in 0..self.cols {
-                if self.col_busy[c as usize] {
-                    continue;
-                }
-                let count = self.counts[(r * self.cols + c) as usize];
-                if count >= self.target {
-                    continue;
-                }
-                match best {
-                    Some((b, _)) if b <= count => {}
-                    _ => best = Some((count, BlockId::new(r, c))),
-                }
-            }
-        }
-        best.map(|(_, id)| id)
-    }
 }
 
 /// Trains with FPSGD and returns the model.
@@ -112,7 +82,7 @@ pub fn train_with_report(data: &SparseMatrix, cfg: &FpsgdConfig) -> (Model, Fpsg
     assert!(cfg.threads > 0, "need at least one worker");
     let (rows, cols) = cfg.grid_shape();
     let spec = GridSpec::uniform(data.nrows(), data.ncols(), rows, cols);
-    let part = GridPartition::build(data, spec);
+    let part = GridPartition::build_with_order(data, spec, BlockOrder::UserMajor);
     let mut model = Model::init_for_ratings(
         data.nrows(),
         data.ncols(),
@@ -124,13 +94,8 @@ pub fn train_with_report(data: &SparseMatrix, cfg: &FpsgdConfig) -> (Model, Fpsg
     let nblocks = (rows * cols) as usize;
     let target = cfg.train.iterations;
     let sched = Mutex::new(Sched {
-        rows,
-        cols,
-        row_busy: vec![false; rows as usize],
-        col_busy: vec![false; cols as usize],
-        counts: vec![0; nblocks],
+        pool: FreeBlockPool::new(rows, cols, Some(target)),
         remaining: nblocks as u64 * target as u64,
-        target,
     });
     let cond = Condvar::new();
     let shared = SharedModel::new(&mut model);
@@ -148,21 +113,22 @@ pub fn train_with_report(data: &SparseMatrix, cfg: &FpsgdConfig) -> (Model, Fpsg
                     let mut st = sched.lock();
                     loop {
                         if st.remaining == 0 {
+                            // Run over: every sleeper must wake to exit.
                             cond.notify_all();
                             return;
                         }
-                        if let Some(id) = st.pick() {
-                            let flat = (id.row * st.cols + id.col) as usize;
-                            let pass = st.counts[flat];
-                            st.counts[flat] += 1;
+                        if let Some((id, pass)) = st.pool.acquire() {
                             st.remaining -= 1;
-                            st.row_busy[id.row as usize] = true;
-                            st.col_busy[id.col as usize] = true;
                             break (id, pass);
                         }
                         cond.wait(&mut st);
                     }
                 };
+                // A successful acquire may have left a second block
+                // assignable (the bands just taken don't cover the whole
+                // frontier); pass the baton to one sleeper instead of
+                // waking the herd.
+                cond.notify_one();
                 // Process it outside the lock. SAFETY: the scheduler marked
                 // this block's row and column bands busy, so no other worker
                 // touches the same factor rows until we release them.
@@ -175,24 +141,28 @@ pub fn train_with_report(data: &SparseMatrix, cfg: &FpsgdConfig) -> (Model, Fpsg
                         hyper.lambda_q,
                     );
                 }
-                // Release.
+                // Release, then wake exactly one waiter: a single release
+                // frees one row band and one column band, which can enable
+                // at most a couple of new assignments — the woken worker
+                // re-notifies after its own acquire (baton passing), so no
+                // assignable block is ever stranded.
                 {
                     let mut st = sched.lock();
-                    st.row_busy[id.row as usize] = false;
-                    st.col_busy[id.col as usize] = false;
+                    st.pool.release(id);
                 }
-                cond.notify_all();
+                cond.notify_one();
             });
         }
     });
     drop(shared);
 
     let st = sched.into_inner();
-    let total: u64 = st.counts.iter().map(|&c| c as u64).sum();
+    let update_counts = st.pool.counts().to_vec();
+    let total: u64 = update_counts.iter().map(|&c| c as u64).sum();
     (
         model,
         FpsgdReport {
-            update_counts: st.counts,
+            update_counts,
             grid_rows: rows,
             grid_cols: cols,
             total_passes: total,

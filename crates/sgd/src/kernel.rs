@@ -1,15 +1,124 @@
 //! The inner SGD update (paper Eq. 3–6).
 //!
 //! This is the hottest code in the workspace: every trainer — sequential,
-//! Hogwild, FPSGD, the simulated GPU — funnels through [`sgd_step`]. The
-//! loops are written over exact-length slices obtained via `zip`, which
-//! lets LLVM elide bounds checks and autovectorize.
+//! Hogwild, FPSGD, the simulated GPU — funnels through [`sgd_step`]. Two
+//! implementations exist behind one dispatching front door:
+//!
+//! * **Monomorphized kernels** for the common latent dimensions
+//!   ([`MONO_DIMS`]: k = 8, 16, 32, 64, 128). Each is a const-generic
+//!   instantiation over `&[f32; K]`, so every loop has a compile-time trip
+//!   count, no bounds checks survive, and the dot product runs on
+//!   [`LANES`] split accumulators — breaking the floating-point add
+//!   dependency chain that keeps a naive `sum()` serial — in exactly the
+//!   shape LLVM autovectorizes (and fuses to FMA where the target has it).
+//! * **A scalar reference path** ([`sgd_step_scalar`]) for every other
+//!   `k`, written over exact-length `zip`s. It is also the semantic
+//!   oracle the property tests compare the monomorphized kernels against.
+//!
+//! Dispatch is a single match on `k` per call — per *block* for the block
+//! entry points, so the hot rating loop itself is fully monomorphic.
+//!
+//! Note the monomorphized dot reduces in a different association order
+//! than the scalar one, so results may differ from the reference in the
+//! last ulps (within 1e-6 for unit-scale factors); both orders are valid
+//! realizations of Eq. 6.
 
-/// Dot product `p · q` over two `k`-vectors.
+use mf_sparse::Rating;
+
+/// Latent dimensions with a dedicated monomorphized kernel. Every entry
+/// must be a multiple of [`LANES`].
+pub const MONO_DIMS: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// Generates the `k` match that routes a call to its monomorphized
+/// instantiation — the single place the dispatchable dimensions are
+/// spelled out as match arms. The `const` assertion below pins the arm
+/// list to [`MONO_DIMS`], and the fallback arm debug-asserts the reverse
+/// direction, so the two cannot drift apart silently.
+macro_rules! dispatch_k {
+    ($k:expr, $mono:ident($($args:expr),* $(,)?), $fallback:expr) => {
+        match $k {
+            8 => $mono::<8>($($args),*),
+            16 => $mono::<16>($($args),*),
+            32 => $mono::<32>($($args),*),
+            64 => $mono::<64>($($args),*),
+            128 => $mono::<128>($($args),*),
+            k => {
+                debug_assert!(
+                    !is_monomorphized(k),
+                    "dimension {k} is in MONO_DIMS but has no dispatch arm"
+                );
+                $fallback
+            }
+        }
+    };
+}
+
+const _: () = assert!(
+    matches!(MONO_DIMS, [8, 16, 32, 64, 128]),
+    "MONO_DIMS changed: update the dispatch_k! match arms to match"
+);
+
+/// Split-accumulator width of the monomorphized dot product: eight
+/// partial sums, enough independent chains to saturate two 4-wide (SSE)
+/// or one 8-wide (AVX) FP pipe without spilling accumulator registers.
+pub const LANES: usize = 8;
+
+/// Whether `k` has a monomorphized kernel (dispatch would take the fast
+/// path).
+#[inline]
+pub fn is_monomorphized(k: usize) -> bool {
+    MONO_DIMS.contains(&k)
+}
+
+/// Dot product `p · q` over two `k`-vectors, dispatching to the
+/// monomorphized kernel when `p.len()` is in [`MONO_DIMS`].
 #[inline]
 pub fn dot(p: &[f32], q: &[f32]) -> f32 {
     debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(p.len(), dot_mono_slices(p, q), dot_scalar(p, q))
+}
+
+/// Slice-view adapter over [`dot_mono`] for the dispatch macro.
+#[inline(always)]
+fn dot_mono_slices<const K: usize>(p: &[f32], q: &[f32]) -> f32 {
+    dot_mono::<K>(
+        p.try_into().expect("dispatch guarantees length K"),
+        q.try_into().expect("dispatch guarantees length K"),
+    )
+}
+
+/// The scalar reference dot product (sequential left-to-right sum).
+#[inline]
+pub fn dot_scalar(p: &[f32], q: &[f32]) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
     p.iter().zip(q).map(|(a, b)| a * b).sum()
+}
+
+/// Monomorphized dot product: [`LANES`] independent partial sums over
+/// compile-time-length arrays, reduced by a tree at the end.
+#[inline(always)]
+fn dot_mono<const K: usize>(p: &[f32; K], q: &[f32; K]) -> f32 {
+    const { assert!(K % LANES == 0 && K > 0) };
+    // Seed the accumulators with the first chunk's products instead of
+    // zeros: at K == LANES (k = 8) the whole dot is then just the products
+    // plus the tree reduction — same op count as the scalar chain but
+    // depth log₂(8), not 7 — instead of paying LANES wasted adds.
+    let mut acc = [0f32; LANES];
+    let mut l = 0;
+    while l < LANES {
+        acc[l] = p[l] * q[l];
+        l += 1;
+    }
+    let mut i = LANES;
+    while i < K {
+        let mut l = 0;
+        while l < LANES {
+            acc[l] += p[i + l] * q[i + l];
+            l += 1;
+        }
+        i += LANES;
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))
 }
 
 /// One SGD update for a single rating (Eq. 6):
@@ -22,7 +131,8 @@ pub fn dot(p: &[f32], q: &[f32]) -> f32 {
 ///
 /// Returns the *pre-update* error `e`, which trainers accumulate for
 /// streaming loss estimates. The update uses the pre-update `p` in the `q`
-/// rule (and vice versa), matching Algorithm 1 exactly.
+/// rule (and vice versa), matching Algorithm 1 exactly. Dispatches on
+/// `p.len()` to a monomorphized kernel when one exists.
 #[inline]
 pub fn sgd_step(
     p: &mut [f32],
@@ -33,7 +143,25 @@ pub fn sgd_step(
     lambda_q: f32,
 ) -> f32 {
     debug_assert_eq!(p.len(), q.len());
-    let e = r - dot(p, q);
+    dispatch_k!(
+        p.len(),
+        sgd_step_mono(p, q, r, gamma, lambda_p, lambda_q),
+        sgd_step_scalar(p, q, r, gamma, lambda_p, lambda_q)
+    )
+}
+
+/// The scalar reference update — any `k`, exact-length `zip` loops.
+#[inline]
+pub fn sgd_step_scalar(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    let e = r - dot_scalar(p, q);
     let ge = gamma * e;
     let glp = gamma * lambda_p;
     let glq = gamma * lambda_q;
@@ -46,19 +174,66 @@ pub fn sgd_step(
     e
 }
 
+/// Monomorphized fused update over `&[f32; K]` views: compile-time trip
+/// counts, no bounds checks, fully unrollable by LLVM.
+#[inline(always)]
+fn sgd_step_mono<const K: usize>(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    let p: &mut [f32; K] = p.try_into().expect("dispatch guarantees length K");
+    let q: &mut [f32; K] = q.try_into().expect("dispatch guarantees length K");
+    let e = r - dot_mono::<K>(p, q);
+    let ge = gamma * e;
+    let glp = gamma * lambda_p;
+    let glq = gamma * lambda_q;
+    let mut i = 0;
+    while i < K {
+        let pv = p[i];
+        let qv = q[i];
+        p[i] = pv + ge * qv - glp * pv;
+        q[i] = qv + ge * pv - glq * qv;
+        i += 1;
+    }
+    e
+}
+
 /// Applies [`sgd_step`] to every rating in `block`, with factors fetched
 /// from raw model storage. `p`/`q` are the full factor buffers; `k` the
 /// latent dimension. Returns the sum of squared pre-update errors, used
 /// for streaming loss monitoring.
 ///
 /// This free-function form (instead of a `&mut Model` method) is what the
-/// shared-memory trainers need: they hold disjoint-region raw views.
+/// shared-memory trainers need: they hold disjoint-region raw views. The
+/// `k` dispatch happens once per block, so the rating loop is monomorphic.
 #[inline]
 pub fn sgd_block(
     p: &mut [f32],
     q: &mut [f32],
     k: usize,
-    block: &[mf_sparse::Rating],
+    block: &[Rating],
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    dispatch_k!(
+        k,
+        sgd_block_mono(p, q, block, gamma, lambda_p, lambda_q),
+        sgd_block_scalar(p, q, k, block, gamma, lambda_p, lambda_q)
+    )
+}
+
+/// The scalar reference block loop — [`sgd_step_scalar`] per rating.
+#[inline]
+pub fn sgd_block_scalar(
+    p: &mut [f32],
+    q: &mut [f32],
+    k: usize,
+    block: &[Rating],
     gamma: f32,
     lambda_p: f32,
     lambda_q: f32,
@@ -68,7 +243,107 @@ pub fn sgd_block(
         let pu = &mut p[e.u as usize * k..(e.u as usize + 1) * k];
         // SAFETY-free re-borrow: p and q are distinct slices.
         let qv = &mut q[e.v as usize * k..(e.v as usize + 1) * k];
-        let err = sgd_step(pu, qv, e.r, gamma, lambda_p, lambda_q);
+        let err = sgd_step_scalar(pu, qv, e.r, gamma, lambda_p, lambda_q);
+        sq_err += (err as f64) * (err as f64);
+    }
+    sq_err
+}
+
+#[inline(always)]
+fn sgd_block_mono<const K: usize>(
+    p: &mut [f32],
+    q: &mut [f32],
+    block: &[Rating],
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    let mut sq_err = 0f64;
+    for e in block {
+        let pu = &mut p[e.u as usize * K..][..K];
+        let qv = &mut q[e.v as usize * K..][..K];
+        let err = sgd_step_mono::<K>(pu, qv, e.r, gamma, lambda_p, lambda_q);
+        sq_err += (err as f64) * (err as f64);
+    }
+    sq_err
+}
+
+/// Block update over raw factor pointers — the disjoint-region fast path
+/// used by [`crate::shared::SharedModel::sgd_block_exclusive`]. Dispatches
+/// once per block like [`sgd_block`].
+///
+/// # Safety
+///
+/// For the duration of the call, `p`/`q` must point to buffers of at least
+/// `(max u + 1) · k` / `(max v + 1) · k` floats over the users/items in
+/// `block`, and no other thread may access the factor rows of any user or
+/// item appearing in `block`.
+#[inline]
+pub unsafe fn sgd_block_raw(
+    p: *mut f32,
+    q: *mut f32,
+    k: usize,
+    block: &[Rating],
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    dispatch_k!(
+        k,
+        sgd_block_raw_mono(p, q, block, gamma, lambda_p, lambda_q),
+        unsafe { sgd_block_raw_with(p, q, k, block, gamma, lambda_p, lambda_q, sgd_step_scalar) }
+    )
+}
+
+/// Monomorphized raw-pointer block loop (see [`sgd_block_raw`] for the
+/// safety contract, which this inherits).
+#[inline(always)]
+unsafe fn sgd_block_raw_mono<const K: usize>(
+    p: *mut f32,
+    q: *mut f32,
+    block: &[Rating],
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    unsafe {
+        sgd_block_raw_with(
+            p,
+            q,
+            K,
+            block,
+            gamma,
+            lambda_p,
+            lambda_q,
+            sgd_step_mono::<K>,
+        )
+    }
+}
+
+/// Shared raw-pointer block loop, parameterized over the per-rating step.
+///
+/// # Safety
+///
+/// Same contract as [`sgd_block_raw`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sgd_block_raw_with(
+    p: *mut f32,
+    q: *mut f32,
+    k: usize,
+    block: &[Rating],
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+    step: impl Fn(&mut [f32], &mut [f32], f32, f32, f32, f32) -> f32,
+) -> f64 {
+    let mut sq_err = 0f64;
+    for e in block {
+        // SAFETY: rows are in bounds and exclusively ours (caller
+        // contract).
+        let pu = unsafe { std::slice::from_raw_parts_mut(p.add(e.u as usize * k), k) };
+        let qv = unsafe { std::slice::from_raw_parts_mut(q.add(e.v as usize * k), k) };
+        let err = step(pu, qv, e.r, gamma, lambda_p, lambda_q);
         sq_err += (err as f64) * (err as f64);
     }
     sq_err
@@ -82,6 +357,41 @@ mod tests {
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mono_dot_matches_scalar() {
+        for &k in &MONO_DIMS {
+            let p: Vec<f32> = (0..k).map(|i| 0.1 + 0.01 * i as f32).collect();
+            let q: Vec<f32> = (0..k).map(|i| 0.9 - 0.005 * i as f32).collect();
+            let fast = dot(&p, &q);
+            let slow = dot_scalar(&p, &q);
+            assert!(
+                (fast - slow).abs() < 1e-4,
+                "k={k}: mono {fast} vs scalar {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn mono_step_matches_scalar_reference() {
+        for &k in &MONO_DIMS {
+            // Unit-scale factors (entries ~ 1/√k, like a real model init),
+            // so dot products stay O(1) and the association-order drift of
+            // the split-accumulator sum stays within a few f32 ulps.
+            let s = 1.0 / (k as f32).sqrt();
+            let p0: Vec<f32> = (0..k).map(|i| (0.3 + 0.002 * i as f32) * s).collect();
+            let q0: Vec<f32> = (0..k).map(|i| (0.7 - 0.003 * i as f32) * s).collect();
+            let (mut pa, mut qa) = (p0.clone(), q0.clone());
+            let (mut pb, mut qb) = (p0, q0);
+            let ea = sgd_step(&mut pa, &mut qa, 3.5, 0.01, 0.05, 0.07);
+            let eb = sgd_step_scalar(&mut pb, &mut qb, 3.5, 0.01, 0.05, 0.07);
+            assert!((ea - eb).abs() < 1e-5, "k={k}: error {ea} vs {eb}");
+            for i in 0..k {
+                assert!((pa[i] - pb[i]).abs() < 1e-6, "k={k} p[{i}]");
+                assert!((qa[i] - qb[i]).abs() < 1e-6, "k={k} q[{i}]");
+            }
+        }
     }
 
     #[test]
@@ -157,7 +467,6 @@ mod tests {
 
     #[test]
     fn block_update_accumulates_squared_error() {
-        use mf_sparse::Rating;
         let k = 2;
         let mut p = vec![0.0f32; 2 * k];
         let mut q = vec![0.0f32; 2 * k];
@@ -165,5 +474,63 @@ mod tests {
         let sq = sgd_block(&mut p, &mut q, k, &block, 0.1, 0.0, 0.0);
         // With zero-initialized factors, e = r for both entries.
         assert!((sq - (1.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mono_block_matches_scalar_block() {
+        for &k in &MONO_DIMS {
+            let users = 4u32;
+            let items = 5u32;
+            let scale = 1.0 / (k as f32).sqrt();
+            let init = |n: usize, s: f32| -> Vec<f32> {
+                (0..n)
+                    .map(|i| (s + 0.001 * (i % 97) as f32) * scale)
+                    .collect()
+            };
+            let block: Vec<Rating> = (0..40)
+                .map(|i| Rating::new(i % users, (i * 3) % items, 1.0 + (i % 5) as f32))
+                .collect();
+            let mut pa = init(users as usize * k, 0.2);
+            let mut qa = init(items as usize * k, 0.3);
+            let mut pb = pa.clone();
+            let mut qb = qa.clone();
+            let sa = sgd_block(&mut pa, &mut qa, k, &block, 0.01, 0.02, 0.03);
+            let sb = sgd_block_scalar(&mut pb, &mut qb, k, &block, 0.01, 0.02, 0.03);
+            assert!((sa - sb).abs() < 1e-4, "k={k}: {sa} vs {sb}");
+            for (a, b) in pa.iter().zip(&pb) {
+                assert!((a - b).abs() < 1e-5, "k={k} P drift");
+            }
+            for (a, b) in qa.iter().zip(&qb) {
+                assert!((a - b).abs() < 1e-5, "k={k} Q drift");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_block_matches_safe_block() {
+        let k = 16;
+        let (users, items) = (6usize, 6usize);
+        let mut pa: Vec<f32> = (0..users * k).map(|i| (i % 13) as f32 * 0.01).collect();
+        let mut qa: Vec<f32> = (0..items * k).map(|i| (i % 7) as f32 * 0.02).collect();
+        let mut pb = pa.clone();
+        let mut qb = qa.clone();
+        let block: Vec<Rating> = (0..24)
+            .map(|i| Rating::new((i % 6) as u32, ((i * 5) % 6) as u32, 2.0))
+            .collect();
+        let safe = sgd_block(&mut pa, &mut qa, k, &block, 0.05, 0.01, 0.01);
+        let raw = unsafe {
+            sgd_block_raw(
+                pb.as_mut_ptr(),
+                qb.as_mut_ptr(),
+                k,
+                &block,
+                0.05,
+                0.01,
+                0.01,
+            )
+        };
+        assert_eq!(safe, raw);
+        assert_eq!(pa, pb);
+        assert_eq!(qa, qb);
     }
 }

@@ -170,13 +170,30 @@ impl Model {
     /// Top-`count` items for user `u` by predicted score, excluding
     /// `exclude` (already-rated items), as `(item, score)` pairs sorted
     /// descending. The recommendation primitive used by the examples.
+    ///
+    /// Runs in `O(n·k + |exclude|·log|exclude| + n·log|exclude| + n +
+    /// count·log count)`: the exclusion test is a binary search over a
+    /// sorted copy of `exclude` (not an `O(|exclude|)` linear probe per
+    /// item), and only the top `count` survivors are selected
+    /// (`select_nth_unstable`) and sorted — not the full item catalog.
     pub fn recommend(&self, u: u32, exclude: &[u32], count: usize) -> Vec<(u32, f32)> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut excluded = exclude.to_vec();
+        excluded.sort_unstable();
         let mut scored: Vec<(u32, f32)> = (0..self.n)
-            .filter(|v| !exclude.contains(v))
+            .filter(|v| excluded.binary_search(v).is_err())
             .map(|v| (v, self.predict(u, v)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(count);
+        let desc = |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0));
+        if count < scored.len() {
+            // Partition so the `count` best items occupy the head, then
+            // sort only that head.
+            scored.select_nth_unstable_by(count, desc);
+            scored.truncate(count);
+        }
+        scored.sort_by(desc);
         scored
     }
 }
@@ -266,6 +283,23 @@ mod tests {
         assert_eq!(rec.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![2, 0]);
         let top1 = m.recommend(0, &[], 1);
         assert_eq!(top1[0].0, 1);
+    }
+
+    #[test]
+    fn recommend_partial_selection_matches_full_sort() {
+        let m = Model::init(4, 500, 8, 11);
+        let exclude: Vec<u32> = (0..500).filter(|v| v % 7 == 0).collect();
+        for count in [0usize, 1, 10, 400, 600] {
+            let fast = m.recommend(2, &exclude, count);
+            // Reference: score everything, full sort, truncate.
+            let mut full: Vec<(u32, f32)> = (0..500)
+                .filter(|v| !exclude.contains(v))
+                .map(|v| (v, m.predict(2, v)))
+                .collect();
+            full.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            full.truncate(count);
+            assert_eq!(fast, full, "count={count}");
+        }
     }
 
     #[test]

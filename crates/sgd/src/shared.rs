@@ -82,21 +82,14 @@ impl<'a> SharedModel<'a> {
         lambda_p: f32,
         lambda_q: f32,
     ) -> f64 {
-        let mut sq_err = 0f64;
+        #[cfg(debug_assertions)]
         for e in block {
             debug_assert!(e.u < self.m && e.v < self.n);
-            // SAFETY: rows are in bounds (matrix invariant) and exclusively
-            // ours (caller contract).
-            let pu = unsafe {
-                std::slice::from_raw_parts_mut(self.p.add(e.u as usize * self.k), self.k)
-            };
-            let qv = unsafe {
-                std::slice::from_raw_parts_mut(self.q.add(e.v as usize * self.k), self.k)
-            };
-            let err = kernel::sgd_step(pu, qv, e.r, gamma, lambda_p, lambda_q);
-            sq_err += (err as f64) * (err as f64);
         }
-        sq_err
+        // SAFETY: rows are in bounds (matrix invariant) and exclusively
+        // ours (caller contract); dispatch to the monomorphized kernel
+        // happens once for the whole block.
+        unsafe { kernel::sgd_block_raw(self.p, self.q, self.k, block, gamma, lambda_p, lambda_q) }
     }
 
     /// One SGD step with every factor load/store performed as a relaxed

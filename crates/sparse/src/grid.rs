@@ -258,6 +258,27 @@ pub fn balanced_cuts(weights: &[u32], bands: u32) -> Vec<u32> {
     cuts
 }
 
+/// Stable counting sort of a matrix's entries by user id, `O(nnz + m)` —
+/// the first radix pass of [`GridPartition::build_with_order`]'s
+/// user-major mode.
+fn counting_sort_by_user(m: &SparseMatrix) -> Vec<Rating> {
+    let nrows = m.nrows() as usize;
+    let mut offsets = vec![0usize; nrows + 1];
+    for e in m.entries() {
+        offsets[e.u as usize + 1] += 1;
+    }
+    for i in 0..nrows {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut out = vec![Rating::new(0, 0, 0.0); m.nnz()];
+    for e in m.entries() {
+        let u = e.u as usize;
+        out[offsets[u]] = *e;
+        offsets[u] += 1;
+    }
+    out
+}
+
 /// Index of the band containing `x`: the last band whose start is <= x and
 /// whose end is > x. `partition_point` finds the first cut strictly greater
 /// than `x`; the band is the one before it.
@@ -267,12 +288,29 @@ fn band_of(cuts: &[u32], x: u32) -> u32 {
     (idx - 1) as u32
 }
 
+/// Within-block entry ordering for [`GridPartition::build_with_order`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockOrder {
+    /// Entries keep the relative order they had in the source matrix, so a
+    /// pre-shuffled matrix yields shuffled per-block streams.
+    #[default]
+    Stream,
+    /// Entries are grouped by user within each block (ties keep stream
+    /// order). Consecutive updates then reuse the same `P` row while it is
+    /// cache- (and register-) resident — the LIBMF/cuMF-style layout the
+    /// shared-memory trainers want. Randomness across users survives the
+    /// grouping because the pre-shuffle permutes user *ids*, not just
+    /// entry positions.
+    UserMajor,
+}
+
 /// A [`SparseMatrix`] bucketed by a [`GridSpec`]: each block's entries form
 /// one contiguous slice.
 ///
-/// Bucketing is **stable**: within a block, entries keep the relative order
-/// they had in the source matrix, so a pre-shuffled matrix yields shuffled
-/// per-block streams (what SGD wants).
+/// Bucketing is a two-pass counting sort (count → prefix-sum → scatter,
+/// `O(nnz + blocks)`, no per-block `Vec` growth) and is **stable**: within
+/// a block (and, under [`BlockOrder::UserMajor`], within a user) entries
+/// keep the relative order they had in the source matrix.
 #[derive(Debug, Clone)]
 pub struct GridPartition {
     spec: GridSpec,
@@ -285,12 +323,27 @@ pub struct GridPartition {
 }
 
 impl GridPartition {
-    /// Buckets `m`'s entries by `spec` in `O(nnz + blocks)`.
+    /// Buckets `m`'s entries by `spec` in `O(nnz + blocks)`, keeping
+    /// stream order within each block ([`BlockOrder::Stream`]).
     ///
     /// # Panics
     ///
     /// Panics if the spec's final cuts disagree with `m`'s shape.
     pub fn build(m: &SparseMatrix, spec: GridSpec) -> GridPartition {
+        Self::build_with_order(m, spec, BlockOrder::Stream)
+    }
+
+    /// Buckets `m`'s entries by `spec` with the requested within-block
+    /// ordering. [`BlockOrder::UserMajor`] costs one extra stable counting
+    /// pass keyed on the user id (`O(nnz + nrows)`): sorting by user first
+    /// and by block second leaves each block grouped by user — the
+    /// cache-friendly layout for the hot SGD loop, which then reuses each
+    /// `P` row across the user's consecutive ratings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's final cuts disagree with `m`'s shape.
+    pub fn build_with_order(m: &SparseMatrix, spec: GridSpec, order: BlockOrder) -> GridPartition {
         assert_eq!(
             *spec.row_cuts.last().unwrap(),
             m.nrows(),
@@ -301,11 +354,22 @@ impl GridPartition {
             m.ncols(),
             "col cuts must end at ncols"
         );
+        // LSD counting sort: an optional first stable pass by user id,
+        // then the stable pass by block. The block pass preserves the
+        // user grouping, so the result is user-major within each block.
+        let user_major;
+        let source: &[Rating] = match order {
+            BlockOrder::Stream => m.entries(),
+            BlockOrder::UserMajor => {
+                user_major = counting_sort_by_user(m);
+                &user_major
+            }
+        };
         let nblocks = spec.block_count();
         let mut counts = vec![0usize; nblocks + 1];
         // Pass 1: count entries per block.
         let flat_of = |e: &Rating| spec.flat_index(spec.block_of(e.u, e.v));
-        for e in m.entries() {
+        for e in source {
             counts[flat_of(e) + 1] += 1;
         }
         // Prefix-sum into offsets.
@@ -316,7 +380,7 @@ impl GridPartition {
         // Pass 2: scatter (stable).
         let mut cursor = offsets.clone();
         let mut entries = vec![Rating::new(0, 0, 0.0); m.nnz()];
-        for e in m.entries() {
+        for e in source {
             let b = flat_of(e);
             entries[cursor[b]] = *e;
             cursor[b] += 1;
@@ -517,6 +581,42 @@ mod tests {
         assert_eq!(b[0].r, 1.0);
         assert_eq!(b[1].r, 2.0);
         assert_eq!(b[2].r, 3.0);
+    }
+
+    #[test]
+    fn user_major_groups_entries_by_user() {
+        // Interleave users in the input stream.
+        let m = SparseMatrix::from_triples(vec![
+            (2, 0, 1.0),
+            (0, 1, 2.0),
+            (2, 5, 3.0),
+            (0, 0, 4.0),
+            (1, 6, 5.0),
+            (2, 1, 6.0),
+            (0, 6, 7.0),
+        ]);
+        let spec = GridSpec::uniform(3, 7, 2, 2);
+        let um = GridPartition::build_with_order(&m, spec.clone(), BlockOrder::UserMajor);
+        let stream = GridPartition::build(&m, spec);
+        assert_eq!(um.total_nnz(), m.nnz());
+        for id in um.spec().blocks() {
+            let block = um.block(id);
+            // Users ascend within a block; ties keep stream order.
+            assert!(
+                block.windows(2).all(|w| w[0].u <= w[1].u),
+                "block {id} not user-major: {block:?}"
+            );
+            // Same entry multiset as the stream-ordered partition.
+            let mut a: Vec<_> = block.iter().map(|e| (e.u, e.v)).collect();
+            let mut b: Vec<_> = stream.block(id).iter().map(|e| (e.u, e.v)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        // Ties (same user, same block) keep stream order.
+        let b00 = um.block(BlockId::new(0, 0));
+        let user0: Vec<f32> = b00.iter().filter(|e| e.u == 0).map(|e| e.r).collect();
+        assert_eq!(user0, vec![2.0, 4.0]);
     }
 
     #[test]

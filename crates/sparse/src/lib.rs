@@ -12,6 +12,9 @@
 //!   HSGD, and HSGD\*: cut a matrix into a grid of blocks along arbitrary
 //!   (possibly nonuniform) row/column boundaries, and access each block's
 //!   entries as a contiguous slice.
+//! * [`pool`] — the incrementally maintained free-block pool that answers
+//!   the schedulers' "least-count conflict-free block" query in amortized
+//!   O(log B) instead of a full grid scan.
 //! * [`shuffle`] — deterministic entry shuffling and row/column permutation
 //!   (the paper shuffles the input so the training samples are not skewed by
 //!   input order, Sec. V-A).
@@ -24,8 +27,10 @@ pub mod csr;
 pub mod grid;
 pub mod io;
 pub mod matrix;
+pub mod pool;
 pub mod shuffle;
 
 pub use csr::{CscView, CsrView};
-pub use grid::{balanced_cuts, BlockId, GridPartition, GridSpec};
+pub use grid::{balanced_cuts, BlockId, BlockOrder, GridPartition, GridSpec};
 pub use matrix::{Rating, SparseMatrix};
+pub use pool::FreeBlockPool;

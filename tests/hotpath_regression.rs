@@ -1,0 +1,129 @@
+//! Quality regression guard for the hot-path overhaul (monomorphized
+//! kernels + pool-based O(log B) scheduling + user-major block layout).
+//!
+//! Training quality must not depend on *how fast* the scheduler picks
+//! blocks or on the kernel's summation association order: with fixed
+//! seeds, FPSGD (real threads) and the virtual-time CPU-Only/HSGD runs
+//! must still converge to the same RMSE band on the planted low-rank
+//! generator that the pre-overhaul code reached, and the capped
+//! scheduler's per-block pass counts must stay exactly level.
+
+use hsgd_star::data::{generator, GeneratorConfig};
+use hsgd_star::hetero::{experiments, Algorithm, CpuSpec, HeteroConfig};
+use hsgd_star::sgd::sequential::TrainConfig;
+use hsgd_star::sgd::{eval, fpsgd, HyperParams, LearningRate};
+
+fn dataset(seed: u64) -> generator::Dataset {
+    generator::generate(&GeneratorConfig {
+        name: "hotpath".into(),
+        num_users: 400,
+        num_items: 300,
+        num_train: 24_000,
+        num_test: 2_400,
+        planted_rank: 4,
+        noise_std: 0.3,
+        rating_min: 1.0,
+        rating_max: 5.0,
+        user_skew: 0.5,
+        item_skew: 0.5,
+        seed,
+    })
+}
+
+fn hyper(k: usize) -> HyperParams {
+    HyperParams {
+        k,
+        lambda_p: 0.05,
+        lambda_q: 0.05,
+        gamma: 0.02,
+        schedule: LearningRate::Fixed,
+    }
+}
+
+/// FPSGD on real threads: pinned seed, monomorphized k, user-major
+/// blocks, pool scheduler — quality must land in the pre-overhaul band
+/// (noise floor 0.3; this setup converges to ≈0.36).
+#[test]
+fn fpsgd_quality_unchanged_by_hotpath_overhaul() {
+    let ds = dataset(41);
+    for threads in [1usize, 4] {
+        let cfg = fpsgd::FpsgdConfig {
+            train: TrainConfig {
+                hyper: hyper(8),
+                iterations: 40,
+                seed: 5,
+                reshuffle: true,
+            },
+            threads,
+            grid: None,
+        };
+        let (model, report) = fpsgd::train_with_report(&ds.train, &cfg);
+        let rmse = eval::rmse(&model, &ds.test);
+        assert!(
+            rmse < 0.40,
+            "fpsgd({threads} threads) regressed: rmse {rmse}"
+        );
+        // The exact-cap discipline survives the pool rewrite.
+        assert!(report.update_counts.iter().all(|&c| c == 40));
+    }
+}
+
+/// The monomorphized fast path (k = 16 ∈ MONO_DIMS) reaches the same
+/// quality as a neighboring scalar-path dimension (k = 12): dispatch must
+/// not change what is computed, only how fast.
+#[test]
+fn mono_and_scalar_dims_reach_same_quality() {
+    let ds = dataset(43);
+    let run = |k: usize| {
+        let cfg = fpsgd::FpsgdConfig {
+            train: TrainConfig {
+                hyper: hyper(k),
+                iterations: 40,
+                seed: 9,
+                reshuffle: true,
+            },
+            threads: 2,
+            grid: None,
+        };
+        eval::rmse(&fpsgd::train(&ds.train, &cfg), &ds.test)
+    };
+    let mono = run(16);
+    let scalar = run(12);
+    assert!(mono < 0.40, "k=16 (mono path) rmse {mono}");
+    assert!(scalar < 0.40, "k=12 (scalar path) rmse {scalar}");
+    assert!(
+        (mono - scalar).abs() < 0.05,
+        "paths diverged: mono {mono} vs scalar {scalar}"
+    );
+}
+
+/// Virtual-time runs (pool-backed UniformScheduler, user-major partition):
+/// CPU-Only and HSGD stay deterministic in the seed and inside the
+/// pre-overhaul quality band.
+#[test]
+fn virtual_trainers_quality_and_determinism_unchanged() {
+    let ds = dataset(47);
+    let cfg = HeteroConfig {
+        hyper: hyper(8),
+        nc: 4,
+        ng: 1,
+        gpu: hsgd_star::gpu::GpuSpec::quadro_p4000().scaled_down(500.0),
+        cpu: CpuSpec::default().scaled_down(500.0),
+        iterations: 25,
+        seed: 13,
+        dynamic_scheduling: true,
+        cost_model: hsgd_star::hetero::CostModelKind::Tailored,
+        probe_interval_secs: None,
+        target_rmse: None,
+    };
+    for alg in [Algorithm::CpuOnly, Algorithm::Hsgd] {
+        let a = experiments::run(alg, &ds.train, &ds.test, &cfg);
+        let b = experiments::run(alg, &ds.train, &ds.test, &cfg);
+        assert_eq!(a.model, b.model, "{alg:?} lost bit-determinism");
+        assert!(
+            a.report.final_test_rmse < 0.45,
+            "{alg:?} regressed: rmse {}",
+            a.report.final_test_rmse
+        );
+    }
+}
