@@ -8,7 +8,7 @@ use std::hint::black_box;
 use gpu_sim::simt::{f16_round, SimtKernel};
 use gpu_sim::GpuSpec;
 use mf_sgd::{kernel, Model};
-use mf_sparse::Rating;
+use mf_sparse::{Rating, SoaRatings};
 
 fn block(n: u32, rows: u32, cols: u32) -> Vec<Rating> {
     (0..n)
@@ -61,13 +61,13 @@ fn bench_sgd_block(c: &mut Criterion) {
 
 fn bench_simt_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("simt_execute");
-    let entries = block(10_000, 512, 512);
+    let entries = SoaRatings::from_entries(&block(10_000, 512, 512));
     for workers in [32u32, 128, 512] {
         let kern = SimtKernel::new(&GpuSpec::quadro_p4000().with_workers(workers));
         let mut model = Model::init(512, 512, 16, 2);
         group.throughput(Throughput::Elements(entries.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
-            b.iter(|| black_box(kern.execute(&mut model, &entries, 0.005, 0.05, 0.05)))
+            b.iter(|| black_box(kern.execute(&mut model, entries.as_slices(), 0.005, 0.05, 0.05)))
         });
     }
     group.finish();

@@ -1,0 +1,106 @@
+//! `bench_gate` — the CI perf-regression gate.
+//!
+//! Re-measures the kernel and end-to-end hot paths in quick mode and
+//! compares them against the committed `BENCH_hotpath.json`: the build
+//! fails (exit 1) when monomorphized-SoA kernel GFLOP/s at any supported
+//! dimension, or FPSGD ratings/s (measured at the committed run's thread
+//! count and latent dimension), drops more than the tolerance below the
+//! committed value.
+//!
+//! Knobs (environment):
+//! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
+//! * `BENCH_GATE_SKIP=1` — report but never fail (escape hatch for
+//!   known-slow hosts).
+//!
+//! The quick kernel measurement uses a smaller block than the committed
+//! full run (cache-friendlier, so quick ≥ full on the same silicon) and
+//! the end-to-end run shrinks the dataset but pins `k` and the thread
+//! count to the committed values — both comparisons are conservative in
+//! the direction that avoids false failures while still catching real
+//! regressions well past the tolerance.
+
+use mf_bench::hotpath;
+
+fn main() {
+    let baseline_path = "BENCH_hotpath.json";
+    let json = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e} — nothing to gate against");
+            std::process::exit(1);
+        }
+    };
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.20);
+    let skip = std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1");
+    let floor = 1.0 - tolerance;
+    let mut failures = 0usize;
+    let mut check = |label: String, measured: f64, committed: f64| {
+        let ratio = measured / committed;
+        let verdict = if ratio >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "{label}: measured {measured:.3} vs committed {committed:.3} ({:.0}% of baseline) — {verdict}",
+            ratio * 100.0
+        );
+        if ratio < floor {
+            failures += 1;
+        }
+    };
+
+    let committed_kernels = hotpath::parse_kernel_rows(&json);
+    if committed_kernels.is_empty() {
+        eprintln!("bench_gate: no kernel rows in {baseline_path}");
+        std::process::exit(1);
+    }
+    let measured = hotpath::bench_kernels(true, 42);
+    for row in &measured {
+        if let Some(&(_, mono_ref, soa_ref)) =
+            committed_kernels.iter().find(|&&(k, _, _)| k == row.k)
+        {
+            // Gate the layout trainers actually run; fall back to the AoS
+            // number for baselines that predate the SoA column.
+            check(
+                format!("kernel k={}", row.k),
+                row.soa_gflops,
+                soa_ref.unwrap_or(mono_ref),
+            );
+        }
+    }
+
+    match hotpath::parse_fpsgd(&json) {
+        Some((threads, k, ratings_ref)) => {
+            let e2e = hotpath::bench_fpsgd_with(true, 42, threads, k);
+            check(
+                format!("fpsgd ratings/s (threads={threads}, k={k})"),
+                e2e.ratings_per_s,
+                ratings_ref,
+            );
+        }
+        None => {
+            eprintln!("bench_gate: no fpsgd section in {baseline_path}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures > 0 {
+        if skip {
+            println!(
+                "\n{failures} regression(s) past the {:.0}% tolerance — BENCH_GATE_SKIP=1, not failing",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "\nbench_gate: {failures} hot-path metric(s) regressed more than {:.0}% below {baseline_path}",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "\nbench_gate: all hot-path metrics within {:.0}% of the committed baseline",
+            tolerance * 100.0
+        );
+    }
+}

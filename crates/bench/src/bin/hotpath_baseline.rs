@@ -1,87 +1,60 @@
-//! `hotpath_baseline` — the recorded performance baseline for the three
-//! hot-path layers every trainer funnels through.
+//! `hotpath_baseline` — the recorded performance baseline for the hot-path
+//! layers every trainer funnels through (see [`mf_bench::hotpath`]).
 //!
-//! Three sections, each printed side by side against the path it
-//! replaced, and all written to `BENCH_hotpath.json` so the repo's perf
-//! trajectory has a measured point to compare future PRs against:
+//! Five sections, each printed side by side against the path it replaced,
+//! and all written to `BENCH_hotpath.json` so the repo's perf trajectory
+//! has a measured point to compare future PRs against:
 //!
-//! 1. **Kernel** — monomorphized SGD update GFLOP/s vs the scalar
-//!    reference, per supported latent dimension.
+//! 1. **Kernel** — SGD update GFLOP/s: scalar reference vs monomorphized
+//!    AoS vs monomorphized SoA (the block layout trainers now use).
 //! 2. **Scheduler** — free-block acquire/release cost on small and large
-//!    grids: the incremental [`FreeBlockPool`] vs the O(rows × cols)
-//!    exhaustive scan it replaced. The pool's cost should *not* grow with
-//!    the grid.
-//! 3. **End-to-end** — FPSGD (real threads) ratings/s on a synthetic
-//!    low-rank dataset, plus the final RMSE as a sanity check.
+//!    grids: the exhaustive scan vs [`mf_sparse::FreeBlockPool`] (linear
+//!    scan below the threshold, two-level heap above).
+//! 3. **Ingest** — the `O(nnz)` preprocessing passes: text parse, seeded
+//!    shuffle, user-major grid build, CSR build; serial vs pooled.
+//! 4. **Eval** — the RMSE reduction, serial vs pooled.
+//! 5. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
 //!
 //! Run with `--quick` for a CI smoke pass; the committed
 //! `BENCH_hotpath.json` comes from a full run:
 //! `cargo run --profile bench -p mf-bench --bin hotpath_baseline`.
 
-use std::fmt::Write as _;
-use std::hint::black_box;
-use std::time::Instant;
-
+use mf_bench::hotpath;
 use mf_bench::{print_table, BenchArgs};
-use mf_data::generator::{generate, GeneratorConfig};
-use mf_sgd::fpsgd::{self, FpsgdConfig};
-use mf_sgd::{eval, kernel, HyperParams, LearningRate};
-use mf_sparse::{BlockId, FreeBlockPool, Rating};
-
-/// FLOPs of one SGD update at dimension `k`: 2k (dot) + 8k (fused
-/// p/q update) + a handful of scalar ops.
-fn flops_per_update(k: usize) -> f64 {
-    (10 * k + 5) as f64
-}
-
-struct KernelRow {
-    k: usize,
-    scalar_gflops: f64,
-    mono_gflops: f64,
-}
-
-struct SchedRow {
-    rows: u32,
-    cols: u32,
-    scan_ns: f64,
-    pool_ns: f64,
-}
-
-struct E2e {
-    threads: usize,
-    k: usize,
-    nnz: usize,
-    iterations: u32,
-    ratings_per_s: f64,
-    rmse: f64,
-}
 
 fn main() {
     let args = BenchArgs::parse();
-    let quick = args.quick;
+    let report = hotpath::run(&args);
 
-    let kernel_rows = bench_kernels(quick, args.seed);
     print_table(
-        "hot path · SGD kernel (scalar reference vs monomorphized dispatch)",
-        &["k", "scalar GFLOP/s", "mono GFLOP/s", "speedup"],
-        &kernel_rows
+        "hot path · SGD kernel (scalar vs mono-AoS vs mono-SoA)",
+        &[
+            "k",
+            "scalar GFLOP/s",
+            "mono GFLOP/s",
+            "SoA GFLOP/s",
+            "SoA speedup",
+        ],
+        &report
+            .kernel
             .iter()
             .map(|r| {
                 vec![
                     r.k.to_string(),
                     format!("{:.3}", r.scalar_gflops),
                     format!("{:.3}", r.mono_gflops),
-                    format!("{:.2}x", r.mono_gflops / r.scalar_gflops),
+                    format!("{:.3}", r.soa_gflops),
+                    format!("{:.2}x", r.soa_gflops / r.scalar_gflops),
                 ]
             })
             .collect::<Vec<_>>(),
     );
 
-    let sched_rows = bench_scheduler(quick);
     print_table(
         "hot path · block acquire+release (exhaustive scan vs FreeBlockPool)",
         &["grid", "scan ns/op", "pool ns/op", "scan/pool"],
-        &sched_rows
+        &report
+            .scheduler
             .iter()
             .map(|r| {
                 vec![
@@ -94,7 +67,46 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    let e2e = bench_fpsgd(quick, &args);
+    let ing = &report.ingest;
+    print_table(
+        "hot path · ingest pipeline (Mentries/s; grid build in ms)",
+        &[
+            "nnz",
+            "threads",
+            "parse",
+            "shuf 1t",
+            "shuf Nt",
+            "grid 1t ms",
+            "grid Nt ms",
+            "csr 1t",
+            "csr Nt",
+        ],
+        &[vec![
+            ing.nnz.to_string(),
+            ing.threads.to_string(),
+            format!("{:.2}", ing.parse_mps),
+            format!("{:.2}", ing.shuffle_serial_mps),
+            format!("{:.2}", ing.shuffle_par_mps),
+            format!("{:.2}", ing.grid_serial_ms),
+            format!("{:.2}", ing.grid_par_ms),
+            format!("{:.2}", ing.csr_serial_mps),
+            format!("{:.2}", ing.csr_par_mps),
+        ]],
+    );
+
+    let ev = &report.eval;
+    print_table(
+        "hot path · eval reduction (RMSE, Mentries/s)",
+        &["nnz", "threads", "serial", "pooled"],
+        &[vec![
+            ev.nnz.to_string(),
+            ev.threads.to_string(),
+            format!("{:.2}", ev.rmse_serial_mps),
+            format!("{:.2}", ev.rmse_par_mps),
+        ]],
+    );
+
+    let e2e = &report.fpsgd;
     print_table(
         "hot path · end-to-end FPSGD (real threads)",
         &["threads", "k", "nnz", "iters", "ratings/s", "final RMSE"],
@@ -109,266 +121,7 @@ fn main() {
     );
 
     let path = "BENCH_hotpath.json";
-    std::fs::write(path, to_json(quick, &kernel_rows, &sched_rows, &e2e))
+    std::fs::write(path, hotpath::to_json(&report))
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {path}");
-}
-
-/// Times `f` (which consumes the prepared state from `setup`) over
-/// `runs` repetitions and returns the best wall-clock seconds.
-fn best_of<T>(runs: usize, mut setup: impl FnMut() -> T, mut f: impl FnMut(&mut T)) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..runs {
-        let mut state = setup();
-        let t0 = Instant::now();
-        f(&mut state);
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
-}
-
-fn bench_kernels(quick: bool, seed: u64) -> Vec<KernelRow> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let (m, n) = (1024u32, 1024u32);
-    let nnz = if quick { 20_000 } else { 200_000 };
-    let reps = if quick { 3 } else { 10 };
-    let runs = if quick { 2 } else { 3 };
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let block: Vec<Rating> = (0..nnz)
-        .map(|_| {
-            Rating::new(
-                rng.random::<u32>() % m,
-                rng.random::<u32>() % n,
-                1.0 + 4.0 * rng.random::<f32>(),
-            )
-        })
-        .collect();
-
-    let mut rows = Vec::new();
-    for &k in &kernel::MONO_DIMS {
-        let init = |seed_off: u64, len: usize, k: usize| -> Vec<f32> {
-            let mut rng = StdRng::seed_from_u64(seed ^ seed_off);
-            let s = 1.0 / (k as f32).sqrt();
-            (0..len).map(|_| rng.random::<f32>() * s).collect()
-        };
-        let setup = || (init(1, m as usize * k, k), init(2, n as usize * k, k));
-        let (gamma, lp, lq) = (0.005f32, 0.02f32, 0.02f32);
-        let scalar_secs = best_of(runs, setup, |(p, q)| {
-            let mut acc = 0f64;
-            for _ in 0..reps {
-                acc += kernel::sgd_block_scalar(p, q, k, &block, gamma, lp, lq);
-            }
-            black_box(acc);
-        });
-        let mono_secs = best_of(runs, setup, |(p, q)| {
-            let mut acc = 0f64;
-            for _ in 0..reps {
-                acc += kernel::sgd_block(p, q, k, &block, gamma, lp, lq);
-            }
-            black_box(acc);
-        });
-        let work = flops_per_update(k) * nnz as f64 * reps as f64;
-        rows.push(KernelRow {
-            k,
-            scalar_gflops: work / scalar_secs / 1e9,
-            mono_gflops: work / mono_secs / 1e9,
-        });
-    }
-    rows
-}
-
-/// The pre-pool scheduler core: exhaustive least-count scan. Reproduced
-/// here — with its own busy/count state, deliberately not built on
-/// `FreeBlockPool` — so the baseline keeps measuring the *replaced*
-/// implementation, not the pool wearing a costume.
-struct ScanSched {
-    rows: u32,
-    cols: u32,
-    row_busy: Vec<bool>,
-    col_busy: Vec<bool>,
-    counts: Vec<u32>,
-}
-
-impl ScanSched {
-    fn new(rows: u32, cols: u32) -> ScanSched {
-        ScanSched {
-            rows,
-            cols,
-            row_busy: vec![false; rows as usize],
-            col_busy: vec![false; cols as usize],
-            counts: vec![0; (rows * cols) as usize],
-        }
-    }
-
-    fn acquire(&mut self) -> Option<BlockId> {
-        let mut best: Option<(u32, BlockId)> = None;
-        for r in 0..self.rows {
-            if self.row_busy[r as usize] {
-                continue;
-            }
-            for c in 0..self.cols {
-                if self.col_busy[c as usize] {
-                    continue;
-                }
-                let count = self.counts[(r * self.cols + c) as usize];
-                if best.is_none_or(|(b, _)| count < b) {
-                    best = Some((count, BlockId::new(r, c)));
-                }
-            }
-        }
-        let (_, id) = best?;
-        self.counts[(id.row * self.cols + id.col) as usize] += 1;
-        self.row_busy[id.row as usize] = true;
-        self.col_busy[id.col as usize] = true;
-        Some(id)
-    }
-
-    fn release(&mut self, id: BlockId) {
-        self.row_busy[id.row as usize] = false;
-        self.col_busy[id.col as usize] = false;
-    }
-}
-
-/// Steady-state worker traffic: keep `workers` blocks in flight, releasing
-/// the oldest before each new acquire — the access pattern an FPSGD worker
-/// pool generates. Returns ns per acquire+release pair.
-fn bench_scheduler(quick: bool) -> Vec<SchedRow> {
-    let pairs = if quick { 20_000u64 } else { 200_000 };
-    let workers = 8usize;
-    let mut out = Vec::new();
-    for (rows, cols) in [(8u32, 8u32), (64, 64)] {
-        let scan_secs = {
-            let mut s = ScanSched::new(rows, cols);
-            let mut held: Vec<BlockId> = Vec::new();
-            // Fill the in-flight window outside the timed region.
-            while held.len() < workers {
-                match s.acquire() {
-                    Some(id) => held.push(id),
-                    None => break,
-                }
-            }
-            let t0 = Instant::now();
-            for i in 0..pairs {
-                let slot = (i % held.len() as u64) as usize;
-                s.release(held[slot]);
-                held[slot] = s.acquire().expect("freed bands leave a block free");
-            }
-            let secs = t0.elapsed().as_secs_f64();
-            black_box(&s.counts);
-            secs
-        };
-        let pool_secs = {
-            let mut pool = FreeBlockPool::new(rows, cols, None);
-            let mut held: Vec<BlockId> = Vec::new();
-            while held.len() < workers {
-                match pool.acquire() {
-                    Some((id, _)) => held.push(id),
-                    None => break,
-                }
-            }
-            let t0 = Instant::now();
-            for i in 0..pairs {
-                let slot = (i % held.len() as u64) as usize;
-                pool.release(held[slot]);
-                let (id, _) = pool.acquire().expect("freed bands leave a block free");
-                held[slot] = id;
-            }
-            let secs = t0.elapsed().as_secs_f64();
-            black_box(pool.counts());
-            secs
-        };
-        out.push(SchedRow {
-            rows,
-            cols,
-            scan_ns: scan_secs / pairs as f64 * 1e9,
-            pool_ns: pool_secs / pairs as f64 * 1e9,
-        });
-    }
-    out
-}
-
-fn bench_fpsgd(quick: bool, args: &BenchArgs) -> E2e {
-    // Auto-size to the host unless the user pinned --nc explicitly.
-    let threads = if args.nc_from_cli {
-        args.nc
-    } else {
-        std::thread::available_parallelism().map_or(4, |p| p.get().min(8))
-    };
-    let k = if quick { 16 } else { 32 };
-    let cfg = GeneratorConfig {
-        num_users: if quick { 500 } else { 2000 },
-        num_items: if quick { 500 } else { 2000 },
-        num_train: if quick { 30_000 } else { 400_000 },
-        num_test: if quick { 3_000 } else { 40_000 },
-        ..GeneratorConfig::tiny("hotpath", args.seed)
-    };
-    let data = generate(&cfg);
-    let iterations = if quick { 5 } else { 10 };
-    let fcfg = FpsgdConfig {
-        train: mf_sgd::sequential::TrainConfig {
-            hyper: HyperParams {
-                k,
-                lambda_p: 0.05,
-                lambda_q: 0.05,
-                gamma: 0.01,
-                schedule: LearningRate::Fixed,
-            },
-            iterations,
-            seed: args.seed,
-            reshuffle: true,
-        },
-        threads,
-        grid: None,
-    };
-    let t0 = Instant::now();
-    let model = fpsgd::train(&data.train, &fcfg);
-    let secs = t0.elapsed().as_secs_f64();
-    let updates = data.train.nnz() as f64 * iterations as f64;
-    E2e {
-        threads,
-        k,
-        nnz: data.train.nnz(),
-        iterations,
-        ratings_per_s: updates / secs,
-        rmse: eval::rmse(&model, &data.test),
-    }
-}
-
-fn to_json(quick: bool, kernels: &[KernelRow], sched: &[SchedRow], e2e: &E2e) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"bench\": \"hotpath_baseline\",");
-    let _ = writeln!(s, "  \"quick\": {quick},");
-    let _ = writeln!(s, "  \"kernel\": [");
-    for (i, r) in kernels.iter().enumerate() {
-        let comma = if i + 1 < kernels.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"k\": {}, \"scalar_gflops\": {:.4}, \"mono_gflops\": {:.4}, \"speedup\": {:.3}}}{comma}",
-            r.k,
-            r.scalar_gflops,
-            r.mono_gflops,
-            r.mono_gflops / r.scalar_gflops
-        );
-    }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"scheduler\": [");
-    for (i, r) in sched.iter().enumerate() {
-        let comma = if i + 1 < sched.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"grid\": \"{}x{}\", \"scan_ns_per_op\": {:.1}, \"pool_ns_per_op\": {:.1}}}{comma}",
-            r.rows, r.cols, r.scan_ns, r.pool_ns
-        );
-    }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(
-        s,
-        "  \"fpsgd\": {{\"threads\": {}, \"k\": {}, \"nnz\": {}, \"iterations\": {}, \"ratings_per_s\": {:.0}, \"final_rmse\": {:.5}}}",
-        e2e.threads, e2e.k, e2e.nnz, e2e.iterations, e2e.ratings_per_s, e2e.rmse
-    );
-    let _ = writeln!(s, "}}");
-    s
 }

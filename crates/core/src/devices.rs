@@ -53,7 +53,7 @@ impl CpuWorker {
     ) -> (SimTime, f64) {
         let mut sq = 0f64;
         for &b in &task.blocks {
-            for e in part.block(b) {
+            for e in part.block(b).iter() {
                 let (p, q) = model.pq_rows_mut(e.u, e.v);
                 let err = kernel::sgd_step(p, q, e.r, gamma, hyper.lambda_p, hyper.lambda_q);
                 sq += (err as f64) * (err as f64);
@@ -95,7 +95,7 @@ impl GpuWorker {
         gamma: f32,
         hyper: &HyperParams,
     ) -> (gpu_sim::BlockCost, f64) {
-        let slices: Vec<&[mf_sparse::Rating]> =
+        let slices: Vec<mf_sparse::BlockSlices<'_>> =
             task.blocks.iter().map(|&b| part.block(b)).collect();
         if self.resident_all {
             // Everything was bulk-loaded once at startup: only kernel

@@ -13,7 +13,10 @@ use crate::trainer::{run_training, DevicePool, TrainOutcome};
 
 /// Applies the standard preprocessing to a train/test pair: one shared
 /// row permutation and one shared column permutation (so factor indices
-/// stay consistent), then a shuffle of the training entry order.
+/// stay consistent), then a shuffle of the training entry order. The
+/// `O(nnz)` relabel and shuffle passes run on the process-wide
+/// `mf-par` pool and are thread-count independent, so runs stay
+/// bit-reproducible in the seed.
 pub fn preprocess_pair(
     train: &SparseMatrix,
     test: &SparseMatrix,
@@ -25,7 +28,7 @@ pub fn preprocess_pair(
     let mut te = test.clone();
     shuffle::relabel(&mut tr, Some(&row_perm), Some(&col_perm));
     shuffle::relabel(&mut te, Some(&row_perm), Some(&col_perm));
-    shuffle::shuffle_entries(&mut tr, seed ^ 0x77);
+    shuffle::par_shuffle_entries(&mut tr, seed ^ 0x77);
     (tr, te)
 }
 

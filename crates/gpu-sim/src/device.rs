@@ -4,7 +4,7 @@ use std::ops::Range;
 
 use mf_des::SimTime;
 use mf_sgd::Model;
-use mf_sparse::Rating;
+use mf_sparse::{BlockSlices, Rating};
 
 use crate::kernel_model::KernelModel;
 use crate::memory::{GlobalMemory, GpuMemError};
@@ -137,7 +137,7 @@ impl GpuDevice {
         &mut self,
         now: SimTime,
         model: &mut Model,
-        block: &[Rating],
+        block: BlockSlices<'_>,
         p_rows: Range<u32>,
         q_cols: Range<u32>,
         gamma: f32,
@@ -165,7 +165,7 @@ impl GpuDevice {
         &mut self,
         now: SimTime,
         model: &mut Model,
-        slices: &[&[Rating]],
+        slices: &[BlockSlices<'_>],
         p_rows: Range<u32>,
         q_cols: Range<u32>,
         gamma: f32,
@@ -199,7 +199,9 @@ impl GpuDevice {
         // Real arithmetic, slice by slice.
         let mut sq_err = 0.0;
         for slice in slices {
-            sq_err += self.kernel.execute(model, slice, gamma, lambda_p, lambda_q);
+            sq_err += self
+                .kernel
+                .execute(model, *slice, gamma, lambda_p, lambda_q);
         }
         self.points_processed += total_points as u64;
 
@@ -226,7 +228,7 @@ impl GpuDevice {
         &mut self,
         now: SimTime,
         model: &mut Model,
-        slices: &[&[Rating]],
+        slices: &[BlockSlices<'_>],
         gamma: f32,
         lambda_p: f32,
         lambda_q: f32,
@@ -238,7 +240,9 @@ impl GpuDevice {
             .submit(now, SimTime::ZERO, t_kernel, SimTime::ZERO);
         let mut sq_err = 0.0;
         for slice in slices {
-            sq_err += self.kernel.execute(model, slice, gamma, lambda_p, lambda_q);
+            sq_err += self
+                .kernel
+                .execute(model, *slice, gamma, lambda_p, lambda_q);
         }
         self.points_processed += total_points as u64;
         (
@@ -279,12 +283,15 @@ impl GpuDevice {
 mod tests {
     use super::*;
 
+    use mf_sparse::SoaRatings;
+
     fn device() -> GpuDevice {
         GpuDevice::new(GpuSpec::default())
     }
 
-    fn block(n: u32) -> Vec<Rating> {
-        (0..n).map(|i| Rating::new(i % 8, i % 8, 3.0)).collect()
+    fn block(n: u32) -> SoaRatings {
+        let entries: Vec<Rating> = (0..n).map(|i| Rating::new(i % 8, i % 8, 3.0)).collect();
+        SoaRatings::from_entries(&entries)
     }
 
     #[test]
@@ -294,7 +301,16 @@ mod tests {
         let before = model.clone();
         let b = block(100);
         let (cost, sq) = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.05, 0.05)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..8,
+                0..8,
+                0.01,
+                0.05,
+                0.05,
+            )
             .unwrap();
         assert_ne!(model, before, "kernel must actually update factors");
         assert!(sq > 0.0);
@@ -309,11 +325,29 @@ mod tests {
         let mut model = Model::init(64, 64, 16, 2);
         let b = block(10);
         let (cost_cold, _) = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..32, 0..8, 0.01, 0.0, 0.0)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..32,
+                0..8,
+                0.01,
+                0.0,
+                0.0,
+            )
             .unwrap();
         dev.pin_p_rows(0..32, 16).unwrap();
         let (cost_warm, _) = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..32, 0..8, 0.01, 0.0, 0.0)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..32,
+                0..8,
+                0.01,
+                0.0,
+                0.0,
+            )
             .unwrap();
         let p_bytes = 32 * 16 * 4;
         assert_eq!(cost_cold.h2d_bytes - cost_warm.h2d_bytes, p_bytes);
@@ -337,7 +371,16 @@ mod tests {
         let mut dev = GpuDevice::new(spec);
         let mut model = Model::init(8, 8, 4, 3);
         let b = block(1000);
-        let err = dev.process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.0, 0.0);
+        let err = dev.process_block(
+            SimTime::ZERO,
+            &mut model,
+            b.as_slices(),
+            0..8,
+            0..8,
+            0.01,
+            0.0,
+            0.0,
+        );
         assert!(err.is_err());
         assert_eq!(dev.memory().in_use(), 0);
         assert_eq!(dev.points_processed(), 0);
@@ -351,10 +394,28 @@ mod tests {
         let mut model = Model::init(8, 8, 4, 4);
         let b = block(50_000);
         let (c1, _) = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.0, 0.0)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..8,
+                0..8,
+                0.01,
+                0.0,
+                0.0,
+            )
             .unwrap();
         let (c2, _) = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.0, 0.0)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..8,
+                0..8,
+                0.01,
+                0.0,
+                0.0,
+            )
             .unwrap();
         let serial = (c1.t_h2d + c1.t_kernel + c1.t_d2h).as_secs();
         let increment = (c2.times.done - c1.times.done).as_secs();
@@ -385,12 +446,30 @@ mod tests {
         let mut model = Model::init(8, 8, 4, 5);
         let b = block(10);
         let _ = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.0, 0.0)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..8,
+                0..8,
+                0.01,
+                0.0,
+                0.0,
+            )
             .unwrap();
         dev.reset();
         assert_eq!(dev.points_processed(), 0);
         let (cost, _) = dev
-            .process_block(SimTime::ZERO, &mut model, &b, 0..8, 0..8, 0.01, 0.0, 0.0)
+            .process_block(
+                SimTime::ZERO,
+                &mut model,
+                b.as_slices(),
+                0..8,
+                0..8,
+                0.01,
+                0.0,
+                0.0,
+            )
             .unwrap();
         assert_eq!(cost.times.h2d_done, cost.t_h2d, "pipeline starts idle");
     }

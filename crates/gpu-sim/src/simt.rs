@@ -12,7 +12,7 @@
 //! through IEEE 754 binary16, emulating cuMF's `__half` storage.
 
 use mf_sgd::{kernel, Model};
-use mf_sparse::Rating;
+use mf_sparse::BlockSlices;
 
 use crate::spec::GpuSpec;
 
@@ -85,12 +85,13 @@ impl SimtKernel {
         self.workers
     }
 
-    /// Executes the SGD kernel over `block`, mutating `model` exactly as
-    /// the GPU would. Returns the sum of squared pre-update errors.
+    /// Executes the SGD kernel over a structure-of-arrays `block`,
+    /// mutating `model` exactly as the GPU would. Returns the sum of
+    /// squared pre-update errors.
     pub fn execute(
         &self,
         model: &mut Model,
-        block: &[Rating],
+        block: BlockSlices<'_>,
         gamma: f32,
         lambda_p: f32,
         lambda_q: f32,
@@ -108,7 +109,7 @@ impl SimtKernel {
                 if idx >= block.len() {
                     continue;
                 }
-                let e = block[idx];
+                let e = block.get(idx);
                 let (p, q) = model.pq_rows_mut(e.u, e.v);
                 if self.half_precision {
                     for x in p.iter_mut() {
@@ -138,6 +139,7 @@ impl SimtKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mf_sparse::{Rating, SoaRatings};
 
     fn spec_with(workers: u32, half: bool) -> GpuSpec {
         let mut s = GpuSpec::default().with_workers(workers);
@@ -188,11 +190,12 @@ mod tests {
         let block: Vec<Rating> = (0..20)
             .map(|i| Rating::new(i % 5, i % 4, 1.0 + (i % 3) as f32))
             .collect();
+        let soa = SoaRatings::from_entries(&block);
         let mut gpu_model = Model::init(5, 4, 8, 1);
         let mut seq_model = gpu_model.clone();
 
         let kernel1 = SimtKernel::new(&spec_with(1, false));
-        let sq_gpu = kernel1.execute(&mut gpu_model, &block, 0.01, 0.05, 0.05);
+        let sq_gpu = kernel1.execute(&mut gpu_model, soa.as_slices(), 0.01, 0.05, 0.05);
 
         let mut sq_seq = 0.0;
         for e in &block {
@@ -208,11 +211,12 @@ mod tests {
     fn many_lanes_visit_every_rating_once() {
         // With disjoint (u, v) pairs, order doesn't matter: any lane count
         // must produce the same model as sequential processing.
-        let block: Vec<Rating> = (0..64).map(|i| Rating::new(i, i, 2.0)).collect();
+        let block =
+            SoaRatings::from_entries(&(0..64).map(|i| Rating::new(i, i, 2.0)).collect::<Vec<_>>());
         let mut a = Model::init(64, 64, 4, 2);
         let mut b = a.clone();
-        SimtKernel::new(&spec_with(1, false)).execute(&mut a, &block, 0.05, 0.0, 0.0);
-        SimtKernel::new(&spec_with(16, false)).execute(&mut b, &block, 0.05, 0.0, 0.0);
+        SimtKernel::new(&spec_with(1, false)).execute(&mut a, block.as_slices(), 0.05, 0.0, 0.0);
+        SimtKernel::new(&spec_with(16, false)).execute(&mut b, block.as_slices(), 0.05, 0.0, 0.0);
         assert_eq!(a, b);
     }
 
@@ -220,24 +224,30 @@ mod tests {
     fn lane_interleaving_changes_visit_order_on_shared_rows() {
         // Ratings share rows, so the Hogwild-like interleaved order gives a
         // (slightly) different — but still convergent — result.
-        let block: Vec<Rating> = (0..64).map(|i| Rating::new(0, i % 8, 3.0)).collect();
+        let block = SoaRatings::from_entries(
+            &(0..64)
+                .map(|i| Rating::new(0, i % 8, 3.0))
+                .collect::<Vec<_>>(),
+        );
         let mut a = Model::init(1, 8, 4, 3);
         let mut b = a.clone();
-        SimtKernel::new(&spec_with(1, false)).execute(&mut a, &block, 0.05, 0.0, 0.0);
-        SimtKernel::new(&spec_with(8, false)).execute(&mut b, &block, 0.05, 0.0, 0.0);
+        SimtKernel::new(&spec_with(1, false)).execute(&mut a, block.as_slices(), 0.05, 0.0, 0.0);
+        SimtKernel::new(&spec_with(8, false)).execute(&mut b, block.as_slices(), 0.05, 0.0, 0.0);
         assert_ne!(a, b, "interleaving should reorder racy updates");
     }
 
     #[test]
     fn half_precision_still_converges() {
-        let block: Vec<Rating> = (0..50)
-            .map(|i| Rating::new(i % 10, (i * 3) % 10, 2.5))
-            .collect();
+        let block = SoaRatings::from_entries(
+            &(0..50)
+                .map(|i| Rating::new(i % 10, (i * 3) % 10, 2.5))
+                .collect::<Vec<_>>(),
+        );
         let mut model = Model::init(10, 10, 8, 4);
         let k = SimtKernel::new(&spec_with(32, true));
         let mut last = f64::INFINITY;
         for _ in 0..30 {
-            last = k.execute(&mut model, &block, 0.02, 0.01, 0.01);
+            last = k.execute(&mut model, block.as_slices(), 0.02, 0.01, 0.01);
         }
         let mse = last / block.len() as f64;
         assert!(mse < 0.05, "half precision should still fit, mse={mse}");
@@ -247,7 +257,13 @@ mod tests {
     fn empty_block_is_noop() {
         let mut model = Model::init(2, 2, 2, 5);
         let before = model.clone();
-        let sq = SimtKernel::new(&spec_with(128, false)).execute(&mut model, &[], 0.1, 0.0, 0.0);
+        let sq = SimtKernel::new(&spec_with(128, false)).execute(
+            &mut model,
+            mf_sparse::BlockSlices::empty(),
+            0.1,
+            0.0,
+            0.0,
+        );
         assert_eq!(sq, 0.0);
         assert_eq!(model, before);
     }

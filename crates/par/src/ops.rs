@@ -1,0 +1,399 @@
+//! Deterministic parallel sweeps over slices.
+//!
+//! Chunk boundaries in this module depend only on the data length (and,
+//! for [`stable_counting_scatter`], the key count) — never on the pool's
+//! thread count — and reductions combine per-chunk results in chunk
+//! order. Every function therefore produces **bit-identical** output for
+//! any thread count, which is what lets seeded experiments stay
+//! reproducible while the pipeline scales.
+
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+use crate::pool::ThreadPool;
+
+/// Default chunk length (in elements) for the deterministic chunked
+/// passes. Large enough that per-chunk dispatch overhead vanishes, small
+/// enough that a few dozen chunks exist to balance across workers.
+pub const DEFAULT_CHUNK: usize = 1 << 16;
+
+/// Maps fixed-size chunks of `data` in parallel and folds the per-chunk
+/// results **in chunk order** with `reduce`. Returns `None` on empty
+/// input.
+///
+/// `map` receives `(chunk_index, chunk)`; chunks are `data[i*chunk ..
+/// (i+1)*chunk]` (last one short). Because the fold order is fixed, the
+/// result is bit-identical for any thread count — including
+/// non-associative reductions like floating-point sums.
+pub fn chunk_map_reduce<T, R, M, Rd>(
+    pool: &ThreadPool,
+    data: &[T],
+    chunk: usize,
+    map: M,
+    mut reduce: Rd,
+) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn(usize, &[T]) -> R + Sync,
+    Rd: FnMut(R, R) -> R,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let n = data.len();
+    if n == 0 {
+        return None;
+    }
+    let nchunks = n.div_ceil(chunk);
+    let slots: Vec<Mutex<Option<R>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+    pool.run_indexed(nchunks, |i| {
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(n);
+        let v = map(i, &data[lo..hi]);
+        *slots[i].lock().unwrap() = Some(v);
+    });
+    let mut acc: Option<R> = None;
+    for slot in slots {
+        let v = slot.into_inner().unwrap().expect("chunk result missing");
+        acc = Some(match acc {
+            None => v,
+            Some(a) => reduce(a, v),
+        });
+    }
+    acc
+}
+
+/// Runs `f(chunk_index, chunk)` over fixed-size chunks of `data`, for
+/// side effects (e.g. scattering through a [`ScatterSlice`]).
+pub fn for_each_chunk<T, F>(pool: &ThreadPool, data: &[T], chunk: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &[T]) + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    pool.run_indexed(n.div_ceil(chunk), |i| {
+        let lo = i * chunk;
+        let hi = (lo + chunk).min(n);
+        f(i, &data[lo..hi]);
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over fixed-size **mutable** chunks of
+/// `data`. Each chunk is owned by exactly one task, so this is safe
+/// shared-nothing parallelism.
+pub fn for_each_chunk_mut<T, F>(pool: &ThreadPool, data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    if data.is_empty() {
+        return;
+    }
+    // A per-chunk mutex hands each task exclusive access to its own
+    // slice; every lock is uncontended (task i only touches part i).
+    let parts: Vec<Mutex<&mut [T]>> = data.chunks_mut(chunk).map(Mutex::new).collect();
+    pool.run_indexed(parts.len(), |i| {
+        let mut part = parts[i].lock().unwrap();
+        f(i, &mut part);
+    });
+}
+
+/// Runs `f(part_index, part)` over the variable-length partition of
+/// `data` described by `bounds` (monotone offsets: part `i` is
+/// `data[bounds[i]..bounds[i+1]]`). Used to process counting-sort
+/// buckets in place, one task per bucket.
+///
+/// # Panics
+///
+/// Panics if `bounds` is not a monotone cover of `data` starting at 0.
+pub fn for_each_bounded_mut<T, F>(pool: &ThreadPool, data: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        bounds.first() == Some(&0) && bounds.last() == Some(&data.len()),
+        "bounds must cover the slice"
+    );
+    let mut parts: Vec<Mutex<&mut [T]>> = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = data;
+    for w in bounds.windows(2) {
+        assert!(w[1] >= w[0], "bounds must be monotone");
+        let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+        parts.push(Mutex::new(head));
+        rest = tail;
+    }
+    pool.run_indexed(parts.len(), |i| {
+        let mut part = parts[i].lock().unwrap();
+        f(i, &mut part);
+    });
+}
+
+/// A shared writable view over a mutable slice, for parallel scatters
+/// where a coordination structure (like [`stable_counting_scatter`]'s
+/// cursor table) guarantees every index is written by exactly one task.
+pub struct ScatterSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is raw writes to disjoint indices (caller contract on
+// `write`); `T: Send` suffices because no `&T`/`&mut T` is ever formed on
+// a foreign thread.
+unsafe impl<T: Send> Send for ScatterSlice<'_, T> {}
+unsafe impl<T: Send> Sync for ScatterSlice<'_, T> {}
+
+impl<'a, T> ScatterSlice<'a, T> {
+    /// Wraps a mutable slice for disjoint-index parallel writes.
+    pub fn new(slice: &'a mut [T]) -> ScatterSlice<'a, T> {
+        ScatterSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index` without synchronization.
+    ///
+    /// # Safety
+    ///
+    /// `index < len`, and no two writes (from any thread) may target the
+    /// same index during the scatter. The old value is overwritten
+    /// without being dropped, so `T` should be `Copy`-like or the slot
+    /// must hold an initialized value the caller may leak.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        // SAFETY: in-bounds by contract; exclusivity by contract.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
+/// Stable parallel counting sort, expressed as a scatter plan.
+///
+/// Conceptually sorts items `0..n` stably by `key(i)` (keys in
+/// `0..nkeys`): it computes where every item lands and calls
+/// `emit(item_index, dst_position)` for each — the caller performs the
+/// actual data movement (typically [`ScatterSlice::write`]s into one or
+/// more destination arrays, which is what lets one plan drive an
+/// AoS-to-SoA scatter). Returns the bucket offsets (`nkeys + 1` entries;
+/// bucket `k` is `offsets[k]..offsets[k+1]`).
+///
+/// The destination positions are the *unique* stable counting sort of
+/// the input, so the output is bit-identical to a serial sort — for any
+/// thread count and any internal chunking. Internally: per-chunk
+/// histograms in parallel, one serial pass turning them into per-chunk
+/// cursors, then a parallel scatter where each chunk owns its cursor row
+/// and writes disjoint destination slots.
+///
+/// `chunk` is the target chunk length ([`DEFAULT_CHUNK`] is a good
+/// default); the chunk count is additionally capped so the cursor table
+/// (`chunks × nkeys` words) stays small relative to `n`.
+pub fn stable_counting_scatter<K, E>(
+    pool: &ThreadPool,
+    n: usize,
+    nkeys: usize,
+    chunk: usize,
+    key: K,
+    emit: E,
+) -> Vec<usize>
+where
+    K: Fn(usize) -> usize + Sync,
+    E: Fn(usize, usize) + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let mut offsets = vec![0usize; nkeys + 1];
+    if n == 0 || nkeys == 0 {
+        assert!(n == 0, "items need at least one key");
+        return offsets;
+    }
+    // Chunk count: data-dependent only. Capped at 64 ways, and further
+    // reduced while the cursor table would dwarf the data itself (the
+    // many-keys regime, e.g. a CSR build of a tall matrix).
+    let mut nchunks = n.div_ceil(chunk).clamp(1, 64);
+    while nchunks > 1 && nchunks * nkeys > 4 * n {
+        nchunks /= 2;
+    }
+    let clen = n.div_ceil(nchunks);
+    let mut cursors = vec![0usize; nchunks * nkeys];
+    // Pass 1: per-chunk key histograms (each task owns its row).
+    {
+        let rows: Vec<Mutex<&mut [usize]>> = cursors.chunks_mut(nkeys).map(Mutex::new).collect();
+        pool.run_indexed(nchunks, |c| {
+            let mut row = rows[c].lock().unwrap();
+            for i in c * clen..((c + 1) * clen).min(n) {
+                let k = key(i);
+                assert!(k < nkeys, "key {k} out of range 0..{nkeys}");
+                row[k] += 1;
+            }
+        });
+    }
+    // Pass 2 (serial, O(chunks × keys)): exclusive prefix over
+    // (key, chunk) turns each histogram cell into that chunk's absolute
+    // start cursor for that key, and yields the bucket offsets.
+    let mut run = 0usize;
+    for k in 0..nkeys {
+        offsets[k] = run;
+        for c in 0..nchunks {
+            let cell = &mut cursors[c * nkeys + k];
+            let count = *cell;
+            *cell = run;
+            run += count;
+        }
+    }
+    offsets[nkeys] = run;
+    debug_assert_eq!(run, n);
+    // Pass 3: scatter. Chunk cursor rows are disjoint, and the cursor
+    // ranges they walk are disjoint destination slots.
+    {
+        let rows: Vec<Mutex<&mut [usize]>> = cursors.chunks_mut(nkeys).map(Mutex::new).collect();
+        pool.run_indexed(nchunks, |c| {
+            let mut row = rows[c].lock().unwrap();
+            for i in c * clen..((c + 1) * clen).min(n) {
+                let k = key(i);
+                let dst = row[k];
+                row[k] += 1;
+                emit(i, dst);
+            }
+        });
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> Vec<ThreadPool> {
+        [1, 2, 4, 7].into_iter().map(ThreadPool::new).collect()
+    }
+
+    #[test]
+    fn chunk_map_reduce_is_thread_count_invariant() {
+        // Non-associative f64 sum: the fold order must be pinned.
+        let data: Vec<f64> = (0..10_000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let run = |pool: &ThreadPool| {
+            chunk_map_reduce(pool, &data, 97, |_, c| c.iter().sum::<f64>(), |a, b| a + b).unwrap()
+        };
+        let reference = run(&ThreadPool::new(1));
+        for pool in pools() {
+            assert_eq!(run(&pool).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_visits_every_chunk_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for pool in pools() {
+            let data: Vec<u32> = (0..1000).collect();
+            let sum = AtomicUsize::new(0);
+            let chunks = AtomicUsize::new(0);
+            for_each_chunk(&pool, &data, 64, |_, chunk| {
+                sum.fetch_add(chunk.iter().sum::<u32>() as usize, Ordering::Relaxed);
+                chunks.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+            assert_eq!(chunks.load(Ordering::Relaxed), 1000usize.div_ceil(64));
+        }
+    }
+
+    #[test]
+    fn chunk_map_reduce_empty_is_none() {
+        let pool = ThreadPool::new(2);
+        let r: Option<f64> = chunk_map_reduce(&pool, &[] as &[f64], 8, |_, _| 0.0, |a, b| a + b);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_element() {
+        for pool in pools() {
+            let mut data = vec![0u32; 1000];
+            for_each_chunk_mut(&pool, &mut data, 64, |ci, part| {
+                for x in part.iter_mut() {
+                    *x = ci as u32 + 1;
+                }
+            });
+            assert!(data.iter().all(|&x| x > 0));
+            assert_eq!(data[0], 1);
+            assert_eq!(data[999], 1000 / 64 + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_bounded_mut_partitions_exactly() {
+        for pool in pools() {
+            let mut data: Vec<usize> = (0..100).collect();
+            let bounds = [0usize, 10, 10, 55, 100];
+            for_each_bounded_mut(&pool, &mut data, &bounds, |part_ix, part| {
+                for x in part.iter_mut() {
+                    *x = part_ix;
+                }
+            });
+            assert!(data[..10].iter().all(|&x| x == 0));
+            assert!(data[10..55].iter().all(|&x| x == 2));
+            assert!(data[55..].iter().all(|&x| x == 3));
+        }
+    }
+
+    #[test]
+    fn counting_scatter_matches_serial_stable_sort() {
+        // Pseudorandom keys; compare against the obvious serial stable
+        // sort for several thread counts and chunk lengths.
+        let n = 5000;
+        let nkeys = 37;
+        let keys: Vec<usize> = (0..n).map(|i| (i * 2654435761usize) >> 7).collect();
+        let key_of = |i: usize| keys[i] % nkeys;
+
+        let mut expect: Vec<(usize, usize)> = (0..n).map(|i| (key_of(i), i)).collect();
+        expect.sort_by_key(|&(k, _)| k); // stable: ties keep index order
+
+        for pool in pools() {
+            for chunk in [8, 1 << 10, 1 << 20] {
+                let mut out = vec![usize::MAX; n];
+                let offsets = {
+                    let dst = ScatterSlice::new(&mut out);
+                    stable_counting_scatter(&pool, n, nkeys, chunk, key_of, |i, at| unsafe {
+                        dst.write(at, i)
+                    })
+                };
+                let got: Vec<(usize, usize)> = out.iter().map(|&i| (key_of(i), i)).collect();
+                assert_eq!(got, expect, "threads={} chunk={chunk}", pool.threads());
+                // Offsets delimit the buckets.
+                assert_eq!(offsets.len(), nkeys + 1);
+                assert_eq!(*offsets.last().unwrap(), n);
+                for k in 0..nkeys {
+                    assert!(out[offsets[k]..offsets[k + 1]]
+                        .iter()
+                        .all(|&i| key_of(i) == k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_scatter_empty_and_single() {
+        let pool = ThreadPool::new(2);
+        let offsets = stable_counting_scatter(&pool, 0, 5, 16, |_| 0, |_, _| panic!());
+        assert_eq!(offsets, vec![0; 6]);
+        let mut out = vec![0usize; 1];
+        let dst = ScatterSlice::new(&mut out);
+        let offsets =
+            stable_counting_scatter(&pool, 1, 3, 16, |_| 2, |i, at| unsafe { dst.write(at, i) });
+        assert_eq!(offsets, vec![0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,389 @@
+//! The persistent worker pool.
+//!
+//! One batch runs at a time (a submit lock serializes concurrent
+//! callers); within a batch, the caller and every worker loop on an
+//! atomic claim counter — `fetch_add` hands each thread the next
+//! unprocessed index, which is the flat-array specialization of
+//! work-stealing: a thread that finishes early immediately steals the
+//! remaining work instead of idling behind a static split.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Set while this thread is executing pool work (as a worker, or as a
+    /// caller participating in its own batch). Nested fan-out from inside
+    /// a task runs inline instead of deadlocking on the submit lock.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-erased pointer to the batch closure. Valid until the batch's
+/// `done` count reaches `n` — the caller does not return (and therefore
+/// does not drop the closure) before that.
+#[derive(Clone, Copy)]
+struct FnPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and outlives every dereference (see the
+// validity argument on the type).
+unsafe impl Send for FnPtr {}
+unsafe impl Sync for FnPtr {}
+
+/// One indexed batch of `n` tasks.
+#[derive(Clone)]
+struct Batch {
+    func: FnPtr,
+    n: usize,
+    /// Next unclaimed index; `fetch_add` is the steal.
+    next: Arc<AtomicUsize>,
+    /// Completed tasks; the batch is over when this reaches `n`.
+    done: Arc<AtomicUsize>,
+    /// Set on the first panic: remaining tasks are skipped (but still
+    /// counted) so the batch drains instead of deadlocking.
+    panicked: Arc<AtomicBool>,
+    payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+}
+
+impl Batch {
+    /// Claims and runs tasks until the batch is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            if !self.panicked.load(Ordering::Relaxed) {
+                // SAFETY: `done` has not reached `n` (this index is not
+                // yet counted), so the caller is still inside
+                // `run_indexed` and the closure is alive.
+                let f = unsafe { &*self.func.0 };
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    self.panicked.store(true, Ordering::Relaxed);
+                    let mut slot = self
+                        .payload
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+            }
+            self.done.fetch_add(1, Ordering::Release);
+        }
+    }
+}
+
+struct State {
+    batch: Option<Batch>,
+    /// Bumped per published batch so a worker never re-enters a batch it
+    /// already drained.
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new batch (or shutdown).
+    work_ready: Condvar,
+    /// The caller waits here for `done == n`.
+    batch_done: Condvar,
+}
+
+/// A persistent pool of `threads − 1` workers plus the calling thread.
+///
+/// All the deterministic sweeps in this crate take a pool handle; a pool
+/// of one thread runs everything inline on the caller, so `threads == 1`
+/// is the zero-overhead serial mode (and the two modes produce identical
+/// results by construction of the sweep helpers, e.g.
+/// [`crate::chunk_map_reduce`]).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes batches from concurrent callers.
+    submit: Mutex<()>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` total parallelism (`threads − 1`
+    /// spawned workers; the caller is the remaining thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> ThreadPool {
+        assert!(threads > 0, "a pool needs at least the calling thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                batch: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .filter_map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mf-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .ok()
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            submit: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Total parallelism of this pool (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The process-wide pool, sized by the `MF_PAR_THREADS` environment
+    /// variable when set (≥ 1), else by `available_parallelism`. Built on
+    /// first use and kept for the life of the process.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(n − 1)`, dynamically load-balanced
+    /// across the pool, returning when all have finished. The caller
+    /// participates, so a 1-thread pool executes everything inline.
+    ///
+    /// Index *completion order* is nondeterministic; callers that need
+    /// deterministic results write into per-index slots (see
+    /// [`crate::chunk_map_reduce`]).
+    ///
+    /// Panics in a task are re-raised on the caller after the batch
+    /// drains. Nested calls from inside a task run inline.
+    pub fn run_indexed<F: Fn(usize) + Sync>(&self, n: usize, f: F) {
+        if n == 0 {
+            return;
+        }
+        if self.workers.is_empty() || n == 1 || IN_POOL.with(Cell::get) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let _submit = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY (lifetime erasure): we do not return from this function
+        // until `done == n`, and tasks only dereference the pointer
+        // before counting themselves done — so `f` outlives every use.
+        let func = FnPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+        });
+        let batch = Batch {
+            func,
+            n,
+            next: Arc::new(AtomicUsize::new(0)),
+            done: Arc::new(AtomicUsize::new(0)),
+            panicked: Arc::new(AtomicBool::new(false)),
+            payload: Arc::new(Mutex::new(None)),
+        };
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.batch = Some(batch.clone());
+            st.epoch += 1;
+        }
+        self.shared.work_ready.notify_all();
+        // Participate, then wait for the workers to drain the rest.
+        IN_POOL.with(|c| c.set(true));
+        batch.work();
+        IN_POOL.with(|c| c.set(false));
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while batch.done.load(Ordering::Acquire) < n {
+                st = self
+                    .shared
+                    .batch_done
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            st.batch = None;
+        }
+        let panic = batch
+            .payload
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|c| c.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let batch = {
+            let mut st = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(b) = &st.batch {
+                        seen_epoch = st.epoch;
+                        break b.clone();
+                    }
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        batch.work();
+        // Wake the caller; taking the state lock orders this notify after
+        // the caller's `done` check, so the wakeup cannot be lost.
+        drop(
+            shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        shared.batch_done.notify_all();
+    }
+}
+
+fn default_threads() -> usize {
+    std::env::var("MF_PAR_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_indices_run_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_indexed(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let pool = ThreadPool::new(3);
+        pool.run_indexed(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            pool.run_indexed(round + 1, |i| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            let n = round + 1;
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = ThreadPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(64, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 10 {
+                    panic!("task 10 boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool survives and keeps working.
+        let sum = AtomicUsize::new(0);
+        pool.run_indexed(8, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.run_indexed(8, |_| {
+            // A task fanning out on the same pool must not deadlock.
+            pool.run_indexed(4, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn concurrent_external_callers_are_serialized_not_deadlocked() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let total = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                pool.run_indexed(100, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+}

@@ -7,15 +7,18 @@
 //! ([`crate::shared::SharedModel::sgd_step_atomic`]), so the implementation
 //! is sound Rust — the races are semantic, not undefined behaviour.
 
-use mf_sparse::{shuffle, SparseMatrix};
+use mf_sparse::{SoaRatings, SparseMatrix};
 
 use crate::model::Model;
 use crate::sequential::TrainConfig;
 use crate::shared::SharedModel;
 
-/// Trains with `n_threads` Hogwild workers. Each iteration shuffles the
-/// data (seeded) and splits it into contiguous chunks, one per worker;
-/// workers update the shared model concurrently with no locking.
+/// Trains with `n_threads` Hogwild workers. The data is converted once
+/// into structure-of-arrays storage ([`SoaRatings`] — the kernel-friendly
+/// layout); each iteration shuffles it in place (seeded, lockstep across
+/// the three streams — the same permutation the AoS shuffle would apply)
+/// and splits it into contiguous chunks, one per worker; workers update
+/// the shared model concurrently with no locking.
 ///
 /// The result is **not** bit-deterministic across runs (thread interleaving
 /// is real), but convergence quality matches sequential SGD on sparse data.
@@ -31,29 +34,27 @@ pub fn train(data: &SparseMatrix, cfg: &TrainConfig, n_threads: usize) -> Model 
     if data.is_empty() {
         return model;
     }
-    let mut order = data.clone();
+    let mut order = SoaRatings::from_entries(data.entries());
     for it in 0..cfg.iterations {
         if cfg.reshuffle {
-            shuffle::shuffle_entries(&mut order, cfg.seed.wrapping_add(1 + it as u64));
+            order.shuffle(cfg.seed.wrapping_add(1 + it as u64));
         }
         let gamma = cfg.hyper.gamma_at(it);
         let shared = SharedModel::new(&mut model);
-        let entries = order.entries();
-        let chunk = entries.len().div_ceil(n_threads);
+        let n = order.len();
+        let chunk = n.div_ceil(n_threads);
         std::thread::scope(|s| {
             for worker in 0..n_threads {
                 let lo = worker * chunk;
-                let hi = ((worker + 1) * chunk).min(entries.len());
+                let hi = ((worker + 1) * chunk).min(n);
                 if lo >= hi {
                     continue;
                 }
-                let my = &entries[lo..hi];
+                let my = order.slice(lo..hi);
                 let sm = &shared;
                 let hyper = cfg.hyper;
                 s.spawn(move || {
-                    for &e in my {
-                        sm.sgd_step_atomic(e, gamma, hyper.lambda_p, hyper.lambda_q);
-                    }
+                    sm.sgd_block_atomic(my, gamma, hyper.lambda_p, hyper.lambda_q);
                 });
             }
         });

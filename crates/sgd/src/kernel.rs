@@ -23,7 +23,7 @@
 //! last ulps (within 1e-6 for unit-scale factors); both orders are valid
 //! realizations of Eq. 6.
 
-use mf_sparse::Rating;
+use mf_sparse::{BlockSlices, Rating};
 
 /// Latent dimensions with a dedicated monomorphized kernel. Every entry
 /// must be a multiple of [`LANES`].
@@ -268,8 +268,211 @@ fn sgd_block_mono<const K: usize>(
     sq_err
 }
 
-/// Block update over raw factor pointers — the disjoint-region fast path
-/// used by [`crate::shared::SharedModel::sgd_block_exclusive`]. Dispatches
+/// Applies [`sgd_step`] to every rating of a structure-of-arrays block —
+/// the layout [`mf_sparse::GridPartition`] stores. Semantically identical
+/// to [`sgd_block`] on the AoS form of the same ratings (the per-rating
+/// arithmetic is shared); the SoA loop reads three unit-stride streams,
+/// so the index/value loads are dense instead of 12-byte-interleaved.
+#[inline]
+pub fn sgd_block_soa(
+    p: &mut [f32],
+    q: &mut [f32],
+    k: usize,
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    // SAFETY: `p`/`q` are exclusive borrows covering their buffers, so
+    // the raw-pointer contract (exclusive access, in-bounds rows) holds.
+    unsafe {
+        sgd_block_raw_soa(
+            p.as_mut_ptr(),
+            q.as_mut_ptr(),
+            k,
+            block,
+            gamma,
+            lambda_p,
+            lambda_q,
+        )
+    }
+}
+
+/// The scalar reference SoA block loop — [`sgd_step_scalar`] per rating.
+#[inline]
+pub fn sgd_block_soa_scalar(
+    p: &mut [f32],
+    q: &mut [f32],
+    k: usize,
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    // SAFETY: as in `sgd_block_soa`.
+    unsafe {
+        sgd_block_raw_soa_with(
+            p.as_mut_ptr(),
+            q.as_mut_ptr(),
+            k,
+            block,
+            gamma,
+            lambda_p,
+            lambda_q,
+            sgd_step_scalar,
+        )
+    }
+}
+
+/// SoA block update over raw factor pointers — the disjoint-region fast
+/// path used by [`crate::shared::SharedModel::sgd_block_exclusive`].
+/// Dispatches once per block.
+///
+/// # Safety
+///
+/// For the duration of the call, `p`/`q` must point to buffers of at
+/// least `(max u + 1) · k` / `(max v + 1) · k` floats over the
+/// users/items in `block`, and no other thread may access the factor
+/// rows of any user or item appearing in `block`.
+#[inline]
+pub unsafe fn sgd_block_raw_soa(
+    p: *mut f32,
+    q: *mut f32,
+    k: usize,
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    dispatch_k!(
+        k,
+        sgd_block_raw_soa_mono(p, q, block, gamma, lambda_p, lambda_q),
+        unsafe {
+            sgd_block_raw_soa_with(p, q, k, block, gamma, lambda_p, lambda_q, sgd_step_scalar)
+        }
+    )
+}
+
+/// Monomorphized SoA raw-pointer block loop (inherits the
+/// [`sgd_block_raw_soa`] safety contract).
+#[inline(always)]
+unsafe fn sgd_block_raw_soa_mono<const K: usize>(
+    p: *mut f32,
+    q: *mut f32,
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    unsafe {
+        sgd_block_raw_soa_with(
+            p,
+            q,
+            K,
+            block,
+            gamma,
+            lambda_p,
+            lambda_q,
+            sgd_step_mono::<K>,
+        )
+    }
+}
+
+/// How many entries ahead the SoA block loop prefetches the factor rows.
+/// Far enough to cover an L3 miss at ~10k-flop update granularity, near
+/// enough that the prefetched lines survive until use.
+const SOA_PREFETCH_AHEAD: usize = 8;
+
+/// Best-effort prefetch of the cache line at `ptr` into all levels.
+#[inline(always)]
+fn prefetch_read_f32(ptr: *const f32) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint — it never faults, even on invalid
+    // addresses.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+/// Shared SoA raw-pointer block loop, parameterized over the per-rating
+/// step. The counted loop keeps the three streams in lockstep with no
+/// bounds checks, and the unit-stride index streams make row lookahead
+/// free: while entry `i` computes, the factor rows of entry
+/// `i + SOA_PREFETCH_AHEAD` are prefetched — the random-access row
+/// fetches that dominate the AoS loop's stalls on large models. (An AoS
+/// loop can peek ahead too, but must drag whole 12-byte entries through
+/// the load pipe to do it; here the peek reads two dense `u32` lanes.)
+///
+/// # Safety
+///
+/// Same contract as [`sgd_block_raw_soa`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sgd_block_raw_soa_with(
+    p: *mut f32,
+    q: *mut f32,
+    k: usize,
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+    step: impl Fn(&mut [f32], &mut [f32], f32, f32, f32, f32) -> f32,
+) -> f64 {
+    let (rows, cols, vals) = (block.rows, block.cols, block.vals);
+    let n = block.len();
+    let mut sq_err = 0f64;
+    // Prefetch pays for itself once a factor row covers at least a full
+    // cache line; below that (k = 8: 32-byte rows) the two prefetch
+    // instructions are pure overhead on an 85-flop iteration, so the
+    // small-row branch takes the leaner fused-zip loop instead. `k` is a
+    // monomorphization constant on the mono path, so the branch folds
+    // away.
+    if k * std::mem::size_of::<f32>() >= 64 {
+        for i in 0..n {
+            if i + SOA_PREFETCH_AHEAD < n {
+                // SAFETY: `i + SOA_PREFETCH_AHEAD < n` and the three
+                // slices share length `n` (BlockSlices invariant).
+                let (u2, v2) = unsafe {
+                    (
+                        *rows.get_unchecked(i + SOA_PREFETCH_AHEAD) as usize,
+                        *cols.get_unchecked(i + SOA_PREFETCH_AHEAD) as usize,
+                    )
+                };
+                prefetch_read_f32(p.wrapping_add(u2 * k) as *const f32);
+                prefetch_read_f32(q.wrapping_add(v2 * k) as *const f32);
+            }
+            // SAFETY: `i < n`; factor rows are in bounds and exclusively
+            // ours (caller contract).
+            let (u, v, r) = unsafe {
+                (
+                    *rows.get_unchecked(i) as usize,
+                    *cols.get_unchecked(i) as usize,
+                    *vals.get_unchecked(i),
+                )
+            };
+            let pu = unsafe { std::slice::from_raw_parts_mut(p.add(u * k), k) };
+            let qv = unsafe { std::slice::from_raw_parts_mut(q.add(v * k), k) };
+            let err = step(pu, qv, r, gamma, lambda_p, lambda_q);
+            sq_err += (err as f64) * (err as f64);
+        }
+    } else {
+        for ((&u, &v), &r) in rows.iter().zip(cols).zip(vals) {
+            // SAFETY: factor rows are in bounds and exclusively ours
+            // (caller contract).
+            let pu = unsafe { std::slice::from_raw_parts_mut(p.add(u as usize * k), k) };
+            let qv = unsafe { std::slice::from_raw_parts_mut(q.add(v as usize * k), k) };
+            let err = step(pu, qv, r, gamma, lambda_p, lambda_q);
+            sq_err += (err as f64) * (err as f64);
+        }
+    }
+    sq_err
+}
+
+/// Block update over raw factor pointers, AoS form. Kept as the
+/// reference layout the SoA baseline benchmarks compare against; the
+/// trainers route through [`sgd_block_raw_soa`]. Dispatches
 /// once per block like [`sgd_block`].
 ///
 /// # Safety
@@ -503,6 +706,56 @@ mod tests {
             for (a, b) in qa.iter().zip(&qb) {
                 assert!((a - b).abs() < 1e-5, "k={k} Q drift");
             }
+        }
+    }
+
+    #[test]
+    fn soa_block_matches_aos_block_bitwise() {
+        use mf_sparse::SoaRatings;
+        // Same per-rating arithmetic, different storage layout: the two
+        // loops must agree bit for bit, on mono and scalar dims alike.
+        for k in [8usize, 16, 12, 5, 128] {
+            let users = 7u32;
+            let items = 9u32;
+            let scale = 1.0 / (k as f32).sqrt();
+            let block: Vec<Rating> = (0..60)
+                .map(|i| Rating::new(i % users, (i * 7) % items, 1.0 + (i % 4) as f32))
+                .collect();
+            let soa = SoaRatings::from_entries(&block);
+            let init = |s: f32, n: usize| -> Vec<f32> {
+                (0..n)
+                    .map(|i| (s + 0.003 * (i % 31) as f32) * scale)
+                    .collect()
+            };
+            let mut pa = init(0.4, users as usize * k);
+            let mut qa = init(0.6, items as usize * k);
+            let mut pb = pa.clone();
+            let mut qb = qa.clone();
+            let aos = sgd_block(&mut pa, &mut qa, k, &block, 0.02, 0.01, 0.03);
+            let soa_sq = sgd_block_soa(&mut pb, &mut qb, k, soa.as_slices(), 0.02, 0.01, 0.03);
+            assert_eq!(aos, soa_sq, "k={k} squared error");
+            assert_eq!(pa, pb, "k={k} P");
+            assert_eq!(qa, qb, "k={k} Q");
+        }
+    }
+
+    #[test]
+    fn soa_scalar_reference_matches_dispatch_within_tolerance() {
+        use mf_sparse::SoaRatings;
+        let k = 32;
+        let block: Vec<Rating> = (0..40)
+            .map(|i| Rating::new(i % 5, (i * 3) % 6, 1.5 + (i % 3) as f32))
+            .collect();
+        let soa = SoaRatings::from_entries(&block);
+        let s = 1.0 / (k as f32).sqrt();
+        let init: Vec<f32> = (0..6 * k).map(|i| (0.2 + 0.001 * i as f32) * s).collect();
+        let (mut pa, mut qa) = (init.clone(), init.clone());
+        let (mut pb, mut qb) = (init.clone(), init);
+        let fast = sgd_block_soa(&mut pa, &mut qa, k, soa.as_slices(), 0.01, 0.02, 0.02);
+        let slow = sgd_block_soa_scalar(&mut pb, &mut qb, k, soa.as_slices(), 0.01, 0.02, 0.02);
+        assert!((fast - slow).abs() < 1e-4);
+        for (a, b) in pa.iter().zip(&pb) {
+            assert!((a - b).abs() < 1e-5);
         }
     }
 

@@ -68,7 +68,9 @@ where
     let mut order = data.clone();
     for it in 0..cfg.iterations {
         if cfg.reshuffle {
-            shuffle::shuffle_entries(&mut order, cfg.seed.wrapping_add(1 + it as u64));
+            // Thread-count-independent parallel shuffle: the visit order
+            // (and so the model) depends only on the seed.
+            shuffle::par_shuffle_entries(&mut order, cfg.seed.wrapping_add(1 + it as u64));
         }
         let gamma = cfg.hyper.gamma_at(it);
         let mut sq = 0f64;

@@ -16,7 +16,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use mf_sparse::Rating;
+use mf_sparse::{BlockSlices, Rating};
 
 use crate::kernel;
 use crate::model::Model;
@@ -67,7 +67,8 @@ impl<'a> SharedModel<'a> {
         self.k
     }
 
-    /// Runs the SGD kernel over a whole block at full speed.
+    /// Runs the SGD kernel over a whole structure-of-arrays block at full
+    /// speed — the layout [`mf_sparse::GridPartition`] hands out.
     ///
     /// # Safety
     ///
@@ -77,19 +78,21 @@ impl<'a> SharedModel<'a> {
     /// by never co-scheduling blocks that share a row band or column band.
     pub unsafe fn sgd_block_exclusive(
         &self,
-        block: &[Rating],
+        block: BlockSlices<'_>,
         gamma: f32,
         lambda_p: f32,
         lambda_q: f32,
     ) -> f64 {
         #[cfg(debug_assertions)]
-        for e in block {
+        for e in block.iter() {
             debug_assert!(e.u < self.m && e.v < self.n);
         }
         // SAFETY: rows are in bounds (matrix invariant) and exclusively
         // ours (caller contract); dispatch to the monomorphized kernel
         // happens once for the whole block.
-        unsafe { kernel::sgd_block_raw(self.p, self.q, self.k, block, gamma, lambda_p, lambda_q) }
+        unsafe {
+            kernel::sgd_block_raw_soa(self.p, self.q, self.k, block, gamma, lambda_p, lambda_q)
+        }
     }
 
     /// One SGD step with every factor load/store performed as a relaxed
@@ -120,11 +123,30 @@ impl<'a> SharedModel<'a> {
         }
         err
     }
+
+    /// [`SharedModel::sgd_step_atomic`] over a whole SoA run — the
+    /// Hogwild block path. Safe to call concurrently from any number of
+    /// threads; returns the sum of squared pre-update errors.
+    pub fn sgd_block_atomic(
+        &self,
+        block: BlockSlices<'_>,
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f64 {
+        let mut sq = 0f64;
+        for e in block.iter() {
+            let err = self.sgd_step_atomic(e, gamma, lambda_p, lambda_q);
+            sq += (err as f64) * (err as f64);
+        }
+        sq
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mf_sparse::SoaRatings;
 
     #[test]
     fn exclusive_block_matches_direct_kernel() {
@@ -136,6 +158,7 @@ mod tests {
             Rating::new(2, 3, 4.0),
             Rating::new(0, 1, 2.0),
         ];
+        let soa = SoaRatings::from_entries(&block);
         // Direct path.
         let mut direct_sq = 0.0;
         for e in &block {
@@ -145,10 +168,33 @@ mod tests {
         }
         // Shared path.
         let shared = SharedModel::new(&mut b);
-        let shared_sq = unsafe { shared.sgd_block_exclusive(&block, 0.01, 0.05, 0.05) };
+        let shared_sq = unsafe { shared.sgd_block_exclusive(soa.as_slices(), 0.01, 0.05, 0.05) };
         drop(shared);
         assert_eq!(a, b);
         assert_eq!(direct_sq, shared_sq);
+    }
+
+    #[test]
+    fn atomic_block_matches_per_step_loop() {
+        let k = 8;
+        let mut a = Model::init(5, 5, k, 11);
+        let mut b = a.clone();
+        let block: Vec<Rating> = (0..12)
+            .map(|i| Rating::new(i % 5, (i * 2) % 5, 2.0 + (i % 3) as f32))
+            .collect();
+        let soa = SoaRatings::from_entries(&block);
+        let sa = SharedModel::new(&mut a);
+        let mut direct_sq = 0.0;
+        for &e in &block {
+            let err = sa.sgd_step_atomic(e, 0.02, 0.1, 0.1);
+            direct_sq += (err as f64) * (err as f64);
+        }
+        drop(sa);
+        let sb = SharedModel::new(&mut b);
+        let block_sq = sb.sgd_block_atomic(soa.as_slices(), 0.02, 0.1, 0.1);
+        drop(sb);
+        assert_eq!(a, b);
+        assert_eq!(direct_sq, block_sq);
     }
 
     #[test]
@@ -175,12 +221,14 @@ mod tests {
         let mut seq = par.clone();
         let block_a: Vec<Rating> = (0..4).map(|i| Rating::new(i, i, 2.0)).collect();
         let block_b: Vec<Rating> = (4..8).map(|i| Rating::new(i, i, 3.0)).collect();
+        let soa_a = SoaRatings::from_entries(&block_a);
+        let soa_b = SoaRatings::from_entries(&block_b);
 
         let shared = SharedModel::new(&mut par);
         std::thread::scope(|s| {
             let sa = &shared;
-            let ba = &block_a;
-            let bb = &block_b;
+            let ba = soa_a.as_slices();
+            let bb = soa_b.as_slices();
             s.spawn(move || unsafe {
                 sa.sgd_block_exclusive(ba, 0.01, 0.0, 0.0);
             });

@@ -118,4 +118,44 @@ proptest! {
             prop_assert!((a - b).abs() <= t, "k={k} q[{i}]: {a} vs {b}");
         }
     }
+
+    /// The SoA block loop shares its per-rating step with the AoS loop,
+    /// so on identical inputs the two layouts must agree **bit for bit**
+    /// — any k, any data, any hypers.
+    #[test]
+    fn soa_block_is_bitwise_equal_to_aos_block(
+        (k, _, _) in arb_factors(),
+        seed in 0u64..1000,
+        nnz in 0usize..120,
+        gamma in 1e-4f32..0.1,
+    ) {
+        use mf_sparse::{Rating, SoaRatings};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (users, items) = (6u32, 8u32);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50a);
+        let s = 1.0 / (k as f32).sqrt();
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len).map(|_| (rng.random::<f32>() - 0.5) * 2.0 * s).collect()
+        };
+        let mut pa = fill(users as usize * k);
+        let mut qa = fill(items as usize * k);
+        let mut pb = pa.clone();
+        let mut qb = qa.clone();
+        let block: Vec<Rating> = (0..nnz)
+            .map(|_| {
+                Rating::new(
+                    rng.random::<u32>() % users,
+                    rng.random::<u32>() % items,
+                    1.0 + 4.0 * rng.random::<f32>(),
+                )
+            })
+            .collect();
+        let soa = SoaRatings::from_entries(&block);
+        let sa = kernel::sgd_block(&mut pa, &mut qa, k, &block, gamma, 0.03, 0.05);
+        let sb = kernel::sgd_block_soa(&mut pb, &mut qb, k, soa.as_slices(), gamma, 0.03, 0.05);
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(pa, pb);
+        prop_assert_eq!(qa, qb);
+    }
 }

@@ -6,6 +6,8 @@
 //! harness. These views index into the original matrix without copying the
 //! rating values.
 
+use mf_par::{stable_counting_scatter, ScatterSlice, ThreadPool, DEFAULT_CHUNK};
+
 use crate::matrix::{Rating, SparseMatrix};
 
 /// Compressed sparse-row view: for each row, the entries in that row.
@@ -18,25 +20,38 @@ pub struct CsrView {
 }
 
 impl CsrView {
-    /// Builds the view in `O(nnz + m)` with a counting sort by row.
+    /// Builds the view in `O(nnz + m)` with a stable counting sort by
+    /// row, on the process-wide thread pool.
     pub fn build(m: &SparseMatrix) -> CsrView {
-        let nrows = m.nrows() as usize;
-        let mut row_ptr = vec![0usize; nrows + 1];
-        for e in m.entries() {
-            row_ptr[e.u as usize + 1] += 1;
-        }
-        for i in 0..nrows {
-            row_ptr[i + 1] += row_ptr[i];
-        }
-        let mut cursor = row_ptr.clone();
+        Self::build_in(m, ThreadPool::global())
+    }
+
+    /// Builds the view with the counting passes on `pool`. The result is
+    /// identical for any thread count (stable counting sort is unique).
+    pub fn build_in(m: &SparseMatrix, pool: &ThreadPool) -> CsrView {
+        let entries = m.entries();
         let mut cols = vec![0u32; m.nnz()];
         let mut vals = vec![0f32; m.nnz()];
-        for e in m.entries() {
-            let at = cursor[e.u as usize];
-            cols[at] = e.v;
-            vals[at] = e.r;
-            cursor[e.u as usize] += 1;
-        }
+        let row_ptr = {
+            let dc = ScatterSlice::new(&mut cols);
+            let dv = ScatterSlice::new(&mut vals);
+            stable_counting_scatter(
+                pool,
+                entries.len(),
+                m.nrows() as usize,
+                DEFAULT_CHUNK,
+                |i| entries[i].u as usize,
+                // SAFETY: the scatter plan assigns each destination index
+                // to exactly one entry.
+                |i, at| {
+                    let e = &entries[i];
+                    unsafe {
+                        dc.write(at, e.v);
+                        dv.write(at, e.r);
+                    }
+                },
+            )
+        };
         CsrView {
             row_ptr,
             cols,
@@ -79,25 +94,37 @@ pub struct CscView {
 }
 
 impl CscView {
-    /// Builds the view in `O(nnz + n)` with a counting sort by column.
+    /// Builds the view in `O(nnz + n)` with a stable counting sort by
+    /// column, on the process-wide thread pool.
     pub fn build(m: &SparseMatrix) -> CscView {
-        let ncols = m.ncols() as usize;
-        let mut col_ptr = vec![0usize; ncols + 1];
-        for e in m.entries() {
-            col_ptr[e.v as usize + 1] += 1;
-        }
-        for i in 0..ncols {
-            col_ptr[i + 1] += col_ptr[i];
-        }
-        let mut cursor = col_ptr.clone();
+        Self::build_in(m, ThreadPool::global())
+    }
+
+    /// Builds the view with the counting passes on `pool`. The result is
+    /// identical for any thread count.
+    pub fn build_in(m: &SparseMatrix, pool: &ThreadPool) -> CscView {
+        let entries = m.entries();
         let mut rows = vec![0u32; m.nnz()];
         let mut vals = vec![0f32; m.nnz()];
-        for e in m.entries() {
-            let at = cursor[e.v as usize];
-            rows[at] = e.u;
-            vals[at] = e.r;
-            cursor[e.v as usize] += 1;
-        }
+        let col_ptr = {
+            let dr = ScatterSlice::new(&mut rows);
+            let dv = ScatterSlice::new(&mut vals);
+            stable_counting_scatter(
+                pool,
+                entries.len(),
+                m.ncols() as usize,
+                DEFAULT_CHUNK,
+                |i| entries[i].v as usize,
+                // SAFETY: as above — destinations are unique.
+                |i, at| {
+                    let e = &entries[i];
+                    unsafe {
+                        dr.write(at, e.u);
+                        dv.write(at, e.r);
+                    }
+                },
+            )
+        };
         CscView {
             col_ptr,
             rows,

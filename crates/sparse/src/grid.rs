@@ -9,13 +9,16 @@
 //!   that is the paper's core idea (Sec. VI): the GPU's share of rows is cut
 //!   into a few tall bands while the CPU's share is cut finely.
 //! * [`GridPartition`] buckets a matrix's entries by block so that each
-//!   block's ratings are one contiguous slice, cheap to hand to a worker or
-//!   to "transfer" to the simulated GPU.
+//!   block's ratings are one contiguous structure-of-arrays run
+//!   ([`BlockSlices`]), cheap to hand to a worker or to "transfer" to the
+//!   simulated GPU, and laid out the way the vectorized kernels want.
 
 use std::fmt;
 use std::ops::Range;
 
-use crate::matrix::{Rating, SparseMatrix};
+use mf_par::{stable_counting_scatter, ScatterSlice, ThreadPool, DEFAULT_CHUNK};
+
+use crate::matrix::{BlockSlices, Rating, SparseMatrix};
 
 /// Identifies one block of the grid: row band `row`, column band `col`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -258,27 +261,6 @@ pub fn balanced_cuts(weights: &[u32], bands: u32) -> Vec<u32> {
     cuts
 }
 
-/// Stable counting sort of a matrix's entries by user id, `O(nnz + m)` —
-/// the first radix pass of [`GridPartition::build_with_order`]'s
-/// user-major mode.
-fn counting_sort_by_user(m: &SparseMatrix) -> Vec<Rating> {
-    let nrows = m.nrows() as usize;
-    let mut offsets = vec![0usize; nrows + 1];
-    for e in m.entries() {
-        offsets[e.u as usize + 1] += 1;
-    }
-    for i in 0..nrows {
-        offsets[i + 1] += offsets[i];
-    }
-    let mut out = vec![Rating::new(0, 0, 0.0); m.nnz()];
-    for e in m.entries() {
-        let u = e.u as usize;
-        out[offsets[u]] = *e;
-        offsets[u] += 1;
-    }
-    out
-}
-
 /// Index of the band containing `x`: the last band whose start is <= x and
 /// whose end is > x. `partition_point` finds the first cut strictly greater
 /// than `x`; the band is the one before it.
@@ -304,19 +286,30 @@ pub enum BlockOrder {
     UserMajor,
 }
 
-/// A [`SparseMatrix`] bucketed by a [`GridSpec`]: each block's entries form
-/// one contiguous slice.
+/// A [`SparseMatrix`] bucketed by a [`GridSpec`], stored
+/// **structure-of-arrays**: one flat `rows`/`cols`/`vals` triple over all
+/// entries, grouped by block, with per-block offsets. Each block is a
+/// [`BlockSlices`] view — three unit-stride streams, the layout the
+/// monomorphized SGD kernels load without the 12-byte interleave penalty
+/// of an AoS `Vec<Rating>`.
 ///
-/// Bucketing is a two-pass counting sort (count → prefix-sum → scatter,
-/// `O(nnz + blocks)`, no per-block `Vec` growth) and is **stable**: within
-/// a block (and, under [`BlockOrder::UserMajor`], within a user) entries
-/// keep the relative order they had in the source matrix.
+/// Bucketing is a stable parallel counting sort
+/// ([`mf_par::stable_counting_scatter`]; histogram → prefix-sum →
+/// scatter): `O(nnz + blocks)` work, no per-block `Vec` growth, no
+/// intermediate `Vec<Rating>` materialization, and bit-identical output
+/// for any thread count. Within a block (and, under
+/// [`BlockOrder::UserMajor`], within a user) entries keep the relative
+/// order they had in the source matrix.
 #[derive(Debug, Clone)]
 pub struct GridPartition {
     spec: GridSpec,
-    /// All entries, grouped by block in row-major block order.
-    entries: Vec<Rating>,
-    /// `offsets[flat]..offsets[flat + 1]` is block `flat`'s slice.
+    /// Row ids of all entries, grouped by block in row-major block order.
+    rows: Vec<u32>,
+    /// Column ids, same order as `rows`.
+    cols: Vec<u32>,
+    /// Rating values, same order as `rows`.
+    vals: Vec<f32>,
+    /// `offsets[flat]..offsets[flat + 1]` is block `flat`'s range.
     offsets: Vec<usize>,
     nrows: u32,
     ncols: u32,
@@ -324,7 +317,8 @@ pub struct GridPartition {
 
 impl GridPartition {
     /// Buckets `m`'s entries by `spec` in `O(nnz + blocks)`, keeping
-    /// stream order within each block ([`BlockOrder::Stream`]).
+    /// stream order within each block ([`BlockOrder::Stream`]), on the
+    /// process-wide thread pool.
     ///
     /// # Panics
     ///
@@ -333,17 +327,36 @@ impl GridPartition {
         Self::build_with_order(m, spec, BlockOrder::Stream)
     }
 
-    /// Buckets `m`'s entries by `spec` with the requested within-block
-    /// ordering. [`BlockOrder::UserMajor`] costs one extra stable counting
-    /// pass keyed on the user id (`O(nnz + nrows)`): sorting by user first
-    /// and by block second leaves each block grouped by user — the
-    /// cache-friendly layout for the hot SGD loop, which then reuses each
-    /// `P` row across the user's consecutive ratings.
+    /// [`GridPartition::build_with_order_in`] on the process-wide pool.
     ///
     /// # Panics
     ///
     /// Panics if the spec's final cuts disagree with `m`'s shape.
     pub fn build_with_order(m: &SparseMatrix, spec: GridSpec, order: BlockOrder) -> GridPartition {
+        Self::build_with_order_in(m, spec, order, ThreadPool::global())
+    }
+
+    /// Buckets `m`'s entries by `spec` with the requested within-block
+    /// ordering, running the counting passes on `pool`. The result is
+    /// independent of the pool's thread count.
+    ///
+    /// [`BlockOrder::UserMajor`] costs one extra stable counting pass
+    /// keyed on the user id (`O(nnz + nrows)`): sorting by user first and
+    /// by block second leaves each block grouped by user — the
+    /// cache-friendly layout for the hot SGD loop, which then reuses each
+    /// `P` row across the user's consecutive ratings. The pass scatters
+    /// straight into a scratch SoA triple that the block pass then
+    /// consumes, so no `Vec<Rating>` copy of the matrix is ever made.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's final cuts disagree with `m`'s shape.
+    pub fn build_with_order_in(
+        m: &SparseMatrix,
+        spec: GridSpec,
+        order: BlockOrder,
+        pool: &ThreadPool,
+    ) -> GridPartition {
         assert_eq!(
             *spec.row_cuts.last().unwrap(),
             m.nrows(),
@@ -354,40 +367,91 @@ impl GridPartition {
             m.ncols(),
             "col cuts must end at ncols"
         );
-        // LSD counting sort: an optional first stable pass by user id,
-        // then the stable pass by block. The block pass preserves the
-        // user grouping, so the result is user-major within each block.
-        let user_major;
-        let source: &[Rating] = match order {
-            BlockOrder::Stream => m.entries(),
+        let nnz = m.nnz();
+        let entries = m.entries();
+        let nblocks = spec.block_count();
+        let flat_of = |u: u32, v: u32| spec.flat_index(spec.block_of(u, v));
+        let mut rows = vec![0u32; nnz];
+        let mut cols = vec![0u32; nnz];
+        let mut vals = vec![0f32; nnz];
+        let offsets = match order {
+            BlockOrder::Stream => {
+                let dr = ScatterSlice::new(&mut rows);
+                let dc = ScatterSlice::new(&mut cols);
+                let dv = ScatterSlice::new(&mut vals);
+                stable_counting_scatter(
+                    pool,
+                    nnz,
+                    nblocks,
+                    DEFAULT_CHUNK,
+                    |i| {
+                        let e = &entries[i];
+                        flat_of(e.u, e.v)
+                    },
+                    // SAFETY: the scatter plan assigns each destination
+                    // index to exactly one entry.
+                    |i, at| {
+                        let e = &entries[i];
+                        unsafe {
+                            dr.write(at, e.u);
+                            dc.write(at, e.v);
+                            dv.write(at, e.r);
+                        }
+                    },
+                )
+            }
             BlockOrder::UserMajor => {
-                user_major = counting_sort_by_user(m);
-                &user_major
+                // LSD counting sort: a first stable pass by user id into
+                // the scratch triple, then the stable pass by block from
+                // scratch into the final storage. The block pass
+                // preserves the user grouping.
+                let mut srows = vec![0u32; nnz];
+                let mut scols = vec![0u32; nnz];
+                let mut svals = vec![0f32; nnz];
+                {
+                    let dr = ScatterSlice::new(&mut srows);
+                    let dc = ScatterSlice::new(&mut scols);
+                    let dv = ScatterSlice::new(&mut svals);
+                    stable_counting_scatter(
+                        pool,
+                        nnz,
+                        m.nrows() as usize,
+                        DEFAULT_CHUNK,
+                        |i| entries[i].u as usize,
+                        // SAFETY: as above — destinations are unique.
+                        |i, at| {
+                            let e = &entries[i];
+                            unsafe {
+                                dr.write(at, e.u);
+                                dc.write(at, e.v);
+                                dv.write(at, e.r);
+                            }
+                        },
+                    );
+                }
+                let dr = ScatterSlice::new(&mut rows);
+                let dc = ScatterSlice::new(&mut cols);
+                let dv = ScatterSlice::new(&mut vals);
+                stable_counting_scatter(
+                    pool,
+                    nnz,
+                    nblocks,
+                    DEFAULT_CHUNK,
+                    |i| flat_of(srows[i], scols[i]),
+                    // SAFETY: as above — destinations are unique.
+                    |i, at| unsafe {
+                        dr.write(at, srows[i]);
+                        dc.write(at, scols[i]);
+                        dv.write(at, svals[i]);
+                    },
+                )
             }
         };
-        let nblocks = spec.block_count();
-        let mut counts = vec![0usize; nblocks + 1];
-        // Pass 1: count entries per block.
-        let flat_of = |e: &Rating| spec.flat_index(spec.block_of(e.u, e.v));
-        for e in source {
-            counts[flat_of(e) + 1] += 1;
-        }
-        // Prefix-sum into offsets.
-        for i in 0..nblocks {
-            counts[i + 1] += counts[i];
-        }
-        let offsets = counts;
-        // Pass 2: scatter (stable).
-        let mut cursor = offsets.clone();
-        let mut entries = vec![Rating::new(0, 0, 0.0); m.nnz()];
-        for e in source {
-            let b = flat_of(e);
-            entries[cursor[b]] = *e;
-            cursor[b] += 1;
-        }
         GridPartition {
             spec,
-            entries,
+            rows,
+            cols,
+            vals,
             offsets,
             nrows: m.nrows(),
             ncols: m.ncols(),
@@ -411,13 +475,19 @@ impl GridPartition {
 
     /// Total number of ratings across all blocks.
     pub fn total_nnz(&self) -> usize {
-        self.entries.len()
+        self.rows.len()
     }
 
-    /// The ratings of one block, as a contiguous slice.
-    pub fn block(&self, id: BlockId) -> &[Rating] {
+    /// The ratings of one block: three contiguous unit-stride streams.
+    pub fn block(&self, id: BlockId) -> BlockSlices<'_> {
         let flat = self.spec.flat_index(id);
-        &self.entries[self.offsets[flat]..self.offsets[flat + 1]]
+        let lo = self.offsets[flat];
+        let hi = self.offsets[flat + 1];
+        BlockSlices {
+            rows: &self.rows[lo..hi],
+            cols: &self.cols[lo..hi],
+            vals: &self.vals[lo..hi],
+        }
     }
 
     /// Number of ratings in a block (the paper's "block size" in points).
@@ -557,7 +627,7 @@ mod tests {
         assert_eq!(part.total_nnz(), m.nnz());
         let mut seen = 0;
         for id in part.spec().blocks() {
-            for e in part.block(id) {
+            for e in part.block(id).iter() {
                 // Every entry is inside its block's ranges.
                 let rr = part.spec().row_range(id.row);
                 let cr = part.spec().col_range(id.col);
@@ -578,9 +648,7 @@ mod tests {
         ]);
         let part = GridPartition::build(&m, GridSpec::uniform(1, 2, 1, 1));
         let b = part.block(BlockId::new(0, 0));
-        assert_eq!(b[0].r, 1.0);
-        assert_eq!(b[1].r, 2.0);
-        assert_eq!(b[2].r, 3.0);
+        assert_eq!(b.vals, &[1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -603,8 +671,9 @@ mod tests {
             let block = um.block(id);
             // Users ascend within a block; ties keep stream order.
             assert!(
-                block.windows(2).all(|w| w[0].u <= w[1].u),
-                "block {id} not user-major: {block:?}"
+                block.rows.windows(2).all(|w| w[0] <= w[1]),
+                "block {id} not user-major: {:?}",
+                block.rows
             );
             // Same entry multiset as the stream-ordered partition.
             let mut a: Vec<_> = block.iter().map(|e| (e.u, e.v)).collect();

@@ -6,6 +6,9 @@
 //! * [`Rating`] / [`SparseMatrix`] — coordinate (COO) storage of the rating
 //!   triples `(u, v, r)` with shape metadata, exactly the "triadic tuple"
 //!   representation used by the paper's Algorithm 1.
+//! * [`BlockSlices`] / [`SoaRatings`] — the structure-of-arrays layout the
+//!   vectorized SGD kernels consume: three unit-stride `u`/`v`/`r` streams
+//!   instead of a 12-byte interleaved stride.
 //! * [`CsrView`] / [`CscView`] — compressed row/column index structures built
 //!   on demand (used by the ALS / CCD++ reference solvers and by analytics).
 //! * [`grid`] — the **matrix blocking** machinery at the heart of FPSGD,
@@ -32,5 +35,5 @@ pub mod shuffle;
 
 pub use csr::{CscView, CsrView};
 pub use grid::{balanced_cuts, BlockId, BlockOrder, GridPartition, GridSpec};
-pub use matrix::{Rating, SparseMatrix};
+pub use matrix::{BlockSlices, Rating, SoaRatings, SparseMatrix};
 pub use pool::FreeBlockPool;

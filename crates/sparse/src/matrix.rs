@@ -29,6 +29,176 @@ impl Rating {
     pub const WIRE_BYTES: usize = 12;
 }
 
+/// A borrowed structure-of-arrays view over a run of ratings: entry `i`
+/// is `(rows[i], cols[i], vals[i])`.
+///
+/// This is the layout the monomorphized SGD kernels consume: three
+/// unit-stride streams instead of a 12-byte interleaved [`Rating`]
+/// stride, so the index loads and the value loads each hit their own
+/// dense cache lines. [`crate::GridPartition`] stores every block this
+/// way and hands out `BlockSlices` views.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSlices<'a> {
+    /// Row (user) indices.
+    pub rows: &'a [u32],
+    /// Column (item) indices.
+    pub cols: &'a [u32],
+    /// Rating values.
+    pub vals: &'a [f32],
+}
+
+impl<'a> BlockSlices<'a> {
+    /// Assembles a view from three equal-length slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn new(rows: &'a [u32], cols: &'a [u32], vals: &'a [f32]) -> BlockSlices<'a> {
+        assert!(
+            rows.len() == cols.len() && cols.len() == vals.len(),
+            "SoA slices must have equal lengths"
+        );
+        BlockSlices { rows, cols, vals }
+    }
+
+    /// An empty view.
+    #[inline]
+    pub fn empty() -> BlockSlices<'static> {
+        BlockSlices {
+            rows: &[],
+            cols: &[],
+            vals: &[],
+        }
+    }
+
+    /// Number of ratings in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the view holds no ratings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `i`-th rating, materialized as a [`Rating`].
+    #[inline]
+    pub fn get(&self, i: usize) -> Rating {
+        Rating::new(self.rows[i], self.cols[i], self.vals[i])
+    }
+
+    /// A sub-view over `range` (same indices in all three streams).
+    #[inline]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BlockSlices<'a> {
+        BlockSlices {
+            rows: &self.rows[range.clone()],
+            cols: &self.cols[range.clone()],
+            vals: &self.vals[range],
+        }
+    }
+
+    /// Iterates the ratings in order, materialized as [`Rating`] values.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = Rating> + 'a {
+        self.rows
+            .iter()
+            .zip(self.cols)
+            .zip(self.vals)
+            .map(|((&u, &v), &r)| Rating::new(u, v, r))
+    }
+
+    /// Bytes this view's ratings occupy on the (simulated) PCIe wire.
+    #[inline]
+    pub fn wire_bytes(&self) -> usize {
+        self.len() * Rating::WIRE_BYTES
+    }
+}
+
+/// Owned structure-of-arrays rating storage — the buffer type behind
+/// [`BlockSlices`] views. Used by trainers that keep a private reordered
+/// copy of the data in kernel-friendly layout (e.g. Hogwild).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SoaRatings {
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl SoaRatings {
+    /// Empty storage with room for `n` ratings.
+    pub fn with_capacity(n: usize) -> SoaRatings {
+        SoaRatings {
+            rows: Vec::with_capacity(n),
+            cols: Vec::with_capacity(n),
+            vals: Vec::with_capacity(n),
+        }
+    }
+
+    /// Converts an AoS rating run into SoA storage.
+    pub fn from_entries(entries: &[Rating]) -> SoaRatings {
+        let mut out = SoaRatings::with_capacity(entries.len());
+        for e in entries {
+            out.push(*e);
+        }
+        out
+    }
+
+    /// Appends one rating.
+    #[inline]
+    pub fn push(&mut self, e: Rating) {
+        self.rows.push(e.u);
+        self.cols.push(e.v);
+        self.vals.push(e.r);
+    }
+
+    /// Number of stored ratings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no ratings are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A view over all stored ratings.
+    #[inline]
+    pub fn as_slices(&self) -> BlockSlices<'_> {
+        BlockSlices {
+            rows: &self.rows,
+            cols: &self.cols,
+            vals: &self.vals,
+        }
+    }
+
+    /// A view over `range`.
+    #[inline]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BlockSlices<'_> {
+        self.as_slices().slice(range)
+    }
+
+    /// Seeded Fisher–Yates shuffle applying the same swap sequence to all
+    /// three streams in lockstep — the permutation is identical to
+    /// [`crate::shuffle::shuffle_entries`] with the same seed on the AoS
+    /// form of the same data.
+    pub fn shuffle(&mut self, seed: u64) {
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.rows.swap(i, j);
+            self.cols.swap(i, j);
+            self.vals.swap(i, j);
+        }
+    }
+}
+
 /// A sparse `m × n` rating matrix in coordinate form.
 ///
 /// Entry order is meaningful: SGD visits entries in storage order, so
@@ -292,5 +462,44 @@ mod tests {
     fn wire_bytes_matches_layout() {
         assert_eq!(std::mem::size_of::<Rating>(), Rating::WIRE_BYTES);
         assert_eq!(small().wire_bytes(), 5 * 12);
+    }
+
+    #[test]
+    fn soa_round_trips_entries() {
+        let m = small();
+        let soa = SoaRatings::from_entries(m.entries());
+        assert_eq!(soa.len(), m.nnz());
+        let back: Vec<Rating> = soa.as_slices().iter().collect();
+        assert_eq!(back, m.entries());
+        for (i, e) in m.entries().iter().enumerate() {
+            assert_eq!(soa.as_slices().get(i), *e);
+        }
+    }
+
+    #[test]
+    fn soa_shuffle_matches_aos_shuffle() {
+        use crate::shuffle::shuffle_entries;
+        let mut m = small();
+        let mut soa = SoaRatings::from_entries(m.entries());
+        shuffle_entries(&mut m, 77);
+        soa.shuffle(77);
+        let back: Vec<Rating> = soa.as_slices().iter().collect();
+        assert_eq!(back, m.entries(), "lockstep shuffle must match AoS");
+    }
+
+    #[test]
+    fn block_slices_sub_view() {
+        let soa = SoaRatings::from_entries(small().entries());
+        let view = soa.slice(1..4);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.get(0), small().entries()[1]);
+        assert_eq!(view.wire_bytes(), 3 * Rating::WIRE_BYTES);
+        assert!(BlockSlices::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn block_slices_rejects_mismatched_lengths() {
+        let _ = BlockSlices::new(&[1, 2], &[1], &[0.5]);
     }
 }

@@ -60,13 +60,25 @@ enum Origin {
     Col,
 }
 
+/// Grids with at most this many blocks use a linear-scan `acquire`
+/// instead of the two-level heap. On tiny grids the exhaustive scan is a
+/// handful of cache lines (~18 ns at 8×8) while the heap machinery pays
+/// ~400 ns of pointer-chasing per operation; the heap only wins once the
+/// scan's O(rows × cols) cost passes the heap's flat cost, safely above
+/// this threshold.
+pub const SCAN_MAX_BLOCKS: usize = 256;
+
 /// An incrementally maintained pool of free (unassigned, conflict-free)
 /// blocks over a `rows × cols` grid. See the module docs for the
-/// algorithm.
+/// algorithm. Grids of at most [`SCAN_MAX_BLOCKS`] blocks skip the heap
+/// machinery entirely and answer `acquire` with the exhaustive scan —
+/// same picks (the scan *is* the policy definition), better constants.
 #[derive(Debug, Clone)]
 pub struct FreeBlockPool {
     rows: u32,
     cols: u32,
+    /// Small-grid mode: `acquire` scans, the heaps stay empty.
+    scan: bool,
     /// Per-block pass count (passes *granted*, incremented at acquire).
     counts: Vec<u32>,
     /// Optional per-block acquisition cap: blocks at the cap leave the
@@ -89,10 +101,25 @@ impl FreeBlockPool {
     /// bounds how many times a single block may be acquired (`None`:
     /// unbounded — the HSGD regime).
     pub fn new(rows: u32, cols: u32, cap: Option<u32>) -> FreeBlockPool {
+        Self::with_scan_threshold(rows, cols, cap, SCAN_MAX_BLOCKS)
+    }
+
+    /// [`FreeBlockPool::new`] with an explicit scan/heap crossover:
+    /// grids of at most `max_scan_blocks` blocks use the linear-scan
+    /// fast path. Exposed so tests and benchmarks can force either
+    /// implementation (`0`: always heap; `usize::MAX`: always scan).
+    pub fn with_scan_threshold(
+        rows: u32,
+        cols: u32,
+        cap: Option<u32>,
+        max_scan_blocks: usize,
+    ) -> FreeBlockPool {
         assert!(rows > 0 && cols > 0, "grid must be non-empty");
         let nblocks = rows as usize * cols as usize;
-        let mut heap = BinaryHeap::with_capacity(nblocks);
-        if cap != Some(0) {
+        let scan = nblocks <= max_scan_blocks;
+        let mut heap = BinaryHeap::new();
+        if !scan && cap != Some(0) {
+            heap.reserve(nblocks);
             for flat in 0..nblocks as u32 {
                 heap.push(Reverse((0, flat, Origin::Fresh)));
             }
@@ -100,6 +127,7 @@ impl FreeBlockPool {
         FreeBlockPool {
             rows,
             cols,
+            scan,
             counts: vec![0; nblocks],
             cap,
             heap,
@@ -179,6 +207,18 @@ impl FreeBlockPool {
     /// schedules. Returns `None` when every candidate block conflicts
     /// with a band already held (or none remain under the cap).
     pub fn acquire(&mut self) -> Option<(BlockId, u32)> {
+        if self.scan {
+            // Small-grid fast path: the policy's executable definition is
+            // also the fastest implementation at this size.
+            let (id, count) = self.scan_reference_pick()?;
+            let flat = self.flat(id);
+            self.counts[flat] += 1;
+            self.row_busy[id.row as usize] = true;
+            self.col_busy[id.col as usize] = true;
+            self.held[flat] = true;
+            self.in_flight += 1;
+            return Some((id, count));
+        }
         while let Some(Reverse((count, flat, origin))) = self.heap.pop() {
             let id = self.unflat(flat);
             let r = id.row as usize;
@@ -262,6 +302,9 @@ impl FreeBlockPool {
         self.row_busy[id.row as usize] = false;
         self.col_busy[id.col as usize] = false;
         self.in_flight -= 1;
+        if self.scan {
+            return;
+        }
         self.promote_row(id.row as usize);
         self.promote_col(id.col as usize);
         let count = self.counts[flat];
@@ -277,7 +320,9 @@ mod tests {
 
     #[test]
     fn acquire_matches_oracle_through_mixed_ops() {
-        let mut pool = FreeBlockPool::new(5, 4, Some(3));
+        // Force the heap implementation: on a grid this small `new` would
+        // pick the scan fast path, which *is* the oracle.
+        let mut pool = FreeBlockPool::with_scan_threshold(5, 4, Some(3), 0);
         let mut held: Vec<BlockId> = Vec::new();
         // Deterministic mixed acquire/release schedule.
         for step in 0..400 {
@@ -337,6 +382,45 @@ mod tests {
     fn zero_cap_pool_is_empty() {
         let mut pool = FreeBlockPool::new(2, 2, Some(0));
         assert!(pool.acquire().is_none());
+        let mut heap = FreeBlockPool::with_scan_threshold(2, 2, Some(0), 0);
+        assert!(heap.acquire().is_none());
+    }
+
+    #[test]
+    fn scan_and_heap_modes_agree_through_mixed_traffic() {
+        // Same deterministic op schedule on both implementations: every
+        // grant, pass number, and refusal must be identical.
+        let mut scan = FreeBlockPool::with_scan_threshold(6, 5, Some(3), usize::MAX);
+        let mut heap = FreeBlockPool::with_scan_threshold(6, 5, Some(3), 0);
+        let mut held: Vec<BlockId> = Vec::new();
+        for step in 0..500 {
+            if step % 3 == 2 && !held.is_empty() {
+                let id = held.remove(step % held.len());
+                scan.release(id);
+                heap.release(id);
+            } else {
+                let a = scan.acquire();
+                let b = heap.acquire();
+                assert_eq!(a, b, "step {step}");
+                if let Some((id, _)) = a {
+                    held.push(id);
+                }
+            }
+            assert_eq!(scan.counts(), heap.counts());
+            assert_eq!(scan.in_flight(), heap.in_flight());
+        }
+    }
+
+    #[test]
+    fn default_threshold_puts_small_grids_on_scan() {
+        // Both sides of the crossover still drain to exact counts.
+        for (rows, cols) in [(8u32, 8u32), (20, 20)] {
+            let mut pool = FreeBlockPool::new(rows, cols, Some(2));
+            while let Some((id, _)) = pool.acquire() {
+                pool.release(id);
+            }
+            assert!(pool.counts().iter().all(|&c| c == 2));
+        }
     }
 
     #[test]

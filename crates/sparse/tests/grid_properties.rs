@@ -53,7 +53,7 @@ proptest! {
             for id in part.spec().blocks() {
                 let rr = part.spec().row_range(id.row);
                 let cr = part.spec().col_range(id.col);
-                for e in part.block(id) {
+                for e in part.block(id).iter() {
                     prop_assert!(rr.contains(&e.u));
                     prop_assert!(cr.contains(&e.v));
                     count += 1;
@@ -78,7 +78,7 @@ proptest! {
         // block_of lookup.
         let mut total = 0usize;
         for id in part.spec().blocks() {
-            for e in part.block(id) {
+            for e in part.block(id).iter() {
                 prop_assert_eq!(part.spec().block_of(e.u, e.v), id);
             }
             total += part.block_len(id);

@@ -61,5 +61,8 @@ pub use mf_sgd as sgd;
 /// Sparse rating-matrix substrate: COO/CSR, grid partitioning, I/O.
 pub use mf_sparse as sparse;
 
+/// The data-pipeline thread pool (deterministic chunked parallelism).
+pub use mf_par as par;
+
 /// The virtual GPU device (SIMT kernel, PCIe model, stream pipeline).
 pub use gpu_sim as gpu;
