@@ -1,11 +1,11 @@
 //! `bench_gate` — the CI perf-regression gate.
 //!
-//! Re-measures the kernel and end-to-end hot paths in quick mode and
-//! compares them against the committed `BENCH_hotpath.json`: the build
-//! fails (exit 1) when monomorphized-SoA kernel GFLOP/s at any supported
-//! dimension, or FPSGD ratings/s (measured at the committed run's thread
-//! count and latent dimension), drops more than the tolerance below the
-//! committed value.
+//! Re-measures the kernel, serving, and end-to-end hot paths in quick
+//! mode and compares them against the committed `BENCH_hotpath.json`:
+//! the build fails (exit 1) when monomorphized-SoA kernel GFLOP/s at any
+//! supported dimension, batched top-k queries/s, or FPSGD ratings/s
+//! (measured at the committed run's thread count and latent dimension)
+//! drops more than the tolerance below the committed value.
 //!
 //! Knobs (environment):
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
@@ -66,6 +66,18 @@ fn main() {
                 row.soa_gflops,
                 soa_ref.unwrap_or(mono_ref),
             );
+        }
+    }
+
+    match hotpath::parse_serving(&json) {
+        Some(qps_ref) => {
+            let serving = hotpath::bench_serving(true, 42);
+            check("serving queries/s".to_string(), serving.par_qps, qps_ref);
+        }
+        None => {
+            // Baselines committed before the serving layer carry no
+            // section; nothing to compare until the next full run.
+            println!("serving queries/s: no committed baseline — skipped");
         }
     }
 

@@ -1,7 +1,7 @@
 //! `hotpath_baseline` — the recorded performance baseline for the hot-path
 //! layers every trainer funnels through (see [`mf_bench::hotpath`]).
 //!
-//! Five sections, each printed side by side against the path it replaced,
+//! Six sections, each printed side by side against the path it replaced,
 //! and all written to `BENCH_hotpath.json` so the repo's perf trajectory
 //! has a measured point to compare future PRs against:
 //!
@@ -13,7 +13,9 @@
 //! 3. **Ingest** — the `O(nnz)` preprocessing passes: text parse, seeded
 //!    shuffle, user-major grid build, CSR build; serial vs pooled.
 //! 4. **Eval** — the RMSE reduction, serial vs pooled.
-//! 5. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
+//! 5. **Serving** — batched top-k queries/s against the tiled
+//!    `mf-serve::FactorStore`: serial vs pooled vs warm result cache.
+//! 6. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
 //!
 //! Run with `--quick` for a CI smoke pass; the committed
 //! `BENCH_hotpath.json` comes from a full run:
@@ -103,6 +105,25 @@ fn main() {
             ev.threads.to_string(),
             format!("{:.2}", ev.rmse_serial_mps),
             format!("{:.2}", ev.rmse_par_mps),
+        ]],
+    );
+
+    let sv = &report.serving;
+    print_table(
+        "hot path · serving (batched top-k queries/s)",
+        &[
+            "users", "items", "k", "queries", "top-k", "threads", "serial", "pooled", "cached",
+        ],
+        &[vec![
+            sv.users.to_string(),
+            sv.items.to_string(),
+            sv.k.to_string(),
+            sv.queries.to_string(),
+            sv.count.to_string(),
+            sv.threads.to_string(),
+            format!("{:.0}", sv.serial_qps),
+            format!("{:.0}", sv.par_qps),
+            format!("{:.0}", sv.cached_qps),
         ]],
     );
 

@@ -1,6 +1,8 @@
-//! Measured baselines for the four hot-path layers every trainer funnels
-//! through: the SGD kernel, the block scheduler, the ingest pipeline
-//! (parse → shuffle → CSR/grid build), and the evaluation reductions.
+//! Measured baselines for the hot-path layers every trainer funnels
+//! through — the SGD kernel, the block scheduler, the ingest pipeline
+//! (parse → shuffle → CSR/grid build), and the evaluation reductions —
+//! plus the serving layer a trained model is deployed behind
+//! (`mf-serve` batched top-k).
 //!
 //! Shared by two binaries:
 //!
@@ -96,6 +98,29 @@ pub struct IngestBench {
     pub csr_par_mps: f64,
 }
 
+/// Serving throughput: batched top-k queries per second against a
+/// `mf-serve::FactorStore` (tiled item factors, norm-bound pruning).
+pub struct ServingBench {
+    /// Users with stored factors.
+    pub users: u32,
+    /// Items in the catalog.
+    pub items: u32,
+    /// Latent dimension.
+    pub k: usize,
+    /// Queries per batch.
+    pub queries: usize,
+    /// Top-k size per query.
+    pub count: usize,
+    /// Threads in the parallel pool (the serial column uses 1).
+    pub threads: usize,
+    /// Batched top-k, 1-thread pool.
+    pub serial_qps: f64,
+    /// Batched top-k, full pool (identical results).
+    pub par_qps: f64,
+    /// Warm LRU result cache (100% hits).
+    pub cached_qps: f64,
+}
+
 /// Evaluation-reduction throughput (millions of test entries per second).
 pub struct EvalBench {
     /// Entries in the test set.
@@ -120,6 +145,8 @@ pub struct HotpathReport {
     pub ingest: IngestBench,
     /// Eval section.
     pub eval: EvalBench,
+    /// Serving section.
+    pub serving: ServingBench,
     /// End-to-end section.
     pub fpsgd: E2e,
 }
@@ -146,6 +173,7 @@ pub fn run(args: &BenchArgs) -> HotpathReport {
         scheduler: bench_scheduler(quick),
         ingest: bench_ingest(quick, args.seed),
         eval: bench_eval(quick, args.seed),
+        serving: bench_serving(quick, args.seed),
         fpsgd: bench_fpsgd(quick, args),
     }
 }
@@ -472,6 +500,83 @@ pub fn bench_eval(quick: bool, seed: u64) -> EvalBench {
     }
 }
 
+/// Serving section: batched top-k against the tiled factor store —
+/// serial pool, full pool, and warm-cache variants over one query mix.
+///
+/// The quick store is smaller (cache-friendlier), so quick ≥ full on the
+/// same silicon — the conservative direction for the gate, mirroring the
+/// kernel section's quick-mode block.
+pub fn bench_serving(quick: bool, seed: u64) -> ServingBench {
+    use mf_serve::{FactorStore, Query};
+    let (users, items) = if quick {
+        (2_000u32, 8_000u32)
+    } else {
+        (10_000u32, 40_000u32)
+    };
+    let k = 32;
+    let nqueries = if quick { 300 } else { 2_000 };
+    let count = 10;
+    let runs = if quick { 2 } else { 3 };
+    let model = Model::init(users, items, k, seed ^ 0x5e7e);
+    let store = FactorStore::new(model, 1);
+    // A mildly skewed user mix with a short exclusion list each — the
+    // shape of real recommendation traffic.
+    let queries: Vec<Query> = (0..nqueries)
+        .map(|i| {
+            let u = ((i as u64 * 0x9e37_79b9) % users as u64) as u32;
+            Query {
+                user: mf_serve::QueryUser::Id(u),
+                count,
+                exclude: vec![u % items, (u * 7 + 3) % items],
+            }
+        })
+        .collect();
+    let serial = ThreadPool::new(1);
+    let par = ThreadPool::global();
+    let qps = |secs: f64| nqueries as f64 / secs;
+
+    let serial_secs = best_of(
+        runs,
+        || (),
+        |_| {
+            black_box(store.serve_batch_in(&queries, &serial));
+        },
+    );
+    let par_secs = best_of(
+        runs,
+        || (),
+        |_| {
+            black_box(store.serve_batch_in(&queries, par));
+        },
+    );
+    // Warm-cache pass: fill outside the timed region, then re-serve the
+    // identical batch — every query hits.
+    let cached_store = {
+        let model = Model::init(users, items, k, seed ^ 0x5e7e);
+        FactorStore::new(model, 1).with_cache(users as usize)
+    };
+    let _ = cached_store.serve_batch_in(&queries, &serial);
+    let cached_secs = best_of(
+        runs,
+        || (),
+        |_| {
+            black_box(cached_store.serve_batch_in(&queries, &serial));
+        },
+    );
+
+    ServingBench {
+        users,
+        items,
+        k,
+        queries: nqueries,
+        count,
+        threads: par.threads(),
+        serial_qps: qps(serial_secs),
+        par_qps: qps(par_secs),
+        cached_qps: qps(cached_secs),
+    }
+}
+
 /// End-to-end FPSGD on the auto-sized thread count.
 pub fn bench_fpsgd(quick: bool, args: &BenchArgs) -> E2e {
     // Auto-size to the host unless the user pinned --nc explicitly.
@@ -585,6 +690,13 @@ pub fn to_json(r: &HotpathReport) -> String {
         "  \"eval\": {{\"nnz\": {}, \"threads\": {}, \"rmse_serial_mps\": {:.3}, \"rmse_par_mps\": {:.3}}},",
         ev.nnz, ev.threads, ev.rmse_serial_mps, ev.rmse_par_mps
     );
+    let sv = &r.serving;
+    let _ = writeln!(
+        s,
+        "  \"serving\": {{\"users\": {}, \"items\": {}, \"k\": {}, \"queries\": {}, \"count\": {}, \"threads\": {}, \"serial_qps\": {:.1}, \"par_qps\": {:.1}, \"cached_qps\": {:.1}}},",
+        sv.users, sv.items, sv.k, sv.queries, sv.count, sv.threads,
+        sv.serial_qps, sv.par_qps, sv.cached_qps
+    );
     let e = &r.fpsgd;
     let _ = writeln!(
         s,
@@ -622,6 +734,14 @@ pub fn parse_kernel_rows(json: &str) -> Vec<(usize, f64, Option<f64>)> {
             ))
         })
         .collect()
+}
+
+/// `par_qps` of a committed baseline's serving section. Baselines
+/// written before the serving layer existed have none; those return
+/// `None` and the gate skips the check.
+pub fn parse_serving(json: &str) -> Option<f64> {
+    let line = json.lines().find(|l| l.contains("\"par_qps\""))?;
+    json_num(line, "par_qps")
 }
 
 /// `(threads, k, ratings_per_s)` of a committed baseline's end-to-end
@@ -672,6 +792,17 @@ mod tests {
                 rmse_serial_mps: 8.0,
                 rmse_par_mps: 9.0,
             },
+            serving: ServingBench {
+                users: 100,
+                items: 500,
+                k: 16,
+                queries: 50,
+                count: 10,
+                threads: 2,
+                serial_qps: 1000.0,
+                par_qps: 1500.5,
+                cached_qps: 9000.0,
+            },
             fpsgd: E2e {
                 threads: 4,
                 k: 32,
@@ -684,6 +815,12 @@ mod tests {
         let json = to_json(&report);
         assert_eq!(parse_kernel_rows(&json), vec![(8, 2.5, Some(3.0))]);
         assert_eq!(parse_fpsgd(&json), Some((4, 32, 42954805.0)));
+        assert_eq!(parse_serving(&json), Some(1500.5));
+    }
+
+    #[test]
+    fn parse_serving_absent_is_none() {
+        assert_eq!(parse_serving("{\"fpsgd\": {\"ratings_per_s\": 1}}"), None);
     }
 
     #[test]

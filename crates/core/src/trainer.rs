@@ -62,12 +62,16 @@ enum Ev {
     Probe,
 }
 
-struct Sim<'a, S: BlockScheduler> {
+struct Sim<'a, S: BlockScheduler, H: FnMut(u64, &Model)> {
     cfg: &'a HeteroConfig,
     test: &'a SparseMatrix,
     part: GridPartition,
     scheduler: S,
     model: Model,
+    /// Called once per completed epoch with `(epoch, &model)` — the
+    /// checkpoint hook (`mf-serve::checkpoint::epoch_hook` plugs in
+    /// here).
+    epoch_hook: H,
     cpu: CpuWorker,
     cpu_current: Vec<Option<Task>>,
     gpus: Vec<GpuWorker>,
@@ -85,7 +89,7 @@ struct Sim<'a, S: BlockScheduler> {
     end_time: SimTime,
 }
 
-impl<S: BlockScheduler> Sim<'_, S> {
+impl<S: BlockScheduler, H: FnMut(u64, &Model)> Sim<'_, S, H> {
     fn is_drained(&self) -> bool {
         self.cpu_current.iter().all(|c| c.is_none())
             && self.gpu_inflight.iter().all(|q| q.is_empty())
@@ -111,6 +115,7 @@ impl<S: BlockScheduler> Sim<'_, S> {
         if boundary > self.last_boundary {
             self.last_boundary = boundary;
             self.probe(now);
+            (self.epoch_hook)(boundary, &self.model);
         }
     }
 
@@ -218,6 +223,38 @@ pub fn run_training<S: BlockScheduler>(
     alpha_planned: Option<f64>,
     label: &str,
 ) -> TrainOutcome {
+    run_training_with_hook(
+        train,
+        test,
+        scheduler,
+        pool,
+        cfg,
+        alpha_planned,
+        label,
+        |_, _| {},
+    )
+}
+
+/// [`run_training`] with a per-epoch hook: `epoch_hook(epoch, &model)`
+/// fires each time a full pass over the grid completes (1-based epoch
+/// counter, the model exactly as it stands at that virtual instant).
+/// This is the trainer side of checkpointing — pass
+/// `mf_serve::checkpoint::epoch_hook(dir, cfg.seed)` to persist one
+/// `MFCK` checkpoint per epoch; the hook runs synchronously in
+/// virtual time, so the captured factors are the deterministic
+/// epoch-boundary state, not a racy snapshot. Runs stopped early by
+/// `target_rmse` stop emitting epochs at the stop point.
+#[allow(clippy::too_many_arguments)]
+pub fn run_training_with_hook<S: BlockScheduler, H: FnMut(u64, &Model)>(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    scheduler: S,
+    pool: DevicePool,
+    cfg: &HeteroConfig,
+    alpha_planned: Option<f64>,
+    label: &str,
+    epoch_hook: H,
+) -> TrainOutcome {
     // User-major within each block: consecutive updates reuse the same
     // cache-resident `P` row (see `BlockOrder::UserMajor`).
     let part =
@@ -238,6 +275,7 @@ pub fn run_training<S: BlockScheduler>(
         part,
         scheduler,
         model,
+        epoch_hook,
         cpu: CpuWorker { spec: cfg.cpu },
         cpu_current: vec![None; pool.cpu_workers],
         gpus: pool.gpus,
@@ -451,6 +489,40 @@ mod tests {
         assert_eq!(a.model, b.model);
         assert_eq!(a.report.virtual_secs, b.report.virtual_secs);
         assert_eq!(a.report.rmse_series, b.report.rmse_series);
+    }
+
+    #[test]
+    fn epoch_hook_fires_once_per_epoch_with_final_model() {
+        let (train, test) = low_rank_data(30, 30, 7);
+        let cfg = test_cfg(8);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 4,
+            gpus: vec![],
+            gpu_start: vec![],
+        };
+        let mut epochs = Vec::new();
+        let mut snapshots: Vec<Model> = Vec::new();
+        let out = run_training_with_hook(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            None,
+            "CPU-Only",
+            |e, m| {
+                epochs.push(e);
+                snapshots.push(m.clone());
+            },
+        );
+        // One hook call per epoch, in order, 1-based.
+        assert_eq!(epochs, (1..=8).collect::<Vec<u64>>());
+        // The last snapshot is the finished model.
+        assert_eq!(snapshots.last().unwrap(), &out.model);
+        // Earlier snapshots differ (training moved the factors).
+        assert_ne!(snapshots.first().unwrap(), &out.model);
     }
 
     #[test]

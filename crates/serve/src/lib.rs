@@ -1,0 +1,40 @@
+//! # mf-serve — the artifact lifecycle of a trained factor model
+//!
+//! Training produces two dense matrices; everything a deployment does
+//! afterwards — persist them, admit new users, answer ranking queries —
+//! lives here, in three layers:
+//!
+//! * [`checkpoint`] — the versioned, checksummed `MFCK` on-disk format
+//!   (byte-level spec in `docs/FORMAT.md`): save/load streams factor
+//!   payloads in 64 KiB chunks, round-trips are bit-identical, and every
+//!   section carries an XXH64 checksum so corruption is detected at load
+//!   rather than discovered at serve time. `checkpoint::epoch_hook`
+//!   plugs into `hsgd_core::trainer::run_training_with_hook` to emit one
+//!   checkpoint per training epoch.
+//! * [`foldin`] — [`foldin::FoldIn`] solves the fixed-`Q` (or fixed-`P`)
+//!   single-row least-squares problem with deterministic SGD passes over
+//!   the new row's ratings, reusing the training kernel's scalar steps —
+//!   new users and items get factors without a retrain.
+//! * [`store`] — [`store::FactorStore`] re-shards item factors into
+//!   cache-friendly tiles with precomputed norms and answers batched
+//!   top-k queries over the `mf-par` pool, deterministically for any
+//!   thread count, with a norm-bound prune and an LRU result cache keyed
+//!   on `(user, epoch)`.
+//!
+//! The intended flow, end to end (this is `examples/serve_topk.rs`):
+//!
+//! ```text
+//! train ──► checkpoint::save ──► checkpoint::load ──► FactorStore
+//!                                      │                  │
+//!                        FoldIn::new_user(ratings)        │
+//!                                      └── QueryUser::Factor ──► serve_batch ──► TopK
+//! ```
+
+pub mod checkpoint;
+pub mod foldin;
+pub mod hash;
+pub mod store;
+
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta};
+pub use foldin::{FoldIn, FoldInConfig};
+pub use store::{FactorStore, Query, QueryUser, TopK};

@@ -1,0 +1,629 @@
+//! The read-optimized factor store and the batched top-k query path.
+//!
+//! Training wants factors mutable and block-partitioned; serving wants
+//! them immutable and *scan-friendly*. [`FactorStore`] re-shards a
+//! trained model's item factors into fixed-size **tiles** — contiguous
+//! runs of [`TILE_ITEMS`] item rows, each with its item norms and the
+//! tile-maximum norm precomputed — and answers top-k queries by scanning
+//! tiles in item order with a Cauchy–Schwarz prune: a tile whose bound
+//! `|p|·max_norm` cannot strictly beat the current k-th best score is
+//! skipped whole. The prune never changes the answer (see the
+//! determinism argument in ARCHITECTURE.md → "Serving & persistence"):
+//! items are visited in ascending id, ties break toward lower ids, and a
+//! skipped tile is skipped precisely because no item in it can win a
+//! tie-break or a strict comparison.
+//!
+//! [`FactorStore::serve_batch`] fans a query batch over the `mf-par`
+//! pool — one task per query, results written by query index — so the
+//! output is **bit-identical for any thread count**: per-query work
+//! shares no mutable state, and an optional LRU result cache (keyed on
+//! `(user, epoch, count, canonicalized exclude list)`) only ever
+//! returns values equal to what recomputation would produce.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+use mf_par::ThreadPool;
+use mf_sgd::{kernel, Model};
+
+/// Item rows per tile. 512 rows at k = 32 is a 64 KiB factor block —
+/// the scan works through one L2-resident tile at a time while the
+/// norms array (2 KiB) rides along in L1.
+pub const TILE_ITEMS: usize = 512;
+
+/// One contiguous shard of item factors.
+struct Tile {
+    /// First item id in the tile.
+    base: u32,
+    /// `len × k` row-major factor rows.
+    factors: Vec<f32>,
+    /// Per-item Euclidean norms `|q_v|`.
+    norms: Vec<f32>,
+    /// `max(norms)` — the tile's prune bound.
+    max_norm: f32,
+}
+
+/// Who a query scores for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryUser {
+    /// A user the store has factors for (checkpointed `P` row).
+    Id(u32),
+    /// An explicit factor vector — the hand-off from
+    /// [`crate::foldin::FoldIn::new_user`], which is exactly how a
+    /// fold-in user gets served without a retrain or a store rebuild.
+    Factor(Vec<f32>),
+}
+
+/// One top-k request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Whose factor to score with.
+    pub user: QueryUser,
+    /// How many items to return (`count = 0` is answered with an empty
+    /// result).
+    pub count: usize,
+    /// Item ids to withhold (already-seen items). May be unsorted and
+    /// contain duplicates or out-of-range ids.
+    pub exclude: Vec<u32>,
+}
+
+impl Query {
+    /// A plain top-`count` query for a known user.
+    pub fn top_k(user: u32, count: usize) -> Query {
+        Query {
+            user: QueryUser::Id(user),
+            count,
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// A query answer: `(item, score)` pairs sorted by score descending,
+/// exact ties by ascending item id — the same total order as
+/// [`Model::recommend`], which doubles as this type's serial oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    /// The ranked items.
+    pub items: Vec<(u32, f32)>,
+}
+
+/// Max-heap entry ordered so the heap's *top* is the current **loser**:
+/// lowest score first, ties preferring to evict the *larger* item id
+/// (the one that loses the ascending-id tie-break).
+struct Worst {
+    item: u32,
+    score: f32,
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+/// Counters the example and benches print; cheap enough to keep always.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Queries answered from the LRU cache.
+    pub hits: u64,
+    /// Queries that went to the scan.
+    pub misses: u64,
+}
+
+/// A cache key: `(user, epoch, count, sorted-deduped exclude list)`.
+/// The exclude list is stored canonicalized and whole — not hashed — so
+/// two queries share an entry exactly when they are semantically the
+/// same query; a digest here would let a collision serve one query
+/// another's withheld items.
+type CacheKey = (u32, u64, usize, Vec<u32>);
+
+/// The LRU result cache. Plain `HashMap` + logical clock: a hit
+/// refreshes the entry's stamp, insertion past capacity evicts the
+/// stalest entry. Eviction is `O(len)` — at serving cache sizes
+/// (hundreds to low thousands of entries) a scan is faster than
+/// maintaining an intrusive list, and the map stays std-only.
+struct Lru {
+    cap: usize,
+    tick: u64,
+    map: HashMap<CacheKey, (u64, TopK)>,
+}
+
+impl Lru {
+    fn get(&mut self, key: &CacheKey) -> Option<TopK> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, value: TopK) {
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+}
+
+/// The serving store: tiled item factors, user factors, and an optional
+/// result cache. Build one per loaded checkpoint.
+pub struct FactorStore {
+    k: usize,
+    m: u32,
+    n: u32,
+    epoch: u64,
+    /// User factors, row-major (`m × k`).
+    p: Vec<f32>,
+    tiles: Vec<Tile>,
+    cache: Option<Mutex<Lru>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FactorStore {
+    /// Builds a store from a trained model, consuming it (the factor
+    /// buffers are re-sharded, not copied twice). `epoch` is the
+    /// checkpoint epoch the factors came from; it keys the result cache
+    /// so two stores of one training run never alias entries.
+    pub fn new(model: Model, epoch: u64) -> FactorStore {
+        let (m, n, k, p, q) = model.into_parts();
+        let mut tiles = Vec::with_capacity((n as usize).div_ceil(TILE_ITEMS));
+        for tile_ix in 0..(n as usize).div_ceil(TILE_ITEMS) {
+            let base = tile_ix * TILE_ITEMS;
+            let len = TILE_ITEMS.min(n as usize - base);
+            let factors = q[base * k..(base + len) * k].to_vec();
+            let norms: Vec<f32> = (0..len)
+                .map(|i| {
+                    factors[i * k..(i + 1) * k]
+                        .iter()
+                        .map(|x| x * x)
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .collect();
+            // A NaN factor row has a NaN norm; `f32::max` would *drop*
+            // it (returning the other operand), producing a finite tile
+            // bound that lets the prune skip an item the oracle ranks
+            // first (total_cmp puts NaN above +∞). Force such tiles
+            // unprunable instead.
+            let max_norm =
+                norms.iter().fold(
+                    0.0f32,
+                    |a, &b| {
+                        if b.is_nan() {
+                            f32::INFINITY
+                        } else {
+                            a.max(b)
+                        }
+                    },
+                );
+            tiles.push(Tile {
+                base: base as u32,
+                factors,
+                norms,
+                max_norm,
+            });
+        }
+        FactorStore {
+            k,
+            m,
+            n,
+            epoch,
+            p,
+            tiles,
+            cache: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a store straight from a loaded checkpoint (the epoch comes
+    /// from the header).
+    pub fn from_checkpoint(ckpt: crate::checkpoint::Checkpoint) -> FactorStore {
+        let epoch = ckpt.meta.epoch;
+        FactorStore::new(ckpt.model, epoch)
+    }
+
+    /// Enables the LRU result cache with room for `capacity` answers.
+    pub fn with_cache(mut self, capacity: usize) -> FactorStore {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.cache = Some(Mutex::new(Lru {
+            cap: capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }));
+        self
+    }
+
+    /// Latent dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of users with stored factors.
+    pub fn nusers(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of items in the catalog.
+    pub fn nitems(&self) -> u32 {
+        self.n
+    }
+
+    /// Checkpoint epoch the store serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of item tiles.
+    pub fn ntiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Cache hit/miss counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// The stored factor row of user `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn user_factor(&self, u: u32) -> &[f32] {
+        assert!(u < self.m, "user {u} out of range");
+        &self.p[u as usize * self.k..(u as usize + 1) * self.k]
+    }
+
+    /// Answers one query. Identical to
+    /// `Model::recommend(user, &exclude, count)` on the model the store
+    /// was built from — the tiled scan plus pruning is an execution
+    /// strategy, not a semantics change.
+    pub fn serve_one(&self, query: &Query) -> TopK {
+        let key = self.cache_key(query);
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.lock().expect("cache lock").get(key) {
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                return hit;
+            }
+            self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        let result = self.scan(query);
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, result.clone());
+        }
+        result
+    }
+
+    /// Answers a batch on the process-wide pool. One task per query;
+    /// results land at their query's index, so the output is the same
+    /// `Vec` for any thread count.
+    pub fn serve_batch(&self, queries: &[Query]) -> Vec<TopK> {
+        self.serve_batch_in(queries, ThreadPool::global())
+    }
+
+    /// [`FactorStore::serve_batch`] on an explicit pool.
+    pub fn serve_batch_in(&self, queries: &[Query], pool: &ThreadPool) -> Vec<TopK> {
+        let slots: Vec<Mutex<Option<TopK>>> = queries.iter().map(|_| Mutex::new(None)).collect();
+        pool.run_indexed(queries.len(), |i| {
+            *slots[i].lock().expect("slot lock") = Some(self.serve_one(&queries[i]));
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot lock").expect("query answered"))
+            .collect()
+    }
+
+    /// The cache key of a query, if it is cacheable (known user id).
+    /// Folded-in factors are anonymous — there is no stable identity to
+    /// key on, so they always scan. The exclude list is canonicalized
+    /// (sorted, deduped), so order/duplicate variants of the same query
+    /// share one entry.
+    fn cache_key(&self, query: &Query) -> Option<CacheKey> {
+        self.cache.as_ref()?;
+        match query.user {
+            QueryUser::Id(u) => {
+                let mut excl = query.exclude.clone();
+                excl.sort_unstable();
+                excl.dedup();
+                Some((u, self.epoch, query.count, excl))
+            }
+            QueryUser::Factor(_) => None,
+        }
+    }
+
+    /// The pruned tile scan.
+    fn scan(&self, query: &Query) -> TopK {
+        if query.count == 0 {
+            return TopK { items: Vec::new() };
+        }
+        let p: &[f32] = match &query.user {
+            QueryUser::Id(u) => self.user_factor(*u),
+            QueryUser::Factor(f) => {
+                assert_eq!(f.len(), self.k, "query factor has wrong dimension");
+                f
+            }
+        };
+        let p_norm = p.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let mut excluded = query.exclude.clone();
+        excluded.sort_unstable();
+        excluded.dedup();
+
+        // Cauchy–Schwarz gives score ≤ |p|·|q| in exact arithmetic; the
+        // *computed* dot can exceed the *computed* norm product by a few
+        // ulps of accumulated rounding. The slack widens every bound past
+        // that window so the prune can only ever skip provably-losing
+        // work — keeping the scan's answer equal to the unpruned oracle's
+        // bit for bit.
+        const BOUND_SLACK: f32 = 1.0 + 1e-4;
+        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(query.count + 1);
+        for tile in &self.tiles {
+            // Tile prune: no score inside can exceed |p|·max|q|. Once the
+            // heap is full, a candidate must beat the current worst
+            // *strictly* (items arrive in ascending id order, so an equal
+            // score always loses the tie-break) — `bound ≤ worst` proves
+            // the whole tile irrelevant.
+            // A skip is legal only when the bound provably cannot beat
+            // the current worst under the oracle's *total* order: IEEE
+            // `<=` would also skip a +0.0 bound against a −0.0 worst
+            // (which total_cmp ranks strictly lower), and a NaN on
+            // either side makes the bound meaningless — Cauchy–Schwarz
+            // says nothing about NaN scores, so NaN disables pruning.
+            let prunable = |bound: f32, worst: f32| {
+                !bound.is_nan() && !worst.is_nan() && bound.total_cmp(&worst) != Ordering::Greater
+            };
+            if heap.len() == query.count {
+                let worst = heap.peek().expect("full heap").score;
+                if prunable(p_norm * tile.max_norm * BOUND_SLACK, worst) {
+                    continue;
+                }
+            }
+            let full_exclusion_possible = !excluded.is_empty();
+            for i in 0..tile.norms.len() {
+                let item = tile.base + i as u32;
+                if full_exclusion_possible && excluded.binary_search(&item).is_ok() {
+                    continue;
+                }
+                // Per-item prune on the precomputed norm, same argument
+                // as the tile bound.
+                if heap.len() == query.count {
+                    let worst = heap.peek().expect("full heap").score;
+                    if prunable(p_norm * tile.norms[i] * BOUND_SLACK, worst) {
+                        continue;
+                    }
+                }
+                let score = kernel::dot(p, &tile.factors[i * self.k..(i + 1) * self.k]);
+                if heap.len() < query.count {
+                    heap.push(Worst { item, score });
+                } else if score.total_cmp(&heap.peek().expect("full heap").score)
+                    == Ordering::Greater
+                {
+                    // total_cmp, not `>`: the oracle's order ranks NaN
+                    // above everything and +0.0 above −0.0, and IEEE
+                    // `>` disagrees on exactly those pairs.
+                    heap.pop();
+                    heap.push(Worst { item, score });
+                }
+            }
+        }
+        let mut items: Vec<(u32, f32)> = heap.into_iter().map(|w| (w.item, w.score)).collect();
+        items.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        TopK { items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_from(model: Model) -> FactorStore {
+        FactorStore::new(model, 3)
+    }
+
+    fn oracle(model: &Model, q: &Query) -> TopK {
+        let u = match q.user {
+            QueryUser::Id(u) => u,
+            QueryUser::Factor(_) => panic!("oracle needs a known user"),
+        };
+        TopK {
+            items: model.recommend(u, &q.exclude, q.count),
+        }
+    }
+
+    #[test]
+    fn matches_model_recommend() {
+        let model = Model::init(8, 700, 16, 42);
+        let store = store_from(model.clone());
+        for user in [0u32, 3, 7] {
+            for count in [1usize, 5, 50, 699, 700, 2000] {
+                let q = Query::top_k(user, count);
+                assert_eq!(
+                    store.serve_one(&q),
+                    oracle(&model, &q),
+                    "user={user} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_matches_oracle() {
+        let model = Model::init(4, 600, 8, 7);
+        let store = store_from(model.clone());
+        let exclude: Vec<u32> = (0..600).filter(|v| v % 3 == 0).collect();
+        let q = Query {
+            user: QueryUser::Id(2),
+            count: 20,
+            exclude,
+        };
+        assert_eq!(store.serve_one(&q), oracle(&model, &q));
+        // Everything excluded → empty.
+        let q = Query {
+            user: QueryUser::Id(2),
+            count: 20,
+            exclude: (0..600).collect(),
+        };
+        assert!(store.serve_one(&q).items.is_empty());
+    }
+
+    #[test]
+    fn folded_factor_queries_score_like_a_stored_row() {
+        let model = Model::init(5, 300, 8, 9);
+        let store = store_from(model.clone());
+        // A Factor query carrying user 4's own row must answer exactly
+        // like the Id query.
+        let f = model.p_row(4).to_vec();
+        let by_id = store.serve_one(&Query::top_k(4, 10));
+        let by_factor = store.serve_one(&Query {
+            user: QueryUser::Factor(f),
+            count: 10,
+            exclude: Vec::new(),
+        });
+        assert_eq!(by_id, by_factor);
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let model = Model::init(16, 900, 16, 11);
+        let store = store_from(model.clone());
+        let queries: Vec<Query> = (0..16).map(|u| Query::top_k(u, 7)).collect();
+        let serial: Vec<TopK> = queries.iter().map(|q| store.serve_one(q)).collect();
+        for threads in [1usize, 2, 5] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(store.serve_batch_in(&queries, &pool), serial);
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_identical_results() {
+        let model = Model::init(6, 400, 8, 13);
+        let store = store_from(model.clone()).with_cache(8);
+        let q = Query::top_k(3, 5);
+        let cold = store.serve_one(&q);
+        let warm = store.serve_one(&q);
+        assert_eq!(cold, warm);
+        let stats = store.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Different exclude list → different key, not a stale hit.
+        let q2 = Query {
+            exclude: vec![cold.items[0].0],
+            ..q.clone()
+        };
+        let shifted = store.serve_one(&q2);
+        assert_ne!(cold, shifted);
+        assert_eq!(shifted.items[0], cold.items[1]);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let model = Model::init(10, 100, 8, 17);
+        let store = store_from(model).with_cache(2);
+        let (a, b, c) = (Query::top_k(0, 3), Query::top_k(1, 3), Query::top_k(2, 3));
+        store.serve_one(&a); // miss, cached
+        store.serve_one(&b); // miss, cached
+        store.serve_one(&a); // hit — refreshes a
+        store.serve_one(&c); // miss — evicts b (stalest)
+        store.serve_one(&a); // hit
+        store.serve_one(&b); // miss again: b was evicted
+        let stats = store.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 4));
+    }
+
+    #[test]
+    fn count_zero_is_empty() {
+        let model = Model::init(2, 50, 8, 19);
+        let store = store_from(model);
+        assert!(store.serve_one(&Query::top_k(0, 0)).items.is_empty());
+    }
+
+    #[test]
+    fn tie_break_is_ascending_item_id() {
+        // Two tiles worth of items, constant factors → all scores tie.
+        let n = (TILE_ITEMS + 10) as u32;
+        let model = Model::constant(1, n, 2, 0.5);
+        let store = store_from(model);
+        let top = store.serve_one(&Query::top_k(0, 4));
+        let ids: Vec<u32> = top.items.iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nan_and_signed_zero_scores_match_oracle() {
+        // Checkpoints round-trip NaN payloads, so the store must rank
+        // them exactly like Model::recommend's total_cmp order (NaN
+        // first) — including across prunable tiles. Signed zeros get the
+        // same treatment (+0.0 ranks above −0.0).
+        let n = (2 * TILE_ITEMS + 50) as u32;
+        let mut model = Model::init(2, n, 4, 29);
+        for x in model.q_row_mut(700) {
+            *x = f32::NAN;
+        }
+        for x in model.q_row_mut(10) {
+            *x = 0.0;
+        }
+        let store = store_from(model.clone());
+        for count in [1usize, 5, 40] {
+            let q = Query::top_k(1, count);
+            let got = store.serve_one(&q);
+            let expect = oracle(&model, &q);
+            // NaN != NaN under PartialEq, so compare ids and score bits.
+            let untie = |t: &TopK| {
+                t.items
+                    .iter()
+                    .map(|&(v, s)| (v, s.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(untie(&got), untie(&expect), "count={count}");
+            assert_eq!(got.items[0].0, 700, "NaN item must rank first");
+        }
+    }
+
+    #[test]
+    fn multi_tile_store_matches_oracle() {
+        // > 2 tiles with skewed norms so pruning actually skips tiles.
+        let n = (3 * TILE_ITEMS + 77) as u32;
+        let mut model = Model::init(3, n, 8, 23);
+        // Inflate a band of late items so the top-k lives in the last
+        // tile and earlier tiles become prunable.
+        for v in (n - 40)..n {
+            for x in model.q_row_mut(v) {
+                *x *= 10.0;
+            }
+        }
+        let store = store_from(model.clone());
+        let q = Query::top_k(1, 25);
+        assert_eq!(store.serve_one(&q), oracle(&model, &q));
+    }
+}

@@ -202,6 +202,48 @@ fn sgd_step_mono<const K: usize>(
     e
 }
 
+/// One fixed-`Q` SGD update — the fold-in primitive. Only `p` moves:
+///
+/// ```text
+/// e   = r − p·q
+/// p  += γ (e·q − λ_P·p)
+/// ```
+///
+/// With `q` held constant this is plain SGD on the convex single-row
+/// least-squares problem `min_p Σ (r − p·q)² + λ_P·|p|²`, which is what
+/// admits a new user into a trained model without retraining (see
+/// `mf-serve::foldin`). Returns the pre-update error `e`. Shares the
+/// dispatching [`dot`], so the dimension fast path applies here too.
+#[inline]
+pub fn sgd_step_fixed_q(p: &mut [f32], q: &[f32], r: f32, gamma: f32, lambda_p: f32) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    let e = r - dot(p, q);
+    let ge = gamma * e;
+    let glp = gamma * lambda_p;
+    // Same expression shape as `sgd_step`'s p rule, so a fixed-Q step
+    // moves p bitwise-identically to the full step on equal inputs.
+    for (pi, &qi) in p.iter_mut().zip(q) {
+        let pv = *pi;
+        *pi = pv + ge * qi - glp * pv;
+    }
+    e
+}
+
+/// One fixed-`P` SGD update: the [`sgd_step_fixed_q`] mirror for folding
+/// in a new *item* against frozen user factors. Only `q` moves.
+#[inline]
+pub fn sgd_step_fixed_p(p: &[f32], q: &mut [f32], r: f32, gamma: f32, lambda_q: f32) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    let e = r - dot(p, q);
+    let ge = gamma * e;
+    let glq = gamma * lambda_q;
+    for (&pi, qi) in p.iter().zip(q.iter_mut()) {
+        let qv = *qi;
+        *qi = qv + ge * pi - glq * qv;
+    }
+    e
+}
+
 /// Applies [`sgd_step`] to every rating in `block`, with factors fetched
 /// from raw model storage. `p`/`q` are the full factor buffers; `k` the
 /// latent dimension. Returns the sum of squared pre-update errors, used
@@ -666,6 +708,51 @@ mod tests {
             last < 0.05,
             "should converge close to the target, got {last}"
         );
+    }
+
+    #[test]
+    fn fixed_q_step_matches_full_step_on_p() {
+        // With the same inputs, the fixed-Q update must move p exactly as
+        // the full step does (the full step uses pre-update p in the q
+        // rule, so p's own update is independent of whether q moves).
+        let k = 8;
+        let s = 1.0 / (k as f32).sqrt();
+        let p0: Vec<f32> = (0..k).map(|i| (0.3 + 0.01 * i as f32) * s).collect();
+        let q0: Vec<f32> = (0..k).map(|i| (0.8 - 0.02 * i as f32) * s).collect();
+        let (mut pa, mut qa) = (p0.clone(), q0.clone());
+        let mut pb = p0;
+        let ea = sgd_step(&mut pa, &mut qa, 2.5, 0.05, 0.02, 0.03);
+        let eb = sgd_step_fixed_q(&mut pb, &q0, 2.5, 0.05, 0.02);
+        assert_eq!(ea, eb);
+        assert_eq!(pa, pb);
+        assert_ne!(qa, q0, "full step should have moved q");
+    }
+
+    #[test]
+    fn fixed_p_step_matches_full_step_on_q() {
+        let k = 16;
+        let s = 1.0 / (k as f32).sqrt();
+        let p0: Vec<f32> = (0..k).map(|i| (0.4 + 0.02 * i as f32) * s).collect();
+        let q0: Vec<f32> = (0..k).map(|i| (0.6 - 0.01 * i as f32) * s).collect();
+        let (mut pa, mut qa) = (p0.clone(), q0.clone());
+        let mut qb = q0;
+        let ea = sgd_step(&mut pa, &mut qa, 3.0, 0.04, 0.02, 0.05);
+        let eb = sgd_step_fixed_p(&p0, &mut qb, 3.0, 0.04, 0.05);
+        assert_eq!(ea, eb);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn fixed_q_steps_converge_to_least_squares() {
+        // Single rating, k=1: the minimizer of (r − p·q)² + λp² is
+        // p* = r·q / (q² + λ). Repeated fixed-Q steps must approach it.
+        let (r, q, lambda) = (4.0f32, 0.8f32, 0.1f32);
+        let mut p = vec![0.0f32];
+        for _ in 0..500 {
+            sgd_step_fixed_q(&mut p, &[q], r, 0.1, lambda);
+        }
+        let expect = r * q / (q * q + lambda);
+        assert!((p[0] - expect).abs() < 1e-4, "p={} expect={expect}", p[0]);
     }
 
     #[test]

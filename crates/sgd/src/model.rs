@@ -149,6 +149,14 @@ impl Model {
         &self.q
     }
 
+    /// Decomposes the model into `(m, n, k, p, q)`, handing the factor
+    /// buffers to the caller without copying — the constructor
+    /// [`Model::from_parts`] inverts it. Used by the serving layer to
+    /// re-shard a loaded checkpoint's item factors in place.
+    pub fn into_parts(self) -> (u32, u32, usize, Vec<f32>, Vec<f32>) {
+        (self.m, self.n, self.k, self.p, self.q)
+    }
+
     /// Raw pointers + geometry for the shared-memory trainers. See
     /// [`crate::shared::SharedModel`].
     pub(crate) fn raw_parts_mut(&mut self) -> (*mut f32, *mut f32, usize, u32, u32) {
@@ -169,7 +177,22 @@ impl Model {
 
     /// Top-`count` items for user `u` by predicted score, excluding
     /// `exclude` (already-rated items), as `(item, score)` pairs sorted
-    /// descending. The recommendation primitive used by the examples.
+    /// descending. The recommendation primitive used by the examples and
+    /// the serial oracle `mf-serve`'s batched top-k is verified against.
+    ///
+    /// **Ordering contract:** results are sorted by score descending,
+    /// with exact ties broken by ascending item id — a total order, so
+    /// the result is unique and deterministic. Scores are compared with
+    /// `f32::total_cmp` (NaN orders above +∞ and thus sorts first; a
+    /// trained model never produces one, but the call stays total).
+    ///
+    /// **Edge cases** (all non-panicking): `count = 0` and empty
+    /// candidate sets (everything excluded, or `n = 0`) return an empty
+    /// vector; `count` larger than the candidate set returns every
+    /// candidate; `exclude` may be unsorted, contain duplicates, or name
+    /// out-of-range items; a degenerate `k = 0` model scores every item
+    /// `0.0` and the tie-break returns the first `count` item ids in
+    /// ascending order.
     ///
     /// Runs in `O(n·k + |exclude|·log|exclude| + n·log|exclude| + n +
     /// count·log count)`: the exclusion test is a binary search over a
@@ -300,6 +323,49 @@ mod tests {
             full.truncate(count);
             assert_eq!(fast, full, "count={count}");
         }
+    }
+
+    #[test]
+    fn recommend_count_larger_than_candidate_set() {
+        // 3 items, 1 excluded → 2 candidates; asking for 10 returns both.
+        let m = Model::from_parts(1, 3, 1, vec![1.0], vec![1.0, 3.0, 2.0]);
+        let rec = m.recommend(0, &[1], 10);
+        assert_eq!(rec.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![2, 0]);
+    }
+
+    #[test]
+    fn recommend_all_items_excluded_is_empty() {
+        let m = Model::from_parts(1, 3, 1, vec![1.0], vec![1.0, 3.0, 2.0]);
+        assert!(m.recommend(0, &[0, 1, 2], 5).is_empty());
+        // Duplicates and out-of-range ids in `exclude` are harmless.
+        assert!(m.recommend(0, &[0, 0, 1, 1, 2, 2, 99], 5).is_empty());
+        assert_eq!(m.recommend(0, &[], 0), vec![]);
+    }
+
+    #[test]
+    fn recommend_k_zero_model_does_not_panic() {
+        // A k = 0 model scores every item 0.0; the tie-break returns the
+        // lowest item ids in ascending order.
+        let m = Model::from_parts(2, 5, 0, vec![], vec![]);
+        let rec = m.recommend(1, &[2], 3);
+        assert_eq!(rec, vec![(0, 0.0), (1, 0.0), (3, 0.0)]);
+        assert_eq!(
+            Model::constant(2, 2, 0, 0.0).recommend(0, &[], 1),
+            vec![(0, 0.0)]
+        );
+    }
+
+    #[test]
+    fn recommend_tie_break_is_ascending_item_id() {
+        // Items 1, 3, 4 tie at the top score; ties resolve by id.
+        let q = vec![2.0, 5.0, 1.0, 5.0, 5.0];
+        let m = Model::from_parts(1, 5, 1, vec![1.0], q);
+        let rec = m.recommend(0, &[], 4);
+        assert_eq!(
+            rec,
+            vec![(1, 5.0), (3, 5.0), (4, 5.0), (0, 2.0)],
+            "ties must break by ascending item id"
+        );
     }
 
     #[test]

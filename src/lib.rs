@@ -17,6 +17,8 @@
 //! * [`sgd`] — the single-resource trainers (sequential, Hogwild, FPSGD
 //!   on real threads, ALS, CCD++).
 //! * [`gpu`] — the virtual GPU device used in place of CUDA hardware.
+//! * [`serve`] — the trained model's lifecycle: checksummed `MFCK`
+//!   checkpoints, fold-in for new users/items, batched top-k serving.
 //!
 //! ```
 //! use hsgd_star::data::{preset, PresetName};
@@ -63,6 +65,9 @@ pub use mf_sparse as sparse;
 
 /// The data-pipeline thread pool (deterministic chunked parallelism).
 pub use mf_par as par;
+
+/// Model lifecycle & serving: checkpoints, fold-in, batched top-k.
+pub use mf_serve as serve;
 
 /// The virtual GPU device (SIMT kernel, PCIe model, stream pipeline).
 pub use gpu_sim as gpu;

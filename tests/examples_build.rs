@@ -13,12 +13,13 @@ use std::path::Path;
 use std::process::Command;
 
 /// The examples this workspace ships; keep in sync with `examples/`.
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "movielens_recommender",
     "hetero_scheduling",
     "gpu_pipeline",
     "cost_calibration",
+    "serve_topk",
 ];
 
 #[test]
