@@ -1,11 +1,13 @@
 //! `bench_gate` — the CI perf-regression gate.
 //!
-//! Re-measures the kernel, serving, and end-to-end hot paths in quick
-//! mode and compares them against the committed `BENCH_hotpath.json`:
-//! the build fails (exit 1) when monomorphized-SoA kernel GFLOP/s at any
-//! supported dimension, batched top-k queries/s, or FPSGD ratings/s
-//! (measured at the committed run's thread count and latent dimension)
-//! drops more than the tolerance below the committed value.
+//! Re-measures the kernel, serving, real-thread heterogeneous, and
+//! end-to-end hot paths in quick mode and compares them against the
+//! committed `BENCH_hotpath.json`: the build fails (exit 1) when
+//! monomorphized-SoA kernel GFLOP/s at any supported dimension, batched
+//! top-k queries/s, heterogeneous trainer ratings/s (per execution mode,
+//! at the committed worker mix), or FPSGD ratings/s (at the committed
+//! thread count and latent dimension) drops more than the tolerance
+//! below the committed value.
 //!
 //! Knobs (environment):
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
@@ -78,6 +80,26 @@ fn main() {
             // Baselines committed before the serving layer carry no
             // section; nothing to compare until the next full run.
             println!("serving queries/s: no committed baseline — skipped");
+        }
+    }
+
+    let committed_hetero = hotpath::parse_hetero(&json);
+    if committed_hetero.is_empty() {
+        // Baselines committed before the real-thread runtime carry no
+        // section; nothing to compare until the next full run.
+        println!("hetero ratings/s: no committed baseline — skipped");
+    } else {
+        let workers = committed_hetero[0].1;
+        let measured = hotpath::bench_hetero_with(true, 42, workers);
+        for (label, _, rate_ref) in &committed_hetero {
+            match measured.iter().find(|h| &h.label == label) {
+                Some(h) => check(
+                    format!("hetero {label} ratings/s (cpu_workers={workers})"),
+                    h.ratings_per_s,
+                    *rate_ref,
+                ),
+                None => println!("hetero {label}: not re-measured — skipped"),
+            }
         }
     }
 

@@ -127,6 +127,36 @@ fn main() {
         ]],
     );
 
+    print_table(
+        "hot path · heterogeneous trainer (real threads, StarScheduler)",
+        &[
+            "mode",
+            "cpu workers",
+            "gpus",
+            "nnz",
+            "iters",
+            "ratings/s",
+            "gpu share",
+            "final RMSE",
+        ],
+        &report
+            .hetero
+            .iter()
+            .map(|h| {
+                vec![
+                    h.label.clone(),
+                    h.cpu_workers.to_string(),
+                    h.gpus.to_string(),
+                    h.nnz.to_string(),
+                    h.iterations.to_string(),
+                    format!("{:.3}M", h.ratings_per_s / 1e6),
+                    format!("{:.0}%", h.gpu_share * 100.0),
+                    format!("{:.4}", h.rmse),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     let e2e = &report.fpsgd;
     print_table(
         "hot path · end-to-end FPSGD (real threads)",

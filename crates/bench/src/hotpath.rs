@@ -2,7 +2,8 @@
 //! through — the SGD kernel, the block scheduler, the ingest pipeline
 //! (parse → shuffle → CSR/grid build), and the evaluation reductions —
 //! plus the serving layer a trained model is deployed behind
-//! (`mf-serve` batched top-k).
+//! (`mf-serve` batched top-k) and the real-thread heterogeneous trainer
+//! (`hsgd-core::runtime` driving `StarScheduler` on OS threads).
 //!
 //! Shared by two binaries:
 //!
@@ -121,6 +122,27 @@ pub struct ServingBench {
     pub cached_qps: f64,
 }
 
+/// Real-thread heterogeneous training throughput: `StarScheduler` driven
+/// by `hsgd-core::runtime` over one worker mix, per execution mode.
+pub struct HeteroRow {
+    /// Execution mode label (`"relaxed"` / `"exclusive"`).
+    pub label: String,
+    /// CPU worker threads.
+    pub cpu_workers: usize,
+    /// GPU worker threads (each wrapping one simulated device).
+    pub gpus: usize,
+    /// Training ratings.
+    pub nnz: usize,
+    /// Passes over the grid.
+    pub iterations: u32,
+    /// Rating updates per second (wall clock, whole run).
+    pub ratings_per_s: f64,
+    /// Fraction of updates executed by the GPU worker.
+    pub gpu_share: f64,
+    /// Final test RMSE (sanity check).
+    pub rmse: f64,
+}
+
 /// Evaluation-reduction throughput (millions of test entries per second).
 pub struct EvalBench {
     /// Entries in the test set.
@@ -147,6 +169,8 @@ pub struct HotpathReport {
     pub eval: EvalBench,
     /// Serving section.
     pub serving: ServingBench,
+    /// Real-thread heterogeneous trainer section.
+    pub hetero: Vec<HeteroRow>,
     /// End-to-end section.
     pub fpsgd: E2e,
 }
@@ -174,6 +198,7 @@ pub fn run(args: &BenchArgs) -> HotpathReport {
         ingest: bench_ingest(quick, args.seed),
         eval: bench_eval(quick, args.seed),
         serving: bench_serving(quick, args.seed),
+        hetero: bench_hetero(quick, args.seed),
         fpsgd: bench_fpsgd(quick, args),
     }
 }
@@ -577,6 +602,109 @@ pub fn bench_serving(quick: bool, seed: u64) -> ServingBench {
     }
 }
 
+/// Real-thread heterogeneous section on the auto-sized worker count.
+pub fn bench_hetero(quick: bool, seed: u64) -> Vec<HeteroRow> {
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
+    bench_hetero_with(quick, seed, workers)
+}
+
+/// Real-thread heterogeneous section with a pinned CPU worker count —
+/// the gate uses this to mirror the committed run's worker mix. One
+/// `star_setup` per mode (the same offline phase the virtual experiments
+/// run), then `run_training_real` in relaxed and exclusive modes.
+///
+/// The quick dataset is smaller (cache-friendlier), so quick ≥ full on
+/// the same silicon — the conservative direction for the gate, mirroring
+/// the kernel and end-to-end sections.
+pub fn bench_hetero_with(quick: bool, seed: u64, cpu_workers: usize) -> Vec<HeteroRow> {
+    use hsgd_core::experiments::{preprocess_pair, star_setup};
+    use hsgd_core::runtime::{run_training_real, ExecMode};
+    use hsgd_core::{CostModelKind, CpuSpec, DevicePool, HeteroConfig};
+
+    let (users, items, ntrain) = if quick {
+        (1_000u32, 500u32, 60_000usize)
+    } else {
+        (4_000, 2_000, 400_000)
+    };
+    let iterations = if quick { 4 } else { 8 };
+    let runs = if quick { 1 } else { 3 };
+    const DEV_SCALE: f64 = 100.0;
+
+    let ds = generate(&GeneratorConfig {
+        num_users: users,
+        num_items: items,
+        num_train: ntrain,
+        num_test: ntrain / 10,
+        ..GeneratorConfig::tiny("hetero", seed)
+    });
+    let cfg = HeteroConfig {
+        hyper: HyperParams {
+            k: 16,
+            lambda_p: 0.05,
+            lambda_q: 0.05,
+            gamma: 0.01,
+            schedule: LearningRate::Fixed,
+        },
+        nc: cpu_workers,
+        ng: 1,
+        gpu: gpu_sim::GpuSpec::quadro_p4000().scaled_down(DEV_SCALE),
+        cpu: CpuSpec::default().scaled_down(DEV_SCALE),
+        iterations,
+        seed,
+        dynamic_scheduling: true,
+        cost_model: CostModelKind::Tailored,
+        probe_interval_secs: None,
+        target_rmse: None,
+    };
+    let (train, test) = preprocess_pair(&ds.train, &ds.test, cfg.seed);
+
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("relaxed", ExecMode::Relaxed),
+        ("exclusive", ExecMode::Exclusive),
+    ] {
+        let mut best_rate = 0.0f64;
+        let mut gpu_share = 0.0;
+        let mut rmse = f64::NAN;
+        for _ in 0..runs {
+            let setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
+            let ng = setup.gpus.len();
+            let out = run_training_real(
+                &train,
+                &test,
+                setup.scheduler,
+                DevicePool {
+                    cpu_workers: cfg.nc,
+                    gpus: setup.gpus,
+                    gpu_start: vec![mf_des::SimTime::ZERO; ng],
+                },
+                &cfg,
+                mode,
+                Some(setup.alpha),
+                label,
+            );
+            let total = (out.report.cpu_points + out.report.gpu_points) as f64;
+            let rate = total / out.report.virtual_secs;
+            if rate > best_rate {
+                best_rate = rate;
+                gpu_share = out.report.gpu_share();
+                rmse = out.report.final_test_rmse;
+            }
+        }
+        rows.push(HeteroRow {
+            label: label.to_string(),
+            cpu_workers,
+            gpus: 1,
+            nnz: train.nnz(),
+            iterations,
+            ratings_per_s: best_rate,
+            gpu_share,
+            rmse,
+        });
+    }
+    rows
+}
+
 /// End-to-end FPSGD on the auto-sized thread count.
 pub fn bench_fpsgd(quick: bool, args: &BenchArgs) -> E2e {
     // Auto-size to the host unless the user pinned --nc explicitly.
@@ -697,6 +825,16 @@ pub fn to_json(r: &HotpathReport) -> String {
         sv.users, sv.items, sv.k, sv.queries, sv.count, sv.threads,
         sv.serial_qps, sv.par_qps, sv.cached_qps
     );
+    let _ = writeln!(s, "  \"hetero\": [");
+    for (i, h) in r.hetero.iter().enumerate() {
+        let comma = if i + 1 < r.hetero.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"label\": \"{}\", \"cpu_workers\": {}, \"gpus\": {}, \"nnz\": {}, \"iterations\": {}, \"ratings_per_s\": {:.0}, \"gpu_share\": {:.3}, \"rmse\": {:.5}}}{comma}",
+            h.label, h.cpu_workers, h.gpus, h.nnz, h.iterations, h.ratings_per_s, h.gpu_share, h.rmse
+        );
+    }
+    let _ = writeln!(s, "  ],");
     let e = &r.fpsgd;
     let _ = writeln!(
         s,
@@ -744,10 +882,36 @@ pub fn parse_serving(json: &str) -> Option<f64> {
     json_num(line, "par_qps")
 }
 
+/// Extracts `"key": "value"` from a one-object-per-line JSON fragment.
+pub fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `(label, cpu_workers, ratings_per_s)` rows of a committed baseline's
+/// real-thread hetero section. Baselines written before the real-thread
+/// runtime existed have none; the gate then skips the check.
+pub fn parse_hetero(json: &str) -> Vec<(String, usize, f64)> {
+    json.lines()
+        .filter(|l| l.contains("\"gpu_share\""))
+        .filter_map(|l| {
+            Some((
+                json_str(l, "label")?,
+                json_num(l, "cpu_workers")? as usize,
+                json_num(l, "ratings_per_s")?,
+            ))
+        })
+        .collect()
+}
+
 /// `(threads, k, ratings_per_s)` of a committed baseline's end-to-end
 /// section.
 pub fn parse_fpsgd(json: &str) -> Option<(usize, usize, f64)> {
-    let line = json.lines().find(|l| l.contains("\"ratings_per_s\""))?;
+    // Keyed on the section's unique field: the hetero rows also carry
+    // `ratings_per_s`, but only the fpsgd object has `final_rmse`.
+    let line = json.lines().find(|l| l.contains("\"final_rmse\""))?;
     Some((
         json_num(line, "threads")? as usize,
         json_num(line, "k")? as usize,
@@ -803,6 +967,16 @@ mod tests {
                 par_qps: 1500.5,
                 cached_qps: 9000.0,
             },
+            hetero: vec![HeteroRow {
+                label: "relaxed".into(),
+                cpu_workers: 2,
+                gpus: 1,
+                nnz: 1000,
+                iterations: 4,
+                ratings_per_s: 12345678.0,
+                gpu_share: 0.625,
+                rmse: 0.5,
+            }],
             fpsgd: E2e {
                 threads: 4,
                 k: 32,
@@ -816,6 +990,15 @@ mod tests {
         assert_eq!(parse_kernel_rows(&json), vec![(8, 2.5, Some(3.0))]);
         assert_eq!(parse_fpsgd(&json), Some((4, 32, 42954805.0)));
         assert_eq!(parse_serving(&json), Some(1500.5));
+        assert_eq!(
+            parse_hetero(&json),
+            vec![("relaxed".to_string(), 2, 12345678.0)]
+        );
+    }
+
+    #[test]
+    fn parse_hetero_absent_is_empty() {
+        assert!(parse_hetero("{\"fpsgd\": {\"ratings_per_s\": 1}}").is_empty());
     }
 
     #[test]

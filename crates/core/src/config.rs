@@ -116,10 +116,20 @@ pub struct HeteroConfig {
     /// Which cost model splits the workload.
     pub cost_model: CostModelKind,
     /// Record a test-RMSE probe every this many virtual seconds (None =
-    /// probe once per iteration boundary).
+    /// probe once per iteration boundary). Virtual-time world only: the
+    /// real-thread runtime probes at epoch boundaries (exclusive mode)
+    /// or baseline + end (relaxed mode), because a wall-clock probe
+    /// cadence would make the recorded series — and, via `target_rmse`,
+    /// the stop point — timing-dependent, breaking exclusive mode's
+    /// bit-determinism contract.
     pub probe_interval_secs: Option<f64>,
     /// Stop early once test RMSE reaches this value (the Sec. VII-A
-    /// "predefined loss" protocol).
+    /// "predefined loss" protocol). Honored by the virtual-time world at
+    /// every probe and by the real-thread exclusive mode at epoch
+    /// boundaries (deterministically — the boundary positions do not
+    /// depend on timing). The relaxed mode checks it only at the
+    /// baseline probe: its free-running workers have no quiescent point
+    /// where the model could be read safely mid-run.
     pub target_rmse: Option<f64>,
 }
 

@@ -7,10 +7,11 @@
 //! pipeline and runs the SIMT kernel.
 
 use mf_des::SimTime;
-use mf_sgd::{kernel, HyperParams, Model};
+use mf_sgd::{kernel, HyperParams, Model, SharedModel};
 use mf_sparse::GridPartition;
 
 use crate::config::CpuSpec;
+use crate::executor::{Device, DeviceCompletion};
 use crate::scheduler::Task;
 
 /// Relative amplitude of the deterministic execution-time jitter applied
@@ -61,6 +62,29 @@ impl CpuWorker {
         }
         let secs = self.spec.time_secs(task.points) * jitter_factor(task, 0x0c9, TIME_JITTER);
         (SimTime::from_secs(secs), sq)
+    }
+}
+
+impl Device for CpuWorker {
+    fn queue_depth(&self) -> usize {
+        1
+    }
+
+    fn process(
+        &mut self,
+        now: SimTime,
+        model: &mut Model,
+        part: &GridPartition,
+        task: &Task,
+        gamma: f32,
+        hyper: &HyperParams,
+    ) -> DeviceCompletion {
+        let (dur, _sq) = CpuWorker::process(self, model, part, task, gamma, hyper);
+        DeviceCompletion {
+            done: now + dur,
+            busy_secs: dur.as_secs(),
+            cost: None,
+        }
     }
 }
 
@@ -123,6 +147,55 @@ impl GpuWorker {
             .expect("device memory exceeded — configuration error")
     }
 
+    /// [`GpuWorker::process`] through a [`SharedModel`] view — the
+    /// real-thread execution path, where the GPU worker thread updates
+    /// rows the scheduler reserved for this task while CPU workers run
+    /// concurrently on disjoint rows. Timing/memory accounting matches
+    /// the `&mut Model` path exactly.
+    ///
+    /// # Safety
+    ///
+    /// For the duration of the call, no other thread may access the
+    /// factor rows of any user or item appearing in the task's blocks —
+    /// the scheduler's conflict-freedom invariant for an in-flight task.
+    pub unsafe fn process_shared(
+        &mut self,
+        now: SimTime,
+        model: &SharedModel<'_>,
+        part: &GridPartition,
+        task: &Task,
+        gamma: f32,
+        hyper: &HyperParams,
+    ) -> (gpu_sim::BlockCost, f64) {
+        let slices: Vec<mf_sparse::BlockSlices<'_>> =
+            task.blocks.iter().map(|&b| part.block(b)).collect();
+        // SAFETY: forwarded caller contract.
+        unsafe {
+            if self.resident_all {
+                return self.device.process_task_resident_shared(
+                    now,
+                    model,
+                    &slices,
+                    gamma,
+                    hyper.lambda_p,
+                    hyper.lambda_q,
+                );
+            }
+            self.device
+                .process_task_shared(
+                    now,
+                    model,
+                    &slices,
+                    task.p_rows.clone(),
+                    task.q_cols.clone(),
+                    gamma,
+                    hyper.lambda_p,
+                    hyper.lambda_q,
+                )
+                .expect("device memory exceeded — configuration error")
+        }
+    }
+
     /// One-time bulk-load cost for the fully resident regime: ship all
     /// ratings plus both factor matrices.
     pub fn initial_load_time(&self, total_points: u64, model: &Model) -> SimTime {
@@ -132,6 +205,29 @@ impl GpuWorker {
         self.device
             .bus()
             .time_for(gpu_sim::transfer::Direction::HostToDevice, bytes)
+    }
+}
+
+impl Device for GpuWorker {
+    fn queue_depth(&self) -> usize {
+        2
+    }
+
+    fn process(
+        &mut self,
+        now: SimTime,
+        model: &mut Model,
+        part: &GridPartition,
+        task: &Task,
+        gamma: f32,
+        hyper: &HyperParams,
+    ) -> DeviceCompletion {
+        let (cost, _sq) = GpuWorker::process(self, now, model, part, task, gamma, hyper);
+        DeviceCompletion {
+            done: cost.times.done,
+            busy_secs: cost.t_kernel.as_secs(),
+            cost: Some(cost),
+        }
     }
 }
 

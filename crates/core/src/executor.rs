@@ -1,0 +1,313 @@
+//! The execution-world abstraction: one scheduling core, two worlds.
+//!
+//! The paper's contribution — cost-model-driven conflict-free block
+//! scheduling across asymmetric CPU and GPU workers — is a *policy*, not
+//! an execution strategy. This module separates the two:
+//!
+//! * A [`BlockScheduler`] owns the policy: who gets which blocks, in what
+//!   order, with what stealing rules.
+//! * An [`Executor`] owns a *world* that drives the policy: the
+//!   virtual-time discrete-event world ([`crate::trainer`]) where
+//!   durations come from calibrated models, and the real-thread world
+//!   ([`crate::runtime`]) where OS threads execute the same kernels at
+//!   hardware speed.
+//!
+//! Both worlds receive the scheduler through [`ExecContext`] as a trait
+//! object, so the *same scheduler instance type* — `UniformScheduler` or
+//! `StarScheduler`, unchanged — produces the paper's behavior in
+//! simulation and on real threads, with no forked scheduling logic.
+//! [`train_with_executor`] is the shared driver: it builds the partition
+//! and the seeded model, hands them to the chosen world, and assembles
+//! the [`RunReport`] from whatever the world measured.
+//!
+//! The [`Device`] trait plays the same role one level down, for the
+//! virtual world's per-task execution: CPU workers and GPUs differ only
+//! in how many tasks they keep in flight and how completion times are
+//! modeled.
+
+use mf_des::SimTime;
+use mf_sgd::{eval, HyperParams, Model};
+use mf_sparse::{BlockOrder, GridPartition, SparseMatrix};
+use serde::{Deserialize, Serialize};
+
+use crate::config::HeteroConfig;
+use crate::devices::GpuWorker;
+use crate::scheduler::{BlockScheduler, Task};
+use crate::stats::RunReport;
+
+/// The devices participating in a run.
+pub struct DevicePool {
+    /// Number of CPU worker threads.
+    pub cpu_workers: usize,
+    /// GPU devices (may be empty).
+    pub gpus: Vec<GpuWorker>,
+    /// Virtual time at which each GPU becomes available (bulk-load delay
+    /// for the fully resident GPU-Only regime; zero otherwise). The
+    /// real-thread world ignores this — it models a DES-only startup
+    /// latency.
+    pub gpu_start: Vec<SimTime>,
+}
+
+/// A finished run: the trained model plus its report.
+pub struct TrainOutcome {
+    /// The trained factor model.
+    pub model: Model,
+    /// Everything measured during the run.
+    pub report: RunReport,
+}
+
+/// What a virtual device reports after accepting one task.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCompletion {
+    /// Absolute virtual time at which the task completes.
+    pub done: SimTime,
+    /// Seconds of busy time charged to the device (kernel time for GPUs).
+    pub busy_secs: f64,
+    /// GPU-only timing breakdown, when the device has one (drives the
+    /// `HSGD_TRACE` diagnostics).
+    pub cost: Option<gpu_sim::BlockCost>,
+}
+
+/// One virtual device in the DES world: executes a task's real SGD
+/// arithmetic at dispatch and reports the modeled completion time.
+pub trait Device {
+    /// How many tasks this device keeps in flight: 1 for a CPU worker,
+    /// 2 for a GPU (current + prefetched — what lets the stream pipeline
+    /// overlap the next block's transfer with the current kernel, and the
+    /// reason the HSGD\* grid has `2·n_g` extra columns).
+    fn queue_depth(&self) -> usize;
+
+    /// Executes `task` on `model` at virtual time `now`.
+    fn process(
+        &mut self,
+        now: SimTime,
+        model: &mut Model,
+        part: &GridPartition,
+        task: &Task,
+        gamma: f32,
+        hyper: &HyperParams,
+    ) -> DeviceCompletion;
+}
+
+/// Throughputs and cost models *measured* during a real-thread run — the
+/// online counterpart of the offline calibration, reported so planned and
+/// realized economics can be compared (and so the measurement can seed
+/// the next run's calibration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredThroughput {
+    /// Wall-clock seconds of the whole run.
+    pub wall_secs: f64,
+    /// Sustained points/second of one CPU worker thread (busy time only),
+    /// when any CPU work ran.
+    pub cpu_points_per_sec: Option<f64>,
+    /// Sustained points/second of one GPU (busy time only), when any GPU
+    /// work ran.
+    pub gpu_points_per_sec: Option<f64>,
+    /// Linear cost model refit from per-task CPU wall times (None when
+    /// the samples cannot support a fit).
+    pub cpu_model: Option<mf_cost::LinearCost>,
+    /// Linear cost model refit from per-task GPU wall times.
+    pub gpu_model: Option<mf_cost::LinearCost>,
+    /// The workload split the *measured* models ask for, re-solved with
+    /// the same Eq. 8 bisection the planner used.
+    pub alpha_measured: Option<f64>,
+    /// The scheduler's dynamic balance parameter at the end of the run
+    /// (`StarScheduler`'s steal break-even ratio — measured-feedback
+    /// updates land here).
+    pub final_dynamic_ratio: Option<f64>,
+}
+
+/// Everything an execution world needs to run one training session.
+pub struct ExecContext<'a> {
+    /// The scheduling policy. `Send` because the real-thread world shares
+    /// it (under a lock) across workers.
+    pub scheduler: &'a mut (dyn BlockScheduler + Send),
+    /// The partitioned training data.
+    pub part: &'a GridPartition,
+    /// The factor model, seeded by the driver.
+    pub model: &'a mut Model,
+    /// Held-out ratings for RMSE probes.
+    pub test: &'a SparseMatrix,
+    /// Run configuration.
+    pub cfg: &'a HeteroConfig,
+    /// The participating devices.
+    pub pool: DevicePool,
+    /// Fires `(epoch, &model)` at epoch boundaries where the world can
+    /// guarantee exclusive model access (the DES world: every boundary;
+    /// the real-thread world: between exclusive-mode rounds only).
+    pub epoch_hook: &'a mut dyn FnMut(u64, &Model),
+}
+
+/// What an execution world measured.
+pub struct ExecOutcome {
+    /// End-of-run clock in the world's own time base: virtual seconds for
+    /// the DES world, wall-clock seconds for the real-thread world.
+    pub end_secs: f64,
+    /// `(time, test_rmse)` probes over the run.
+    pub rmse_series: Vec<(f64, f64)>,
+    /// When the RMSE target was first reached, if set and reached.
+    pub time_to_target_secs: Option<f64>,
+    /// Test RMSE at the end.
+    pub final_rmse: f64,
+    /// Ratings processed by CPU workers.
+    pub cpu_points: u64,
+    /// Ratings processed by GPUs.
+    pub gpu_points: u64,
+    /// Total busy seconds across CPU workers.
+    pub cpu_busy_secs: f64,
+    /// Total kernel-busy seconds across GPUs.
+    pub gpu_busy_secs: f64,
+    /// True when the run legitimately stopped before draining the full
+    /// pass budget (RMSE target reached, or no worker class could make
+    /// progress under the configured device set).
+    pub ended_early: bool,
+    /// Measured throughputs (real-thread worlds only).
+    pub measured: Option<MeasuredThroughput>,
+}
+
+/// An execution world.
+pub trait Executor {
+    /// Short human label ("virtual-time DES", "real threads …").
+    fn name(&self) -> &'static str;
+
+    /// Drives `ctx.scheduler` to completion, executing every assigned
+    /// task's SGD arithmetic on `ctx.model`.
+    fn execute(&mut self, ctx: ExecContext<'_>) -> ExecOutcome;
+}
+
+/// Shared probe bookkeeping: the RMSE series, epoch-boundary detection,
+/// and target-RMSE early stopping, identical in both worlds (only the
+/// time base differs).
+pub(crate) struct ProbeState {
+    pub series: Vec<(f64, f64)>,
+    pub time_to_target: Option<f64>,
+    pub stopped: bool,
+    last_boundary: u64,
+    nblocks: u64,
+    target: Option<f64>,
+}
+
+impl ProbeState {
+    pub fn new(nblocks: u64, target: Option<f64>) -> ProbeState {
+        ProbeState {
+            series: Vec::new(),
+            time_to_target: None,
+            stopped: false,
+            last_boundary: 0,
+            nblocks: nblocks.max(1),
+            target,
+        }
+    }
+
+    /// Records one probe at time `t`.
+    pub fn probe(&mut self, t: f64, model: &Model, test: &SparseMatrix) {
+        let rmse = eval::rmse(model, test);
+        self.series.push((t, rmse));
+        if let Some(target) = self.target {
+            if rmse <= target && self.time_to_target.is_none() {
+                self.time_to_target = Some(t);
+                self.stopped = true;
+            }
+        }
+    }
+
+    /// Probes (and fires the epoch hook) when `completed` passes crossed
+    /// an epoch boundary since the last call.
+    pub fn at_boundary(
+        &mut self,
+        completed: u64,
+        t: f64,
+        model: &Model,
+        test: &SparseMatrix,
+        epoch_hook: &mut dyn FnMut(u64, &Model),
+    ) {
+        let boundary = completed / self.nblocks;
+        if boundary > self.last_boundary {
+            self.last_boundary = boundary;
+            self.probe(t, model, test);
+            epoch_hook(boundary, model);
+        }
+    }
+
+    /// Final probe at `end`: returns the final RMSE and ensures the
+    /// series ends at the end time.
+    pub fn finish(&mut self, end: f64, model: &Model, test: &SparseMatrix) -> f64 {
+        let final_rmse = eval::rmse(model, test);
+        if self.series.last().is_none_or(|&(t, _)| t < end) {
+            self.series.push((end, final_rmse));
+        }
+        final_rmse
+    }
+}
+
+/// Runs one full training session in the given execution world.
+///
+/// This is the single driver both worlds share: it builds the user-major
+/// partition, seeds the model, hands everything to `exec`, and assembles
+/// the report. [`crate::trainer::run_training`] is this function with the
+/// DES world plugged in; [`crate::runtime::run_training_real`] plugs in
+/// the real-thread world.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_executor<S, H>(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    mut scheduler: S,
+    pool: DevicePool,
+    cfg: &HeteroConfig,
+    alpha_planned: Option<f64>,
+    label: &str,
+    mut epoch_hook: H,
+    exec: &mut dyn Executor,
+) -> TrainOutcome
+where
+    S: BlockScheduler + Send,
+    H: FnMut(u64, &Model),
+{
+    // User-major within each block: consecutive updates reuse the same
+    // cache-resident `P` row (see `BlockOrder::UserMajor`).
+    let part =
+        GridPartition::build_with_order(train, scheduler.spec().clone(), BlockOrder::UserMajor);
+    let mut model = Model::init_for_ratings(
+        train.nrows(),
+        train.ncols(),
+        cfg.hyper.k,
+        cfg.seed,
+        train.mean_rating(),
+    );
+
+    let outcome = exec.execute(ExecContext {
+        scheduler: &mut scheduler,
+        part: &part,
+        model: &mut model,
+        test,
+        cfg,
+        pool,
+        epoch_hook: &mut epoch_hook,
+    });
+
+    assert!(
+        scheduler.remaining() == 0 || outcome.ended_early,
+        "{} executor returned with {} passes unassigned and no early-end reason",
+        exec.name(),
+        scheduler.remaining()
+    );
+
+    let report = RunReport {
+        algorithm: label.to_string(),
+        virtual_secs: outcome.end_secs,
+        time_to_target_secs: outcome.time_to_target_secs,
+        final_test_rmse: outcome.final_rmse,
+        rmse_series: outcome.rmse_series,
+        update_counts: scheduler.counts().to_vec(),
+        alpha_planned,
+        gpu_points: outcome.gpu_points,
+        cpu_points: outcome.cpu_points,
+        steals: scheduler.steals(),
+        cpu_busy_secs: outcome.cpu_busy_secs,
+        gpu_busy_secs: outcome.gpu_busy_secs,
+        iterations: cfg.iterations,
+        total_passes: scheduler.completed(),
+        measured: outcome.measured,
+    };
+    TrainOutcome { model, report }
+}

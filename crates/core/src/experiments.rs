@@ -142,14 +142,31 @@ fn run_hsgd(train: &SparseMatrix, test: &SparseMatrix, cfg: &HeteroConfig) -> Tr
     run_training(train, test, sched, pool, cfg, None, Algorithm::Hsgd.label())
 }
 
-fn run_star(
+/// Everything the offline phase produces for an HSGD\* run: the region
+/// scheduler (steal ratio pre-set from the calibrated cost models), one
+/// pinned GPU worker per device, and the realized GPU workload share.
+pub struct StarSetup {
+    /// The region/phase scheduler, ready to drive.
+    pub scheduler: StarScheduler,
+    /// One worker per GPU, `P` segments pinned to their row groups.
+    pub gpus: Vec<GpuWorker>,
+    /// Realized α (nnz in `R_g` / total nnz).
+    pub alpha: f64,
+}
+
+/// Runs the offline phase for `cfg` and builds the HSGD\* scheduler +
+/// pinned GPU workers: calibrate cost models, solve for α, cut the star
+/// layout, derive the steal break-even ratio. This is the *single*
+/// construction path for the paper's scheduler — the virtual-time
+/// experiments ([`run`]) and the real-thread runtime
+/// (`crate::runtime::run_training_real`) both start from it, so there is
+/// no forked scheduling logic between the two execution worlds.
+pub fn star_setup(
     train: &SparseMatrix,
-    test: &SparseMatrix,
     cfg: &HeteroConfig,
     kind: CostModelKind,
     dynamic: bool,
-    alg: Algorithm,
-) -> TrainOutcome {
+) -> StarSetup {
     assert!(cfg.nc >= 1 && cfg.ng >= 1, "HSGD* needs both resources");
     // Offline phase: cost models → α.
     let models = calibrate_for(cfg, train);
@@ -175,19 +192,35 @@ fn run_star(
     let t_gpu_col = models.gpu.time_for_points(col_points).max(1e-12);
     let t_cpu_col = mf_cost::models::CostModel::time_secs(&models.cpu, col_points);
     let steal_ratio = t_cpu_col / t_gpu_col;
-    let sched = StarScheduler::new(layout, cfg.iterations, dynamic).with_steal_ratio(steal_ratio);
+    StarSetup {
+        scheduler: StarScheduler::new(layout, cfg.iterations, dynamic)
+            .with_steal_ratio(steal_ratio),
+        gpus,
+        alpha: realized_alpha,
+    }
+}
+
+fn run_star(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    cfg: &HeteroConfig,
+    kind: CostModelKind,
+    dynamic: bool,
+    alg: Algorithm,
+) -> TrainOutcome {
+    let setup = star_setup(train, cfg, kind, dynamic);
     let pool = DevicePool {
         cpu_workers: cfg.nc,
-        gpus,
+        gpus: setup.gpus,
         gpu_start: vec![SimTime::ZERO; cfg.ng],
     };
     run_training(
         train,
         test,
-        sched,
+        setup.scheduler,
         pool,
         cfg,
-        Some(realized_alpha),
+        Some(setup.alpha),
         alg.label(),
     )
 }

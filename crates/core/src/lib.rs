@@ -23,8 +23,16 @@
 //!   dynamic phase.
 //! * [`scheduler`] — conflict-aware block scheduling: the uniform
 //!   least-updates policy (HSGD) and the region/phase policy (HSGD\*).
+//! * [`executor`] — the execution-world abstraction: one scheduling
+//!   core, two worlds. Both the virtual-time trainer and the real-thread
+//!   runtime drive the same scheduler instances through the
+//!   [`executor::Executor`] trait.
 //! * [`devices`] — virtual CPU workers and the GPU adapter.
-//! * [`trainer`] — the event loop, RMSE probes, termination.
+//! * [`trainer`] — the virtual-time world: event loop, RMSE probes,
+//!   termination.
+//! * [`runtime`] — the real-thread world: deterministic exclusive rounds
+//!   and free-running relaxed workers over `mf-par`-governed threads,
+//!   with measured-throughput feedback into the cost models.
 //! * [`calibration`] — the offline phase (Algorithm 3) wired to the
 //!   simulated devices; produces our cost model and the Qilin baseline.
 //! * [`stats`] — run reports, update-count imbalance (Example 3),
@@ -35,12 +43,16 @@
 pub mod calibration;
 pub mod config;
 pub mod devices;
+pub mod executor;
 pub mod experiments;
 pub mod layout;
+pub mod runtime;
 pub mod scheduler;
 pub mod stats;
 pub mod trainer;
 
 pub use config::{Algorithm, CostModelKind, CpuSpec, HeteroConfig};
+pub use executor::{DevicePool, Executor, MeasuredThroughput, TrainOutcome};
 pub use experiments::run;
+pub use runtime::{run_training_real, ExecMode, ThreadedExecutor};
 pub use stats::{ImbalanceStats, RunReport};

@@ -1,0 +1,1147 @@
+//! The real-thread execution world.
+//!
+//! [`ThreadedExecutor`] drives the *same* [`BlockScheduler`] instances as
+//! the virtual-time trainer — over real OS threads running the
+//! monomorphized SoA kernels at hardware speed. Two modes:
+//!
+//! * [`ExecMode::Exclusive`] — deterministic rounds. The scheduler is
+//!   swept once per round (GPUs first, two tasks per GPU — the same
+//!   double-buffered in-flight window the DES world models — then CPU
+//!   tasks until the frontier is exhausted); the round's tasks execute in
+//!   parallel on an `mf-par` pool; then everything is released in sweep
+//!   order and RMSE/epoch hooks fire at boundaries. Because each round's
+//!   task set depends only on scheduler state (never on thread timing)
+//!   and tasks within a round touch disjoint factor rows, the trained
+//!   factors are **bit-identical for any worker count** — the real-thread
+//!   counterpart of the DES world's reproducibility argument.
+//! * [`ExecMode::Relaxed`] — free-running workers, the FPSGD discipline
+//!   generalized to heterogeneous devices: `n_c` CPU worker threads and
+//!   one thread per GPU pull conflict-free tasks from the shared
+//!   scheduler as fast as they finish (GPU threads keep two tasks in
+//!   flight). Still race-free — the scheduler's conflict-freedom
+//!   invariant is what makes the lock-free factor updates safe — but the
+//!   assignment sequence depends on physical timing, so results vary
+//!   run to run (like any Hogwild-family trainer). This is the
+//!   fast path, and the only mode with **live cost-model feedback**:
+//!   per-task wall times stream into `mf-cost` observers and the measured
+//!   throughput ratio replaces `StarScheduler`'s calibrated steal
+//!   break-even ratio (feedback is inherently timing-driven, which is why
+//!   the deterministic mode reports measurements but never feeds them
+//!   back mid-run).
+//!
+//! Probing differs from the virtual-time world by design: exclusive mode
+//! probes (and fires epoch hooks, and checks `target_rmse`) at epoch
+//! boundaries between rounds, where the model is quiescent and the
+//! boundary positions are timing-independent; relaxed mode probes only at
+//! baseline and end. `HeteroConfig::probe_interval_secs` is virtual-time
+//! only — a wall-clock probe cadence would make results timing-dependent
+//! (see the field's docs).
+//!
+//! Thread sizing follows the process-wide `mf-par` budget: worker counts
+//! are clamped to [`mf_par::effective_parallelism`] (`MF_PAR_THREADS`
+//! overrides `available_parallelism`), and when the runtime is entered
+//! from inside an `mf-par` batch it runs fully inline — no CPU *or* GPU
+//! worker threads are spawned — instead of stacking a second level of
+//! parallelism on top of the pool.
+
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use mf_cost::{balance_alpha, CostModel, ThroughputObserver};
+use mf_des::SimTime;
+use mf_par::ThreadPool;
+use mf_sgd::SharedModel;
+use mf_sparse::{GridPartition, SparseMatrix};
+
+use crate::config::HeteroConfig;
+use crate::devices::GpuWorker;
+use crate::executor::{
+    train_with_executor, DevicePool, ExecContext, ExecOutcome, Executor, MeasuredThroughput,
+    ProbeState, TrainOutcome,
+};
+use crate::scheduler::{BlockScheduler, Task, WorkerClass};
+
+/// Tasks a GPU worker keeps in flight — matching both the DES world's
+/// prefetch window and the `2·n_g` surplus columns of the HSGD\* grid.
+pub const GPU_QUEUE_DEPTH: usize = 2;
+
+/// Samples each device class must accumulate before measured rates are
+/// fed back into the scheduler (relaxed mode).
+pub const FEEDBACK_MIN_SAMPLES: usize = 4;
+
+/// How a [`ThreadedExecutor`] orders task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Deterministic rounds with a barrier: fixed seed ⇒ bit-identical
+    /// factors for any worker count.
+    Exclusive,
+    /// Free-running workers: fastest, race-free, but timing-dependent
+    /// like any Hogwild-family trainer.
+    Relaxed,
+}
+
+/// The real-thread execution world. See the module docs for the two
+/// modes.
+pub struct ThreadedExecutor<'p> {
+    mode: ExecMode,
+    feedback: bool,
+    pool: Option<&'p ThreadPool>,
+}
+
+impl ThreadedExecutor<'static> {
+    /// Creates the world in the given mode. Exclusive mode executes
+    /// rounds on the process-wide `mf-par` pool; relaxed mode spawns its
+    /// own (budget-clamped) workers. Live cost-model feedback defaults to
+    /// on for relaxed mode (it has no effect in exclusive mode).
+    pub fn new(mode: ExecMode) -> ThreadedExecutor<'static> {
+        ThreadedExecutor {
+            mode,
+            feedback: true,
+            pool: None,
+        }
+    }
+}
+
+impl<'p> ThreadedExecutor<'p> {
+    /// Exclusive mode on a caller-provided pool — how the determinism
+    /// tests pin specific worker counts.
+    pub fn with_pool(pool: &'p ThreadPool) -> ThreadedExecutor<'p> {
+        ThreadedExecutor {
+            mode: ExecMode::Exclusive,
+            feedback: true,
+            pool: Some(pool),
+        }
+    }
+
+    /// Enables/disables live measured-throughput feedback into the
+    /// scheduler (relaxed mode only; exclusive mode never feeds back —
+    /// that would make scheduling timing-dependent).
+    pub fn with_feedback(mut self, on: bool) -> ThreadedExecutor<'p> {
+        self.feedback = on;
+        self
+    }
+
+    /// The mode this world runs in.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+}
+
+impl Executor for ThreadedExecutor<'_> {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            ExecMode::Exclusive => "real threads (exclusive)",
+            ExecMode::Relaxed => "real threads (relaxed)",
+        }
+    }
+
+    fn execute(&mut self, ctx: ExecContext<'_>) -> ExecOutcome {
+        match self.mode {
+            ExecMode::Exclusive => run_exclusive(ctx, self.pool),
+            ExecMode::Relaxed => run_relaxed(ctx, self.feedback),
+        }
+    }
+}
+
+/// CPU worker threads actually used for a requested count: clamped to the
+/// process-wide budget, and forced to 1 when already inside an `mf-par`
+/// batch (never oversubscribe when nested).
+pub fn effective_cpu_workers(requested: usize) -> usize {
+    if requested == 0 {
+        return 0;
+    }
+    if mf_par::in_pool() {
+        return 1;
+    }
+    requested.min(mf_par::effective_parallelism()).max(1)
+}
+
+/// Convenience front-end: trains `scheduler` on real threads and returns
+/// the outcome, with the measured throughputs in
+/// `report.measured`. The same `DevicePool` the virtual trainer takes
+/// describes the rig (`gpu_start` is ignored — a DES-only concept);
+/// `pool.cpu_workers` is clamped by [`effective_cpu_workers`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_training_real<S: BlockScheduler + Send>(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    scheduler: S,
+    pool: DevicePool,
+    cfg: &HeteroConfig,
+    mode: ExecMode,
+    alpha_planned: Option<f64>,
+    label: &str,
+) -> TrainOutcome {
+    let mut exec = ThreadedExecutor::new(mode);
+    train_with_executor(
+        train,
+        test,
+        scheduler,
+        pool,
+        cfg,
+        alpha_planned,
+        label,
+        |_, _| {},
+        &mut exec,
+    )
+}
+
+/// Accumulators shared by both modes.
+struct Meter {
+    cpu_obs: ThroughputObserver,
+    gpu_obs: ThroughputObserver,
+    cpu_points: u64,
+    gpu_points: u64,
+    cpu_busy: f64,
+    gpu_busy: f64,
+}
+
+impl Meter {
+    fn new() -> Meter {
+        Meter {
+            cpu_obs: ThroughputObserver::new(),
+            gpu_obs: ThroughputObserver::new(),
+            cpu_points: 0,
+            gpu_points: 0,
+            cpu_busy: 0.0,
+            gpu_busy: 0.0,
+        }
+    }
+
+    fn record(&mut self, class: WorkerClass, points: usize, secs: f64) {
+        match class {
+            WorkerClass::Cpu => {
+                self.cpu_obs.record(points as f64, secs);
+                self.cpu_points += points as u64;
+                self.cpu_busy += secs;
+            }
+            WorkerClass::Gpu(_) => {
+                self.gpu_obs.record(points as f64, secs);
+                self.gpu_points += points as u64;
+                self.gpu_busy += secs;
+            }
+        }
+    }
+
+    /// Builds the end-of-run measurement record. `nc`/`ng` are the worker
+    /// counts that actually ran (they normalize the measured α exactly
+    /// like Eq. 7 normalizes the planned one).
+    fn finish(
+        &self,
+        wall_secs: f64,
+        nc: usize,
+        ng: usize,
+        total_points: f64,
+        final_dynamic_ratio: Option<f64>,
+    ) -> MeasuredThroughput {
+        let cpu_model = self.cpu_obs.fit_linear();
+        let gpu_model = self.gpu_obs.fit_linear();
+        let alpha_measured = match (&cpu_model, &gpu_model) {
+            (Some(c), Some(g)) if nc > 0 && ng > 0 && total_points > 0.0 => Some(balance_alpha(
+                |a| g.time_secs(a * total_points),
+                |x| c.time_secs(x * total_points),
+                ng as f64,
+                nc as f64,
+            )),
+            _ => None,
+        };
+        MeasuredThroughput {
+            wall_secs,
+            cpu_points_per_sec: self.cpu_obs.mean_rate(),
+            gpu_points_per_sec: self.gpu_obs.mean_rate(),
+            cpu_model,
+            gpu_model,
+            alpha_measured,
+            final_dynamic_ratio,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exclusive mode: deterministic rounds
+// ---------------------------------------------------------------------------
+
+/// One round's sweep: GPUs first (up to the prefetch depth each), then
+/// CPU tasks until nothing conflict-free is left. Depends only on
+/// scheduler state — never on thread timing — which is the heart of the
+/// determinism argument.
+fn sweep_round(
+    scheduler: &mut (dyn BlockScheduler + Send),
+    part: &GridPartition,
+    ng: usize,
+) -> Vec<(WorkerClass, Task)> {
+    let mut tasks = Vec::new();
+    for g in 0..ng {
+        let who = WorkerClass::Gpu(g as u32);
+        for _ in 0..GPU_QUEUE_DEPTH {
+            match scheduler.next_task(who, part) {
+                Some(t) => tasks.push((who, t)),
+                None => break,
+            }
+        }
+    }
+    while let Some(t) = scheduler.next_task(WorkerClass::Cpu, part) {
+        tasks.push((WorkerClass::Cpu, t));
+    }
+    tasks
+}
+
+fn run_exclusive(ctx: ExecContext<'_>, pool: Option<&ThreadPool>) -> ExecOutcome {
+    let ExecContext {
+        scheduler,
+        part,
+        model,
+        test,
+        cfg,
+        pool: dev_pool,
+        epoch_hook,
+    } = ctx;
+    // Honor the rig's requested CPU worker count (budget-clamped), so
+    // "exclusive at cpu_workers = N" means what it says — e.g. for the
+    // bench gate's pinned worker mix. A caller-provided pool (the
+    // determinism tests) overrides.
+    let own_pool;
+    let tpool = match pool {
+        Some(p) => p,
+        None => {
+            own_pool = ThreadPool::new(effective_cpu_workers(dev_pool.cpu_workers).max(1));
+            &own_pool
+        }
+    };
+    let nblocks = scheduler.spec().block_count() as u64;
+    let mut probes = ProbeState::new(nblocks, cfg.target_rmse);
+    let mut meter = Meter::new();
+    let ng = dev_pool.gpus.len();
+    let gpus: Vec<Mutex<GpuWorker>> = dev_pool.gpus.into_iter().map(Mutex::new).collect();
+    let hyper = &cfg.hyper;
+
+    let start = Instant::now();
+    probes.probe(0.0, model, test);
+    let mut stalled = false;
+
+    while !probes.stopped {
+        let tasks = sweep_round(scheduler, part, ng);
+        if tasks.is_empty() {
+            stalled = scheduler.remaining() > 0;
+            break;
+        }
+
+        // Execute the round in parallel. Tasks are pairwise conflict-free
+        // (all acquired before any release), so their factor rows are
+        // disjoint and the result is independent of which thread runs
+        // which task. Results land in per-index slots.
+        let mut secs: Vec<f64> = vec![0.0; tasks.len()];
+        {
+            let shared = SharedModel::new(model);
+            let out = mf_par::ScatterSlice::new(&mut secs);
+            tpool.run_indexed(tasks.len(), |i| {
+                let (class, task) = &tasks[i];
+                let gamma = hyper.gamma_at(task.pass);
+                let secs = match class {
+                    WorkerClass::Cpu => {
+                        let t0 = Instant::now();
+                        for &b in &task.blocks {
+                            // SAFETY: the scheduler holds this task's row
+                            // and column bands busy for the whole round,
+                            // and round tasks are pairwise conflict-free.
+                            unsafe {
+                                shared.sgd_block_exclusive(
+                                    part.block(b),
+                                    gamma,
+                                    hyper.lambda_p,
+                                    hyper.lambda_q,
+                                );
+                            }
+                        }
+                        t0.elapsed()
+                    }
+                    WorkerClass::Gpu(g) => {
+                        let mut gw = gpus[*g as usize].lock();
+                        // Clock starts *after* the device lock: a round can
+                        // hold two tasks for the same GPU, and the second's
+                        // lock wait is queueing, not device busy time —
+                        // counting it would double-charge gpu_busy_secs and
+                        // halve the measured GPU rate.
+                        let t0 = Instant::now();
+                        // SAFETY: same conflict-freedom contract.
+                        unsafe {
+                            gw.process_shared(SimTime::ZERO, &shared, part, task, gamma, hyper);
+                        }
+                        t0.elapsed()
+                    }
+                };
+                // SAFETY: index `i` is written exactly once.
+                unsafe { out.write(i, secs.as_secs_f64()) };
+            });
+        }
+
+        // Release in sweep order (deterministic), account, and fire
+        // boundary probes with the model quiescent between rounds.
+        for (i, (class, task)) in tasks.iter().enumerate() {
+            scheduler.release(task);
+            meter.record(*class, task.points, secs[i]);
+        }
+        probes.at_boundary(
+            scheduler.completed(),
+            start.elapsed().as_secs_f64(),
+            model,
+            test,
+            epoch_hook,
+        );
+    }
+
+    let wall = start.elapsed().as_secs_f64();
+    let final_rmse = probes.finish(wall, model, test);
+    let total_points = (meter.cpu_points + meter.gpu_points) as f64;
+    let measured = meter.finish(
+        wall,
+        tpool.threads(),
+        ng,
+        total_points,
+        scheduler.dynamic_ratio(),
+    );
+    ExecOutcome {
+        end_secs: wall,
+        rmse_series: std::mem::take(&mut probes.series),
+        time_to_target_secs: probes.time_to_target,
+        final_rmse,
+        cpu_points: meter.cpu_points,
+        gpu_points: meter.gpu_points,
+        cpu_busy_secs: meter.cpu_busy,
+        gpu_busy_secs: meter.gpu_busy,
+        ended_early: probes.stopped || stalled,
+        measured: Some(measured),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relaxed mode: free-running workers
+// ---------------------------------------------------------------------------
+
+/// Scheduler + accounting under the hub lock. Workers hold the lock only
+/// for acquire/release bookkeeping; all kernel work runs outside it.
+struct HubState<'a, 'b> {
+    scheduler: &'b mut (dyn BlockScheduler + Send),
+    part: &'a GridPartition,
+    meter: Meter,
+    /// Tasks currently held by any worker.
+    inflight: usize,
+    /// Bumped on every release — the only event that can create new
+    /// assignable work. A parked worker's "no work for my class" verdict
+    /// is valid exactly as long as this generation is unchanged.
+    release_gen: u64,
+    /// Workers whose no-work verdict is at the current `release_gen`.
+    verdicts: usize,
+    /// Set on global stall or full drain: everyone exits.
+    done: bool,
+    /// True when the run ended with passes still unassigned.
+    stalled: bool,
+    feedback: bool,
+}
+
+impl HubState<'_, '_> {
+    /// Releases a finished task and (optionally) feeds measured rates
+    /// back into the scheduler.
+    fn release(&mut self, class: WorkerClass, task: &Task, secs: f64) {
+        self.scheduler.release(task);
+        self.inflight -= 1;
+        // New bands are free (and feedback below may move the steal
+        // gate): every parked worker's no-work verdict is stale.
+        self.release_gen += 1;
+        self.verdicts = 0;
+        self.meter.record(class, task.points, secs);
+        if self.feedback
+            && self.meter.cpu_obs.len() >= FEEDBACK_MIN_SAMPLES
+            && self.meter.gpu_obs.len() >= FEEDBACK_MIN_SAMPLES
+        {
+            if let (Some(cpu), Some(gpu)) = (
+                self.meter.cpu_obs.mean_rate(),
+                self.meter.gpu_obs.mean_rate(),
+            ) {
+                self.scheduler.observe_throughput(cpu, gpu);
+            }
+        }
+    }
+}
+
+struct Hub<'a, 'b> {
+    state: Mutex<HubState<'a, 'b>>,
+    cond: Condvar,
+    workers: usize,
+}
+
+impl Hub<'_, '_> {
+    /// Acquires up to `want` tasks for `who`, blocking when nothing is
+    /// assignable yet. Returns an empty vec when the worker should exit:
+    /// the budget is drained, or no worker can make progress (stall —
+    /// e.g. a region whose owner class has no workers, with stealing
+    /// disabled).
+    ///
+    /// Stall detection is a generation-checked vote, not a parked-worker
+    /// count: each worker records a "no work for my class" verdict tagged
+    /// with the current release generation, and a stall is declared only
+    /// once *every* worker holds a current verdict with nothing in
+    /// flight. Acquires can only remove availability and releases reset
+    /// the vote, so at that point the scheduler state is frozen and the
+    /// verdicts are decisive — a merely-parked worker that has not yet
+    /// re-checked after the latest release can never be counted against
+    /// newly freed work.
+    fn acquire(&self, who: WorkerClass, want: usize) -> Vec<Task> {
+        let mut st = self.state.lock();
+        // This worker's verdict generation (None = no current verdict).
+        let mut verdict_at: Option<u64> = None;
+        loop {
+            if st.done || st.scheduler.remaining() == 0 {
+                st.done = true;
+                self.cond.notify_all();
+                return Vec::new();
+            }
+            let part = st.part;
+            let mut got = Vec::new();
+            while got.len() < want {
+                match st.scheduler.next_task(who, part) {
+                    Some(t) => got.push(t),
+                    None => break,
+                }
+            }
+            if !got.is_empty() {
+                st.inflight += got.len();
+                return got;
+            }
+            if verdict_at != Some(st.release_gen) {
+                verdict_at = Some(st.release_gen);
+                st.verdicts += 1;
+                if st.verdicts == self.workers && st.inflight == 0 {
+                    // Unanimous current-generation verdicts and nothing in
+                    // flight: no release can ever come, so the scheduler
+                    // state is frozen with unassignable passes.
+                    st.done = true;
+                    st.stalled = true;
+                    self.cond.notify_all();
+                    return Vec::new();
+                }
+                if st.inflight == 0 {
+                    // Freeze candidate: wake the other parked workers so
+                    // they re-verify against this generation too.
+                    self.cond.notify_all();
+                }
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking acquire: whatever is assignable for `who` right now,
+    /// possibly nothing. Used by a GPU worker topping up its prefetch
+    /// window while it still holds executable work — it must never park
+    /// with work in hand.
+    fn try_acquire(&self, who: WorkerClass, want: usize) -> Vec<Task> {
+        let mut st = self.state.lock();
+        if st.done || st.scheduler.remaining() == 0 {
+            return Vec::new();
+        }
+        let part = st.part;
+        let mut got = Vec::new();
+        while got.len() < want {
+            match st.scheduler.next_task(who, part) {
+                Some(t) => got.push(t),
+                None => break,
+            }
+        }
+        st.inflight += got.len();
+        got
+    }
+
+    fn release(&self, class: WorkerClass, task: &Task, secs: f64) {
+        {
+            let mut st = self.state.lock();
+            st.release(class, task, secs);
+        }
+        // A release frees one row band and one column band, enabling at
+        // most a couple of new assignments — baton-pass to one sleeper
+        // (it re-notifies after its own acquire), as in FPSGD.
+        self.cond.notify_one();
+    }
+}
+
+/// One free-running CPU worker.
+fn cpu_worker(
+    hub: &Hub<'_, '_>,
+    shared: &SharedModel<'_>,
+    part: &GridPartition,
+    cfg: &HeteroConfig,
+) {
+    let hyper = &cfg.hyper;
+    loop {
+        let mut got = hub.acquire(WorkerClass::Cpu, 1);
+        let Some(task) = got.pop() else { return };
+        // A successful acquire may have left more blocks assignable.
+        hub.cond.notify_one();
+        let gamma = hyper.gamma_at(task.pass);
+        let t0 = Instant::now();
+        for &b in &task.blocks {
+            // SAFETY: the scheduler marked this task's row and column
+            // bands busy; no other worker touches these factor rows until
+            // we release.
+            unsafe {
+                shared.sgd_block_exclusive(part.block(b), gamma, hyper.lambda_p, hyper.lambda_q);
+            }
+        }
+        hub.release(WorkerClass::Cpu, &task, t0.elapsed().as_secs_f64());
+    }
+}
+
+/// One free-running GPU worker thread wrapping the simulated device as an
+/// async accelerator: it keeps [`GPU_QUEUE_DEPTH`] tasks in flight —
+/// acquiring the next task *before* releasing the current one, so the
+/// next block's (modeled) H2D transfer overlaps the current kernel and
+/// the scheduler sees the same two-column occupancy the DES world and the
+/// HSGD\* grid geometry assume — and feeds each completion back to the
+/// scheduler as soon as its work is done.
+fn gpu_worker(
+    hub: &Hub<'_, '_>,
+    shared: &SharedModel<'_>,
+    part: &GridPartition,
+    cfg: &HeteroConfig,
+    g: u32,
+    worker: &mut GpuWorker,
+) {
+    let hyper = &cfg.hyper;
+    let who = WorkerClass::Gpu(g);
+    let mut local: std::collections::VecDeque<Task> = std::collections::VecDeque::new();
+    loop {
+        // Top up the prefetch window. Only block when the window is
+        // empty — a worker holding executable tasks must keep executing,
+        // not park waiting for more.
+        if local.is_empty() {
+            let got = hub.acquire(who, GPU_QUEUE_DEPTH);
+            if got.is_empty() {
+                return;
+            }
+            hub.cond.notify_one();
+            local.extend(got);
+        } else if local.len() < GPU_QUEUE_DEPTH {
+            let got = hub.try_acquire(who, GPU_QUEUE_DEPTH - local.len());
+            if !got.is_empty() {
+                hub.cond.notify_one();
+            }
+            local.extend(got);
+        }
+        let Some(task) = local.pop_front() else {
+            return;
+        };
+        let gamma = hyper.gamma_at(task.pass);
+        let t0 = Instant::now();
+        // SAFETY: scheduler conflict-freedom for this in-flight task.
+        unsafe {
+            worker.process_shared(SimTime::ZERO, shared, part, &task, gamma, hyper);
+        }
+        hub.release(who, &task, t0.elapsed().as_secs_f64());
+    }
+}
+
+/// The spawn-free relaxed drive for nested invocations: one loop on the
+/// caller thread pulls and immediately executes tasks for every worker
+/// class. Semantically a relaxed run with instant completions; measured
+/// feedback still applies.
+fn run_relaxed_inline(
+    scheduler: &mut (dyn BlockScheduler + Send),
+    part: &GridPartition,
+    model: &mut mf_sgd::Model,
+    cfg: &HeteroConfig,
+    gpus: &mut [GpuWorker],
+    nc: usize,
+    feedback: bool,
+) -> (Meter, bool) {
+    let hyper = &cfg.hyper;
+    let mut meter = Meter::new();
+    let shared = SharedModel::new(model);
+    let maybe_feed = |meter: &Meter, scheduler: &mut (dyn BlockScheduler + Send)| {
+        if feedback
+            && meter.cpu_obs.len() >= FEEDBACK_MIN_SAMPLES
+            && meter.gpu_obs.len() >= FEEDBACK_MIN_SAMPLES
+        {
+            if let (Some(cpu), Some(gpu)) = (meter.cpu_obs.mean_rate(), meter.gpu_obs.mean_rate()) {
+                scheduler.observe_throughput(cpu, gpu);
+            }
+        }
+    };
+    loop {
+        let mut progressed = false;
+        for (g, worker) in gpus.iter_mut().enumerate() {
+            let who = WorkerClass::Gpu(g as u32);
+            while let Some(task) = scheduler.next_task(who, part) {
+                let gamma = hyper.gamma_at(task.pass);
+                let t0 = Instant::now();
+                // SAFETY: single-threaded here; the task's bands are ours.
+                unsafe {
+                    worker.process_shared(SimTime::ZERO, &shared, part, &task, gamma, hyper);
+                }
+                scheduler.release(&task);
+                meter.record(who, task.points, t0.elapsed().as_secs_f64());
+                maybe_feed(&meter, scheduler);
+                progressed = true;
+            }
+        }
+        if nc > 0 {
+            if let Some(task) = scheduler.next_task(WorkerClass::Cpu, part) {
+                let gamma = hyper.gamma_at(task.pass);
+                let t0 = Instant::now();
+                for &b in &task.blocks {
+                    // SAFETY: single-threaded here; the task's bands are
+                    // ours.
+                    unsafe {
+                        shared.sgd_block_exclusive(
+                            part.block(b),
+                            gamma,
+                            hyper.lambda_p,
+                            hyper.lambda_q,
+                        );
+                    }
+                }
+                scheduler.release(&task);
+                meter.record(WorkerClass::Cpu, task.points, t0.elapsed().as_secs_f64());
+                maybe_feed(&meter, scheduler);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return (meter, scheduler.remaining() > 0);
+        }
+    }
+}
+
+fn run_relaxed(ctx: ExecContext<'_>, feedback: bool) -> ExecOutcome {
+    let ExecContext {
+        scheduler,
+        part,
+        model,
+        test,
+        cfg,
+        pool: dev_pool,
+        epoch_hook: _,
+    } = ctx;
+    let nblocks = scheduler.spec().block_count() as u64;
+    let mut probes = ProbeState::new(nblocks, cfg.target_rmse);
+    let nc = effective_cpu_workers(dev_pool.cpu_workers);
+    let mut gpus = dev_pool.gpus;
+    let ng = gpus.len();
+    assert!(nc + ng > 0, "relaxed runtime needs at least one worker");
+
+    let start = Instant::now();
+    probes.probe(0.0, model, test);
+    // Mid-run probes need exclusive model access; the free-running world
+    // has no quiescent point, so target_rmse can only stop a relaxed run
+    // at the baseline probe — use exclusive mode when early stopping
+    // matters. Epoch hooks are likewise exclusive-mode-only.
+    if probes.stopped {
+        let wall = start.elapsed().as_secs_f64();
+        let final_rmse = probes.finish(wall, model, test);
+        return ExecOutcome {
+            end_secs: wall,
+            rmse_series: std::mem::take(&mut probes.series),
+            time_to_target_secs: probes.time_to_target,
+            final_rmse,
+            cpu_points: 0,
+            gpu_points: 0,
+            cpu_busy_secs: 0.0,
+            gpu_busy_secs: 0.0,
+            ended_early: true,
+            measured: None,
+        };
+    }
+
+    let (meter, stalled, final_dynamic_ratio) = if mf_par::in_pool() {
+        // Nested inside an mf-par batch: the thread budget is already
+        // fully occupied, so spawn *nothing* — not even GPU threads. One
+        // inline loop on the caller serves every class (GPUs first,
+        // mirroring the DES dispatch priority).
+        let (meter, stalled) =
+            run_relaxed_inline(scheduler, part, model, cfg, &mut gpus, nc, feedback);
+        let ratio = scheduler.dynamic_ratio();
+        (meter, stalled, ratio)
+    } else {
+        let hub = Hub {
+            state: Mutex::new(HubState {
+                scheduler,
+                part,
+                meter: Meter::new(),
+                inflight: 0,
+                release_gen: 0,
+                verdicts: 0,
+                done: false,
+                stalled: false,
+                feedback,
+            }),
+            cond: Condvar::new(),
+            workers: nc + ng,
+        };
+        let shared = SharedModel::new(model);
+        std::thread::scope(|s| {
+            let hub = &hub;
+            let shared = &shared;
+            for (g, worker) in gpus.iter_mut().enumerate() {
+                s.spawn(move || gpu_worker(hub, shared, part, cfg, g as u32, worker));
+            }
+            // The caller is CPU worker 0; spawn the rest.
+            for _ in 1..nc {
+                s.spawn(move || cpu_worker(hub, shared, part, cfg));
+            }
+            if nc > 0 {
+                cpu_worker(hub, shared, part, cfg);
+            }
+        });
+
+        let st = hub.state.into_inner();
+        let ratio = st.scheduler.dynamic_ratio();
+        (st.meter, st.stalled, ratio)
+    };
+
+    let wall = start.elapsed().as_secs_f64();
+    let final_rmse = probes.finish(wall, model, test);
+    let total_points = (meter.cpu_points + meter.gpu_points) as f64;
+    let measured = meter.finish(wall, nc, ng, total_points, final_dynamic_ratio);
+    ExecOutcome {
+        end_secs: wall,
+        rmse_series: std::mem::take(&mut probes.series),
+        time_to_target_secs: probes.time_to_target,
+        final_rmse,
+        cpu_points: meter.cpu_points,
+        gpu_points: meter.gpu_points,
+        cpu_busy_secs: meter.cpu_busy,
+        gpu_busy_secs: meter.gpu_busy,
+        ended_early: stalled,
+        measured: Some(measured),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CostModelKind, CpuSpec};
+    use crate::layout::{uniform_layout, StarLayout};
+    use crate::scheduler::{StarScheduler, UniformScheduler};
+    use mf_sgd::{eval, HyperParams};
+    use mf_sparse::Rating;
+
+    fn low_rank_data(m: u32, n: u32, seed: u64) -> (SparseMatrix, SparseMatrix) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<[f32; 2]> = (0..m).map(|_| [rng.random(), rng.random()]).collect();
+        let b: Vec<[f32; 2]> = (0..n).map(|_| [rng.random(), rng.random()]).collect();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for u in 0..m {
+            for v in 0..n {
+                let x: f32 = rng.random();
+                if x < 0.7 {
+                    let r = 1.0
+                        + 2.0
+                            * (a[u as usize][0] * b[v as usize][0]
+                                + a[u as usize][1] * b[v as usize][1]);
+                    if x < 0.6 {
+                        train.push(Rating::new(u, v, r));
+                    } else {
+                        test.push(Rating::new(u, v, r));
+                    }
+                }
+            }
+        }
+        (
+            SparseMatrix::new(m, n, train).unwrap(),
+            SparseMatrix::new(m, n, test).unwrap(),
+        )
+    }
+
+    fn test_cfg(iterations: u32) -> HeteroConfig {
+        HeteroConfig {
+            hyper: HyperParams {
+                k: 8,
+                lambda_p: 0.01,
+                lambda_q: 0.01,
+                gamma: 0.05,
+                schedule: mf_sgd::LearningRate::Fixed,
+            },
+            nc: 4,
+            ng: 1,
+            gpu: gpu_sim::GpuSpec::default().scaled_down(1000.0),
+            cpu: CpuSpec::default(),
+            iterations,
+            seed: 9,
+            dynamic_scheduling: true,
+            cost_model: CostModelKind::Tailored,
+            probe_interval_secs: None,
+            target_rmse: None,
+        }
+    }
+
+    fn cpu_pool(workers: usize) -> DevicePool {
+        DevicePool {
+            cpu_workers: workers,
+            gpus: vec![],
+            gpu_start: vec![],
+        }
+    }
+
+    #[test]
+    fn relaxed_cpu_only_drains_and_converges() {
+        let (train, test) = low_rank_data(40, 40, 1);
+        let cfg = test_cfg(40);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            cpu_pool(4),
+            &cfg,
+            ExecMode::Relaxed,
+            None,
+            "CPU-Only/real",
+        );
+        assert_eq!(out.report.total_passes, 20 * 40);
+        assert!(
+            out.report.final_test_rmse < 0.3,
+            "rmse {}",
+            out.report.final_test_rmse
+        );
+        assert_eq!(out.report.gpu_points, 0);
+        assert!(out.report.cpu_points > 0);
+        assert!(out.report.virtual_secs > 0.0, "wall clock must advance");
+        let measured = out.report.measured.expect("real runs report measurements");
+        assert!(measured.cpu_points_per_sec.unwrap() > 0.0);
+        assert!(measured.gpu_points_per_sec.is_none());
+        // RMSE must match an independent evaluation of the returned model.
+        assert_eq!(out.report.final_test_rmse, eval::rmse(&out.model, &test));
+    }
+
+    #[test]
+    fn exclusive_is_bit_deterministic_across_worker_counts() {
+        let (train, test) = low_rank_data(36, 36, 2);
+        let cfg = test_cfg(6);
+        let run_with = |threads: usize| {
+            let spec = uniform_layout(&train, 5, 4);
+            let sched = UniformScheduler::new(spec, cfg.iterations, true);
+            let pool = ThreadPool::new(threads);
+            let mut exec = ThreadedExecutor::with_pool(&pool);
+            train_with_executor(
+                &train,
+                &test,
+                sched,
+                cpu_pool(threads),
+                &cfg,
+                None,
+                "excl",
+                |_, _| {},
+                &mut exec,
+            )
+        };
+        let one = run_with(1);
+        let two = run_with(2);
+        let four = run_with(4);
+        assert_eq!(one.model, two.model, "1 vs 2 workers must agree bitwise");
+        assert_eq!(one.model, four.model, "1 vs 4 workers must agree bitwise");
+        // The probe series is identical too (same boundaries, same model
+        // states) up to timestamps.
+        let strip = |o: &TrainOutcome| -> Vec<f64> {
+            o.report.rmse_series.iter().map(|&(_, r)| r).collect()
+        };
+        assert_eq!(strip(&one), strip(&two));
+        assert_eq!(strip(&one), strip(&four));
+    }
+
+    #[test]
+    fn exclusive_hetero_star_runs_both_classes() {
+        let (train, test) = low_rank_data(48, 48, 3);
+        let cfg = test_cfg(3);
+        let layout = StarLayout::build(&train, 2, 1, 0.4);
+        let sched = StarScheduler::new(layout, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 2,
+            gpus: vec![GpuWorker::new(cfg.gpu)],
+            gpu_start: vec![],
+        };
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            ExecMode::Exclusive,
+            Some(0.4),
+            "HSGD*/real-excl",
+        );
+        assert!(out.report.cpu_points > 0, "CPU must contribute");
+        assert!(out.report.gpu_points > 0, "GPU must contribute");
+        assert_eq!(out.report.total_passes as usize, {
+            let blocks = out.report.update_counts.len();
+            blocks * cfg.iterations as usize
+        });
+        let m = out.report.measured.unwrap();
+        assert!(m.gpu_points_per_sec.unwrap() > 0.0);
+        assert!(m.final_dynamic_ratio.is_some());
+    }
+
+    #[test]
+    fn relaxed_hetero_star_with_feedback_drains() {
+        let (train, test) = low_rank_data(48, 48, 4);
+        let cfg = test_cfg(3);
+        let layout = StarLayout::build(&train, 2, 1, 0.5);
+        let sched = StarScheduler::new(layout, cfg.iterations, true).with_steal_ratio(1.0);
+        let pool = DevicePool {
+            cpu_workers: 2,
+            gpus: vec![GpuWorker::new(cfg.gpu)],
+            gpu_start: vec![],
+        };
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            ExecMode::Relaxed,
+            Some(0.5),
+            "HSGD*/real",
+        );
+        assert_eq!(
+            out.report.total_passes as usize,
+            out.report.update_counts.len() * 3
+        );
+        // Which class processed how much depends on thread timing (that
+        // is what "relaxed" means); the budget being fully drained does
+        // not.
+        assert!(out.report.cpu_points + out.report.gpu_points > 0);
+        let m = out.report.measured.unwrap();
+        // Feedback replaced the configured ratio with the measured one
+        // (any positive value; equality with 1.0 would be astronomically
+        // unlikely from wall clocks).
+        let ratio = m.final_dynamic_ratio.unwrap();
+        assert!(ratio > 0.0 && ratio.is_finite());
+    }
+
+    #[test]
+    fn relaxed_detects_stall_instead_of_hanging() {
+        // A star layout with dynamic stealing off and no GPU workers: the
+        // GPU region can never be drained. The run must end gracefully
+        // with the CPU region done and the GPU passes still unassigned.
+        let (train, test) = low_rank_data(32, 32, 5);
+        let cfg = test_cfg(2);
+        let layout = StarLayout::build(&train, 2, 1, 0.5);
+        let sched = StarScheduler::new(layout, cfg.iterations, false);
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            cpu_pool(3),
+            &cfg,
+            ExecMode::Relaxed,
+            None,
+            "stall",
+        );
+        assert!(out.report.cpu_points > 0);
+        assert_eq!(out.report.gpu_points, 0);
+        // Only the CPU region's passes completed.
+        let total: u64 = out.report.update_counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, out.report.total_passes);
+    }
+
+    #[test]
+    fn exclusive_respects_target_rmse() {
+        let (train, test) = low_rank_data(40, 40, 6);
+        let mut cfg = test_cfg(200);
+        cfg.target_rmse = Some(0.5);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            cpu_pool(2),
+            &cfg,
+            ExecMode::Exclusive,
+            None,
+            "excl-target",
+        );
+        assert!(out.report.time_to_target_secs.is_some());
+        assert!(out.report.total_passes < 20 * 200);
+    }
+
+    #[test]
+    fn nested_invocation_runs_inline_without_oversubscribing() {
+        assert_eq!(effective_cpu_workers(0), 0);
+        let budget = mf_par::effective_parallelism();
+        assert_eq!(effective_cpu_workers(1), 1);
+        assert!(effective_cpu_workers(usize::MAX) <= budget);
+        // From inside an mf-par task the runtime must collapse to one
+        // worker (and still produce a correct run).
+        let pool = ThreadPool::new(2);
+        let (train, test) = low_rank_data(24, 24, 7);
+        let cfg = test_cfg(2);
+        let results: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        pool.run_indexed(2, |_| {
+            assert_eq!(effective_cpu_workers(8), 1, "nested must not fan out");
+            let spec = uniform_layout(&train, 3, 3);
+            let sched = UniformScheduler::new(spec, cfg.iterations, true);
+            let out = run_training_real(
+                &train,
+                &test,
+                sched,
+                cpu_pool(8),
+                &cfg,
+                ExecMode::Relaxed,
+                None,
+                "nested",
+            );
+            results.lock().push(out.report.total_passes);
+        });
+        let results = results.into_inner();
+        assert_eq!(results, vec![9 * 2, 9 * 2]);
+    }
+
+    #[test]
+    fn nested_hetero_runs_inline_and_serves_gpus_without_spawning() {
+        // With GPUs in the pool, a nested relaxed run must still spawn no
+        // threads: the inline loop serves the GPU classes on the caller,
+        // so a star scheduler's GPU region drains too.
+        let pool = ThreadPool::new(2);
+        let (train, test) = low_rank_data(40, 40, 8);
+        let cfg = test_cfg(2);
+        let total = Mutex::new(Vec::new());
+        pool.run_indexed(2, |_| {
+            let before = thread_count();
+            let layout = StarLayout::build(&train, 2, 1, 0.5);
+            let blocks = layout.spec.block_count() as u64;
+            let sched = StarScheduler::new(layout, cfg.iterations, true);
+            let out = run_training_real(
+                &train,
+                &test,
+                sched,
+                DevicePool {
+                    cpu_workers: 4,
+                    gpus: vec![GpuWorker::new(cfg.gpu)],
+                    gpu_start: vec![],
+                },
+                &cfg,
+                ExecMode::Relaxed,
+                None,
+                "nested-hetero",
+            );
+            assert_eq!(
+                thread_count(),
+                before,
+                "nested relaxed run must not spawn any thread"
+            );
+            assert!(out.report.gpu_points > 0, "inline loop must serve GPUs");
+            total.lock().push((out.report.total_passes, blocks));
+        });
+        for (passes, blocks) in total.into_inner() {
+            assert_eq!(passes, blocks * cfg.iterations as u64);
+        }
+    }
+
+    /// Live threads of this process (Linux procfs; fine for tests).
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
+    }
+}

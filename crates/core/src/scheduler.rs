@@ -87,6 +87,20 @@ pub trait BlockScheduler {
     fn steals(&self) -> u64 {
         0
     }
+
+    /// Feeds *measured* per-worker throughputs back into the policy:
+    /// points/second sustained by one CPU thread and by one GPU, as
+    /// observed by a real execution world. The default ignores the
+    /// measurement; [`StarScheduler`] re-derives its dynamic steal
+    /// break-even ratio from it, replacing the calibration-time estimate
+    /// with reality (see [`StarScheduler::with_steal_ratio`]).
+    fn observe_throughput(&mut self, _cpu_points_per_sec: f64, _gpu_points_per_sec: f64) {}
+
+    /// The current dynamic-phase balance parameter, if this policy has
+    /// one (`StarScheduler`'s steal break-even ratio). Reporting only.
+    fn dynamic_ratio(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Shared busy-tracking helpers.
@@ -292,6 +306,14 @@ impl StarScheduler {
     /// The layout geometry.
     pub fn layout(&self) -> &StarLayout {
         &self.layout
+    }
+
+    /// The current steal break-even ratio (initially from
+    /// [`StarScheduler::with_steal_ratio`], later possibly replaced by
+    /// measured throughputs via
+    /// [`BlockScheduler::observe_throughput`]).
+    pub fn steal_ratio(&self) -> f64 {
+        self.steal_ratio
     }
 
     /// Picks the least-count free single block among `bands`, or `None`.
@@ -538,6 +560,24 @@ impl BlockScheduler for StarScheduler {
 
     fn steals(&self) -> u64 {
         self.steals
+    }
+
+    fn observe_throughput(&mut self, cpu_points_per_sec: f64, gpu_points_per_sec: f64) {
+        // The break-even depth is t_cpu(column) / t_gpu(column); for
+        // measured mean rates that collapses to the rate ratio. Guard
+        // against warm-up garbage — a zero or non-finite rate keeps the
+        // previous (calibrated or earlier-measured) ratio.
+        if cpu_points_per_sec > 0.0
+            && gpu_points_per_sec > 0.0
+            && cpu_points_per_sec.is_finite()
+            && gpu_points_per_sec.is_finite()
+        {
+            self.steal_ratio = gpu_points_per_sec / cpu_points_per_sec;
+        }
+    }
+
+    fn dynamic_ratio(&self) -> Option<f64> {
+        Some(self.steal_ratio)
     }
 }
 

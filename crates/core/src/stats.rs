@@ -94,6 +94,9 @@ pub struct RunReport {
     pub iterations: u32,
     /// Total block passes completed.
     pub total_passes: u64,
+    /// Throughputs measured by a real-thread execution world (None for
+    /// virtual-time runs, whose durations are modeled, not measured).
+    pub measured: Option<crate::executor::MeasuredThroughput>,
 }
 
 impl RunReport {
@@ -172,6 +175,7 @@ mod tests {
             gpu_busy_secs: 0.0,
             iterations: 1,
             total_passes: 1,
+            measured: None,
         };
         assert!((r.gpu_share() - 0.3).abs() < 1e-12);
         r.gpu_points = 0;

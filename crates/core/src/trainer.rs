@@ -1,14 +1,15 @@
-//! The virtual-time training loop.
+//! The virtual-time training world.
 //!
-//! A deterministic discrete-event simulation drives any
-//! [`BlockScheduler`] over a pool of virtual devices:
+//! [`VirtualExecutor`] is the DES implementation of
+//! [`crate::executor::Executor`]: a deterministic discrete-event
+//! simulation drives any [`BlockScheduler`] over a pool of virtual
+//! devices:
 //!
-//! * CPU workers hold one task at a time and request the next on
-//!   completion.
-//! * GPUs keep **two** tasks in flight (current + prefetched), which is
-//!   what lets the stream pipeline overlap the next block's transfer with
-//!   the current kernel — the reason the HSGD\* grid has `2·n_g` extra
-//!   columns.
+//! * Every device keeps [`Device::queue_depth`] tasks in flight: CPU
+//!   workers hold one and request the next on completion; GPUs keep
+//!   **two** (current + prefetched), which is what lets the stream
+//!   pipeline overlap the next block's transfer with the current kernel —
+//!   the reason the HSGD\* grid has `2·n_g` extra columns.
 //! * Every task executes real SGD arithmetic on the shared model at
 //!   dispatch; its completion event fires at the modeled time. Because
 //!   concurrently scheduled tasks are independent (disjoint factor rows),
@@ -18,155 +19,102 @@
 //! virtual-time interval), producing the RMSE-over-time series of
 //! Figs. 12–13; an optional RMSE target stops the run early, the
 //! measurement protocol of Sec. VII-A.
+//!
+//! The same schedulers run on real OS threads through
+//! [`crate::runtime`] — see ARCHITECTURE.md § "Execution layers".
 
 use std::collections::VecDeque;
 
 use mf_des::{Engine, EngineHandle, SimTime};
-use mf_sgd::{eval, Model};
-use mf_sparse::{BlockOrder, GridPartition, SparseMatrix};
+use mf_sgd::Model;
+use mf_sparse::SparseMatrix;
 
 use crate::config::HeteroConfig;
-use crate::devices::{CpuWorker, GpuWorker};
+use crate::devices::CpuWorker;
+use crate::executor::{
+    train_with_executor, Device, ExecContext, ExecOutcome, Executor, ProbeState,
+};
 use crate::scheduler::{BlockScheduler, Task, WorkerClass};
-use crate::stats::RunReport;
 
-/// The devices participating in a run.
-pub struct DevicePool {
-    /// Number of CPU worker threads.
-    pub cpu_workers: usize,
-    /// GPU devices (may be empty).
-    pub gpus: Vec<GpuWorker>,
-    /// Virtual time at which each GPU becomes available (bulk-load delay
-    /// for the fully resident GPU-Only regime; zero otherwise).
-    pub gpu_start: Vec<SimTime>,
-}
-
-/// A finished run: the trained model plus its report.
-pub struct TrainOutcome {
-    /// The trained factor model.
-    pub model: Model,
-    /// Everything measured during the run.
-    pub report: RunReport,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Dev {
-    Cpu(usize),
-    Gpu(usize),
-}
+pub use crate::executor::{DevicePool, TrainOutcome};
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Kick(Dev),
-    Finish(Dev),
+    Kick(usize),
+    Finish(usize),
     Probe,
 }
 
-struct Sim<'a, S: BlockScheduler, H: FnMut(u64, &Model)> {
-    cfg: &'a HeteroConfig,
-    test: &'a SparseMatrix,
-    part: GridPartition,
-    scheduler: S,
-    model: Model,
-    /// Called once per completed epoch with `(epoch, &model)` — the
-    /// checkpoint hook (`mf-serve::checkpoint::epoch_hook` plugs in
-    /// here).
-    epoch_hook: H,
-    cpu: CpuWorker,
-    cpu_current: Vec<Option<Task>>,
-    gpus: Vec<GpuWorker>,
-    gpu_inflight: Vec<VecDeque<Task>>,
-    // Statistics.
+/// One virtual device plus its in-flight window and identity.
+struct Slot {
+    dev: Box<dyn Device>,
+    class: WorkerClass,
+    inflight: VecDeque<Task>,
+}
+
+struct Sim<'a, 'b> {
+    ctx: &'b mut ExecContext<'a>,
+    /// CPU slots first (`0..ncpu`), then GPU slots — the same index space
+    /// the events carry.
+    slots: Vec<Slot>,
+    ncpu: usize,
+    probes: ProbeState,
     cpu_points: u64,
     gpu_points: u64,
     cpu_busy: f64,
     gpu_busy: f64,
-    rmse_series: Vec<(f64, f64)>,
-    time_to_target: Option<f64>,
-    stopped: bool,
-    last_boundary: u64,
-    nblocks: u64,
     end_time: SimTime,
 }
 
-impl<S: BlockScheduler, H: FnMut(u64, &Model)> Sim<'_, S, H> {
+impl Sim<'_, '_> {
     fn is_drained(&self) -> bool {
-        self.cpu_current.iter().all(|c| c.is_none())
-            && self.gpu_inflight.iter().all(|q| q.is_empty())
+        self.slots.iter().all(|s| s.inflight.is_empty())
     }
 
     fn is_done(&self) -> bool {
-        (self.scheduler.remaining() == 0 || self.stopped) && self.is_drained()
+        (self.ctx.scheduler.remaining() == 0 || self.probes.stopped) && self.is_drained()
     }
 
-    fn probe(&mut self, now: SimTime) {
-        let rmse = eval::rmse(&self.model, self.test);
-        self.rmse_series.push((now.as_secs(), rmse));
-        if let Some(target) = self.cfg.target_rmse {
-            if rmse <= target && self.time_to_target.is_none() {
-                self.time_to_target = Some(now.as_secs());
-                self.stopped = true;
-            }
-        }
-    }
-
-    fn maybe_probe_boundary(&mut self, now: SimTime) {
-        let boundary = self.scheduler.completed() / self.nblocks.max(1);
-        if boundary > self.last_boundary {
-            self.last_boundary = boundary;
-            self.probe(now);
-            (self.epoch_hook)(boundary, &self.model);
-        }
-    }
-
-    fn dispatch_cpu(&mut self, i: usize, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
-        if self.stopped || self.cpu_current[i].is_some() {
+    fn dispatch(&mut self, i: usize, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
+        if self.probes.stopped {
             return;
         }
-        if let Some(task) = self.scheduler.next_task(WorkerClass::Cpu, &self.part) {
-            let gamma = self.cfg.hyper.gamma_at(task.pass);
-            let (dur, _sq) =
-                self.cpu
-                    .process(&mut self.model, &self.part, &task, gamma, &self.cfg.hyper);
-            self.cpu_busy += dur.as_secs();
-            self.cpu_points += task.points as u64;
-            self.cpu_current[i] = Some(task);
-            h.schedule(now + dur, Ev::Finish(Dev::Cpu(i)));
-        }
-    }
-
-    fn dispatch_gpu(&mut self, g: usize, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
-        if self.stopped {
-            return;
-        }
-        while self.gpu_inflight[g].len() < 2 {
-            let Some(task) = self
-                .scheduler
-                .next_task(WorkerClass::Gpu(g as u32), &self.part)
-            else {
+        let slot = &mut self.slots[i];
+        while slot.inflight.len() < slot.dev.queue_depth() {
+            let Some(task) = self.ctx.scheduler.next_task(slot.class, self.ctx.part) else {
                 break;
             };
-            let gamma = self.cfg.hyper.gamma_at(task.pass);
-            let (cost, _sq) = self.gpus[g].process(
+            let gamma = self.ctx.cfg.hyper.gamma_at(task.pass);
+            let comp = slot.dev.process(
                 now,
-                &mut self.model,
-                &self.part,
+                self.ctx.model,
+                self.ctx.part,
                 &task,
                 gamma,
-                &self.cfg.hyper,
+                &self.ctx.cfg.hyper,
             );
-            if std::env::var("HSGD_TRACE").is_ok() {
-                eprintln!(
-                    "GPU{} assign t={:.6} pts={} h2d={:.6} kern={:.6} d2h={:.6} h2d_done={:.6} kdone={:.6} done={:.6}",
-                    g, now.as_secs(), task.points,
-                    cost.t_h2d.as_secs(), cost.t_kernel.as_secs(), cost.t_d2h.as_secs(),
-                    cost.times.h2d_done.as_secs(), cost.times.kernel_done.as_secs(), cost.times.done.as_secs()
-                );
+            match slot.class {
+                WorkerClass::Cpu => {
+                    self.cpu_busy += comp.busy_secs;
+                    self.cpu_points += task.points as u64;
+                }
+                WorkerClass::Gpu(g) => {
+                    self.gpu_busy += comp.busy_secs;
+                    self.gpu_points += task.points as u64;
+                    if let Some(cost) = &comp.cost {
+                        if std::env::var("HSGD_TRACE").is_ok() {
+                            eprintln!(
+                                "GPU{} assign t={:.6} pts={} h2d={:.6} kern={:.6} d2h={:.6} h2d_done={:.6} kdone={:.6} done={:.6}",
+                                g, now.as_secs(), task.points,
+                                cost.t_h2d.as_secs(), cost.t_kernel.as_secs(), cost.t_d2h.as_secs(),
+                                cost.times.h2d_done.as_secs(), cost.times.kernel_done.as_secs(), cost.times.done.as_secs()
+                            );
+                        }
+                    }
+                }
             }
-            self.gpu_busy += cost.t_kernel.as_secs();
-            self.gpu_points += task.points as u64;
-            self.gpu_inflight[g].push_back(task);
-            h.schedule(cost.times.done, Ev::Finish(Dev::Gpu(g)));
+            slot.inflight.push_back(task);
+            h.schedule(comp.done, Ev::Finish(i));
         }
     }
 
@@ -176,33 +124,37 @@ impl<S: BlockScheduler, H: FnMut(u64, &Model)> Sim<'_, S, H> {
         // workers first lets a finishing CPU instantly re-occupy whatever
         // it (or a neighbor) just released, and a waiting GPU can then
         // starve behind 16 threads churning small blocks.
-        for g in 0..self.gpus.len() {
-            self.dispatch_gpu(g, now, h);
+        for i in self.ncpu..self.slots.len() {
+            self.dispatch(i, now, h);
         }
-        for i in 0..self.cpu_current.len() {
-            self.dispatch_cpu(i, now, h);
+        for i in 0..self.ncpu {
+            self.dispatch(i, now, h);
         }
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, h: &mut EngineHandle<'_, Ev>) {
         match ev {
-            Ev::Kick(Dev::Cpu(i)) => self.dispatch_cpu(i, now, h),
-            Ev::Kick(Dev::Gpu(g)) => self.dispatch_gpu(g, now, h),
-            Ev::Finish(dev) => {
-                let task = match dev {
-                    Dev::Cpu(i) => self.cpu_current[i].take().expect("CPU finish without task"),
-                    Dev::Gpu(g) => self.gpu_inflight[g]
-                        .pop_front()
-                        .expect("GPU finish without task"),
-                };
-                self.scheduler.release(&task);
+            Ev::Kick(i) => self.dispatch(i, now, h),
+            Ev::Finish(i) => {
+                let task = self.slots[i]
+                    .inflight
+                    .pop_front()
+                    .expect("device finish without a task in flight");
+                self.ctx.scheduler.release(&task);
                 self.end_time = self.end_time.max(now);
-                self.maybe_probe_boundary(now);
+                self.probes.at_boundary(
+                    self.ctx.scheduler.completed(),
+                    now.as_secs(),
+                    self.ctx.model,
+                    self.ctx.test,
+                    self.ctx.epoch_hook,
+                );
                 self.dispatch_all(now, h);
             }
             Ev::Probe => {
-                self.probe(now);
-                if let Some(interval) = self.cfg.probe_interval_secs {
+                self.probes
+                    .probe(now.as_secs(), self.ctx.model, self.ctx.test);
+                if let Some(interval) = self.ctx.cfg.probe_interval_secs {
                     if !self.is_done() {
                         h.schedule_after(SimTime::from_secs(interval), Ev::Probe);
                     }
@@ -212,9 +164,111 @@ impl<S: BlockScheduler, H: FnMut(u64, &Model)> Sim<'_, S, H> {
     }
 }
 
-/// Runs a full training simulation. `alpha_planned` and `label` flow into
-/// the report.
-pub fn run_training<S: BlockScheduler>(
+/// The virtual-time (discrete-event simulation) execution world.
+///
+/// Durations come from calibrated performance models; arithmetic is real.
+/// Runs are bit-for-bit reproducible because the event order is fully
+/// deterministic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VirtualExecutor;
+
+impl VirtualExecutor {
+    /// Creates the DES world.
+    pub fn new() -> VirtualExecutor {
+        VirtualExecutor
+    }
+}
+
+impl Executor for VirtualExecutor {
+    fn name(&self) -> &'static str {
+        "virtual-time DES"
+    }
+
+    fn execute(&mut self, mut ctx: ExecContext<'_>) -> ExecOutcome {
+        let nblocks = ctx.scheduler.spec().block_count() as u64;
+        let cpu_workers = ctx.pool.cpu_workers;
+        let cpu_spec = ctx.cfg.cpu;
+        let gpu_start = std::mem::take(&mut ctx.pool.gpu_start);
+        let mut slots: Vec<Slot> = (0..cpu_workers)
+            .map(|_| Slot {
+                dev: Box::new(CpuWorker { spec: cpu_spec }),
+                class: WorkerClass::Cpu,
+                inflight: VecDeque::new(),
+            })
+            .collect();
+        for (g, gpu) in std::mem::take(&mut ctx.pool.gpus).into_iter().enumerate() {
+            slots.push(Slot {
+                dev: Box::new(gpu),
+                class: WorkerClass::Gpu(g as u32),
+                inflight: VecDeque::new(),
+            });
+        }
+
+        let probe_interval = ctx.cfg.probe_interval_secs;
+        let target = ctx.cfg.target_rmse;
+        let mut sim = Sim {
+            slots,
+            ncpu: cpu_workers,
+            probes: ProbeState::new(nblocks, target),
+            cpu_points: 0,
+            gpu_points: 0,
+            cpu_busy: 0.0,
+            gpu_busy: 0.0,
+            end_time: SimTime::ZERO,
+            ctx: &mut ctx,
+        };
+
+        // Baseline probe before any update. Early-exit: if the initial
+        // model already satisfies the target, no training happens.
+        sim.probes.probe(0.0, sim.ctx.model, sim.ctx.test);
+        let mut engine: Engine<Ev> = Engine::new();
+        if !sim.probes.stopped {
+            for i in 0..cpu_workers {
+                engine.schedule(SimTime::ZERO, Ev::Kick(i));
+            }
+            for g in cpu_workers..sim.slots.len() {
+                let start = gpu_start
+                    .get(g - cpu_workers)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                engine.schedule(start, Ev::Kick(g));
+            }
+            if let Some(interval) = probe_interval {
+                engine.schedule(SimTime::from_secs(interval), Ev::Probe);
+            }
+        }
+
+        let mut handler = |now: SimTime, ev: Ev, h: &mut EngineHandle<'_, Ev>| {
+            sim.handle(now, ev, h);
+        };
+        while engine.step(&mut handler) {}
+
+        assert!(
+            sim.ctx.scheduler.remaining() == 0 || sim.probes.stopped,
+            "trainer deadlock: {} passes unassigned with all devices idle",
+            sim.ctx.scheduler.remaining()
+        );
+
+        let end = sim.end_time.as_secs();
+        let final_rmse = sim.probes.finish(end, sim.ctx.model, sim.ctx.test);
+        ExecOutcome {
+            end_secs: end,
+            rmse_series: std::mem::take(&mut sim.probes.series),
+            time_to_target_secs: sim.probes.time_to_target,
+            final_rmse,
+            cpu_points: sim.cpu_points,
+            gpu_points: sim.gpu_points,
+            cpu_busy_secs: sim.cpu_busy,
+            gpu_busy_secs: sim.gpu_busy,
+            ended_early: sim.probes.stopped,
+            measured: None,
+        }
+    }
+}
+
+/// Runs a full training simulation in virtual time. `alpha_planned` and
+/// `label` flow into the report.
+pub fn run_training<S: BlockScheduler + Send>(
     train: &SparseMatrix,
     test: &SparseMatrix,
     scheduler: S,
@@ -245,7 +299,7 @@ pub fn run_training<S: BlockScheduler>(
 /// epoch-boundary state, not a racy snapshot. Runs stopped early by
 /// `target_rmse` stop emitting epochs at the stop point.
 #[allow(clippy::too_many_arguments)]
-pub fn run_training_with_hook<S: BlockScheduler, H: FnMut(u64, &Model)>(
+pub fn run_training_with_hook<S: BlockScheduler + Send, H: FnMut(u64, &Model)>(
     train: &SparseMatrix,
     test: &SparseMatrix,
     scheduler: S,
@@ -255,110 +309,24 @@ pub fn run_training_with_hook<S: BlockScheduler, H: FnMut(u64, &Model)>(
     label: &str,
     epoch_hook: H,
 ) -> TrainOutcome {
-    // User-major within each block: consecutive updates reuse the same
-    // cache-resident `P` row (see `BlockOrder::UserMajor`).
-    let part =
-        GridPartition::build_with_order(train, scheduler.spec().clone(), BlockOrder::UserMajor);
-    let nblocks = scheduler.spec().block_count() as u64;
-    let model = Model::init_for_ratings(
-        train.nrows(),
-        train.ncols(),
-        cfg.hyper.k,
-        cfg.seed,
-        train.mean_rating(),
-    );
-
-    let n_gpus = pool.gpus.len();
-    let mut sim = Sim {
-        cfg,
+    let mut exec = VirtualExecutor::new();
+    train_with_executor(
+        train,
         test,
-        part,
         scheduler,
-        model,
-        epoch_hook,
-        cpu: CpuWorker { spec: cfg.cpu },
-        cpu_current: vec![None; pool.cpu_workers],
-        gpus: pool.gpus,
-        gpu_inflight: (0..n_gpus).map(|_| VecDeque::new()).collect(),
-        cpu_points: 0,
-        gpu_points: 0,
-        cpu_busy: 0.0,
-        gpu_busy: 0.0,
-        rmse_series: Vec::new(),
-        time_to_target: None,
-        stopped: false,
-        last_boundary: 0,
-        nblocks,
-        end_time: SimTime::ZERO,
-    };
-
-    // Baseline probe before any update.
-    sim.probe(SimTime::ZERO);
-    // Early-exit: if the initial model already satisfies the target, no
-    // training happens.
-    let mut engine: Engine<Ev> = Engine::new();
-    if !sim.stopped {
-        for i in 0..pool.cpu_workers {
-            engine.schedule(SimTime::ZERO, Ev::Kick(Dev::Cpu(i)));
-        }
-        for g in 0..n_gpus {
-            let start = pool.gpu_start.get(g).copied().unwrap_or(SimTime::ZERO);
-            engine.schedule(start, Ev::Kick(Dev::Gpu(g)));
-        }
-        if let Some(interval) = cfg.probe_interval_secs {
-            engine.schedule(SimTime::from_secs(interval), Ev::Probe);
-        }
-    }
-
-    let mut handler = |now: SimTime, ev: Ev, h: &mut EngineHandle<'_, Ev>| {
-        sim.handle(now, ev, h);
-    };
-    while engine.step(&mut handler) {}
-    drop(handler);
-
-    assert!(
-        sim.scheduler.remaining() == 0 || sim.stopped,
-        "trainer deadlock: {} passes unassigned with all devices idle",
-        sim.scheduler.remaining()
-    );
-
-    // Final probe at the end time.
-    let end = sim.end_time;
-    let final_rmse = eval::rmse(&sim.model, test);
-    if sim
-        .rmse_series
-        .last()
-        .is_none_or(|&(t, _)| t < end.as_secs())
-    {
-        sim.rmse_series.push((end.as_secs(), final_rmse));
-    }
-
-    let report = RunReport {
-        algorithm: label.to_string(),
-        virtual_secs: end.as_secs(),
-        time_to_target_secs: sim.time_to_target,
-        final_test_rmse: final_rmse,
-        rmse_series: sim.rmse_series,
-        update_counts: sim.scheduler.counts().to_vec(),
+        pool,
+        cfg,
         alpha_planned,
-        gpu_points: sim.gpu_points,
-        cpu_points: sim.cpu_points,
-        steals: sim.scheduler.steals(),
-        cpu_busy_secs: sim.cpu_busy,
-        gpu_busy_secs: sim.gpu_busy,
-        iterations: cfg.iterations,
-        total_passes: sim.scheduler.completed(),
-    };
-    TrainOutcome {
-        model: sim.model,
-        report,
-    }
+        label,
+        epoch_hook,
+        &mut exec,
+    )
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{CostModelKind, CpuSpec};
+    use crate::devices::GpuWorker;
     use crate::layout::uniform_layout;
     use crate::scheduler::UniformScheduler;
     use mf_sgd::HyperParams;

@@ -19,6 +19,10 @@
 //! * [`alpha`] — the workload-split solver of Eq. 8:
 //!   `α = argmin |T_g(α)/n_g − T_c(1−α)/n_c|` by bisection on the
 //!   monotone balance function.
+//! * [`observe`] — the online half of the loop: per-task `(size, secs)`
+//!   wall-time recording during real execution, refit into the same
+//!   linear family so measured throughputs can replace assumed ones
+//!   (live steal-ratio feedback, measured-α reporting).
 //!
 //! All fitted models serialize with serde — the offline phase "can be
 //! performed only once on a machine, and the corresponding parameters are
@@ -28,7 +32,9 @@ pub mod alpha;
 pub mod calibrate;
 pub mod fit;
 pub mod models;
+pub mod observe;
 pub mod piecewise;
 
 pub use alpha::balance_alpha;
 pub use models::{CostModel, GpuCost, LinearCost, RampCost};
+pub use observe::ThroughputObserver;

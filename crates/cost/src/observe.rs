@@ -1,0 +1,156 @@
+//! Online throughput observation — the feedback half of the cost-model
+//! loop.
+//!
+//! The offline phase ([`crate::calibrate`]) fits cost models from probe
+//! measurements *before* training. This module records what a device
+//! actually did *during* training — `(workload size, wall seconds)` per
+//! completed task — so the running system can replace assumed throughputs
+//! with measured ones: the real-thread trainer feeds the observed rates
+//! back into `StarScheduler`'s dynamic steal ratio, and at the end of a
+//! run the samples are refit into the same [`LinearCost`] family the α
+//! solver consumes, yielding a *measured* workload split to compare
+//! against the planned one.
+
+use crate::fit;
+use crate::models::LinearCost;
+
+/// Records per-task `(size, secs)` samples for one device class and
+/// derives rates and fitted cost models from them.
+///
+/// Recording is O(1) per sample plus an appended pair for the end-of-run
+/// fit; all derived quantities are computed on demand.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputObserver {
+    samples: Vec<(f64, f64)>,
+    total_size: f64,
+    total_secs: f64,
+}
+
+impl ThroughputObserver {
+    /// An empty observer.
+    pub fn new() -> ThroughputObserver {
+        ThroughputObserver::default()
+    }
+
+    /// Records one completed task: `size` work units took `secs` wall
+    /// seconds. Non-finite or non-positive measurements are ignored (a
+    /// clock hiccup must not poison the fit).
+    pub fn record(&mut self, size: f64, secs: f64) {
+        if !(size.is_finite() && secs.is_finite()) || size <= 0.0 || secs <= 0.0 {
+            return;
+        }
+        self.samples.push((size, secs));
+        self.total_size += size;
+        self.total_secs += secs;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Aggregate throughput in units/second over everything recorded —
+    /// the robust single number used for live feedback (one bad sample
+    /// cannot swing it the way a per-sample rate could).
+    pub fn mean_rate(&self) -> Option<f64> {
+        if self.total_secs > 0.0 && self.total_size > 0.0 {
+            Some(self.total_size / self.total_secs)
+        } else {
+            None
+        }
+    }
+
+    /// Fits `t = a·size + b` over the recorded samples by OLS — the same
+    /// linear family the α solver and Table II consume. Returns `None`
+    /// when the samples cannot support a fit: fewer than
+    /// [`ThroughputObserver::MIN_FIT_SAMPLES`] points, or all sizes
+    /// (nearly) coincident, which would make the regression degenerate.
+    pub fn fit_linear(&self) -> Option<LinearCost> {
+        if self.samples.len() < Self::MIN_FIT_SAMPLES {
+            return None;
+        }
+        let min_x = self
+            .samples
+            .iter()
+            .map(|s| s.0)
+            .fold(f64::INFINITY, f64::min);
+        let max_x = self
+            .samples
+            .iter()
+            .map(|s| s.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_x - min_x <= 1e-9 * (max_x.abs() + 1.0) {
+            return None;
+        }
+        let f = fit::ols(&self.samples);
+        Some(LinearCost::new(f.a, f.b))
+    }
+
+    /// Minimum sample count before [`ThroughputObserver::fit_linear`]
+    /// reports a model.
+    pub const MIN_FIT_SAMPLES: usize = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CostModel;
+
+    #[test]
+    fn mean_rate_aggregates() {
+        let mut o = ThroughputObserver::new();
+        o.record(100.0, 1.0);
+        o.record(300.0, 1.0);
+        assert_eq!(o.len(), 2);
+        assert!((o.mean_rate().unwrap() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_samples_are_ignored() {
+        let mut o = ThroughputObserver::new();
+        o.record(0.0, 1.0);
+        o.record(10.0, 0.0);
+        o.record(f64::NAN, 1.0);
+        o.record(10.0, f64::INFINITY);
+        assert!(o.is_empty());
+        assert_eq!(o.mean_rate(), None);
+        assert_eq!(o.fit_linear(), None);
+    }
+
+    #[test]
+    fn fit_recovers_planted_line() {
+        let mut o = ThroughputObserver::new();
+        // t = 2e-6·size + 1e-3, sizes spread over a decade.
+        for i in 1..=10 {
+            let size = (i * 1000) as f64;
+            o.record(size, 2e-6 * size + 1e-3);
+        }
+        let m = o.fit_linear().expect("well-spread samples must fit");
+        assert!((m.a - 2e-6).abs() < 1e-12);
+        assert!((m.b - 1e-3).abs() < 1e-9);
+        assert!((m.time_secs(5000.0) - (2e-6 * 5000.0 + 1e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes_refuse_to_fit() {
+        let mut o = ThroughputObserver::new();
+        for _ in 0..10 {
+            o.record(1000.0, 0.5);
+        }
+        assert_eq!(o.fit_linear(), None, "coincident sizes cannot fit a line");
+        assert!(o.mean_rate().is_some(), "the rate is still well-defined");
+    }
+
+    #[test]
+    fn too_few_samples_refuse_to_fit() {
+        let mut o = ThroughputObserver::new();
+        o.record(1.0, 1.0);
+        o.record(2.0, 2.0);
+        assert!(o.fit_linear().is_none());
+    }
+}

@@ -30,12 +30,13 @@ pub fn stability_index(samples: &[(f64, f64)], eps: f64) -> usize {
     idx
 }
 
+/// The two stages of a split sample set plus the threshold:
+/// `(ramp samples, plateau samples, τ)`.
+pub type SplitSamples = (Vec<(f64, f64)>, Vec<(f64, f64)>, f64);
+
 /// Splits samples into (ramp, plateau) at the stability threshold. The
 /// threshold sample belongs to both stages so each side has an anchor.
-pub fn split_at_stability(
-    samples: &[(f64, f64)],
-    eps: f64,
-) -> (Vec<(f64, f64)>, Vec<(f64, f64)>, f64) {
+pub fn split_at_stability(samples: &[(f64, f64)], eps: f64) -> SplitSamples {
     let idx = stability_index(samples, eps);
     let tau = samples[idx].0;
     let ramp: Vec<(f64, f64)> = samples[..=idx].to_vec();

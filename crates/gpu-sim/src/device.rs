@@ -3,7 +3,7 @@
 use std::ops::Range;
 
 use mf_des::SimTime;
-use mf_sgd::Model;
+use mf_sgd::{Model, SharedModel};
 use mf_sparse::{BlockSlices, Rating};
 
 use crate::kernel_model::KernelModel;
@@ -172,6 +172,43 @@ impl GpuDevice {
         lambda_p: f32,
         lambda_q: f32,
     ) -> Result<(BlockCost, f64), GpuMemError> {
+        let shared = SharedModel::new(model);
+        // SAFETY: `model` is exclusively borrowed for the whole call.
+        unsafe {
+            self.process_task_shared(
+                now, &shared, slices, p_rows, q_cols, gamma, lambda_p, lambda_q,
+            )
+        }
+    }
+
+    /// [`GpuDevice::process_task`] through a [`SharedModel`] view — the
+    /// real-thread entry point: a GPU worker thread updates rows the
+    /// block scheduler reserved for this task while CPU workers run
+    /// concurrently on disjoint rows. Timing/memory accounting is
+    /// identical to the `&mut Model` path.
+    ///
+    /// # Safety
+    ///
+    /// For the duration of the call, no other thread may access the
+    /// factor rows of any user or item appearing in `slices` (the
+    /// scheduler's conflict-freedom invariant for an in-flight task).
+    ///
+    /// # Errors
+    ///
+    /// Fails (without side effects) if the task footprint exceeds device
+    /// memory.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn process_task_shared(
+        &mut self,
+        now: SimTime,
+        model: &SharedModel<'_>,
+        slices: &[BlockSlices<'_>],
+        p_rows: Range<u32>,
+        q_cols: Range<u32>,
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> Result<(BlockCost, f64), GpuMemError> {
         let k = model.k() as u64;
         let total_points: usize = slices.iter().map(|s| s.len()).sum();
         let block_bytes = (total_points * Rating::WIRE_BYTES) as u64;
@@ -199,9 +236,11 @@ impl GpuDevice {
         // Real arithmetic, slice by slice.
         let mut sq_err = 0.0;
         for slice in slices {
-            sq_err += self
-                .kernel
-                .execute(model, *slice, gamma, lambda_p, lambda_q);
+            // SAFETY: forwarded caller contract.
+            sq_err += unsafe {
+                self.kernel
+                    .execute_shared(model, *slice, gamma, lambda_p, lambda_q)
+            };
         }
         self.points_processed += total_points as u64;
 
@@ -233,6 +272,29 @@ impl GpuDevice {
         lambda_p: f32,
         lambda_q: f32,
     ) -> (BlockCost, f64) {
+        let shared = SharedModel::new(model);
+        // SAFETY: `model` is exclusively borrowed for the whole call.
+        unsafe {
+            self.process_task_resident_shared(now, &shared, slices, gamma, lambda_p, lambda_q)
+        }
+    }
+
+    /// [`GpuDevice::process_task_resident`] through a [`SharedModel`]
+    /// view (see [`GpuDevice::process_task_shared`] for when that is
+    /// needed).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`GpuDevice::process_task_shared`].
+    pub unsafe fn process_task_resident_shared(
+        &mut self,
+        now: SimTime,
+        model: &SharedModel<'_>,
+        slices: &[BlockSlices<'_>],
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> (BlockCost, f64) {
         let total_points: usize = slices.iter().map(|s| s.len()).sum();
         let t_kernel = self.kernel_model.time_for(total_points as u64);
         let times = self
@@ -240,9 +302,11 @@ impl GpuDevice {
             .submit(now, SimTime::ZERO, t_kernel, SimTime::ZERO);
         let mut sq_err = 0.0;
         for slice in slices {
-            sq_err += self
-                .kernel
-                .execute(model, *slice, gamma, lambda_p, lambda_q);
+            // SAFETY: forwarded caller contract.
+            sq_err += unsafe {
+                self.kernel
+                    .execute_shared(model, *slice, gamma, lambda_p, lambda_q)
+            };
         }
         self.points_processed += total_points as u64;
         (

@@ -11,7 +11,7 @@
 //! The optional half-precision mode rounds every factor read and write
 //! through IEEE 754 binary16, emulating cuMF's `__half` storage.
 
-use mf_sgd::{kernel, Model};
+use mf_sgd::{kernel, Model, SharedModel};
 use mf_sparse::BlockSlices;
 
 use crate::spec::GpuSpec;
@@ -96,6 +96,31 @@ impl SimtKernel {
         lambda_p: f32,
         lambda_q: f32,
     ) -> f64 {
+        let shared = SharedModel::new(model);
+        // SAFETY: `model` is exclusively borrowed for the whole call, so
+        // no other thread can touch any factor row.
+        unsafe { self.execute_shared(&shared, block, gamma, lambda_p, lambda_q) }
+    }
+
+    /// [`SimtKernel::execute`] through a [`SharedModel`] view — the entry
+    /// point for real-thread runtimes where a GPU worker thread updates
+    /// factor rows the block scheduler has reserved for it while other
+    /// workers run concurrently on disjoint rows.
+    ///
+    /// # Safety
+    ///
+    /// For the duration of the call, no other thread may access the
+    /// factor rows of any user or item appearing in `block` — exactly the
+    /// conflict-freedom guarantee the FPSGD/HSGD\* schedulers provide for
+    /// an in-flight task.
+    pub unsafe fn execute_shared(
+        &self,
+        model: &SharedModel<'_>,
+        block: BlockSlices<'_>,
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f64 {
         if block.is_empty() {
             return 0.0;
         }
@@ -110,7 +135,9 @@ impl SimtKernel {
                     continue;
                 }
                 let e = block.get(idx);
-                let (p, q) = model.pq_rows_mut(e.u, e.v);
+                // SAFETY: rows reserved for us (caller contract); the
+                // pair is dropped before the next one is formed.
+                let (p, q) = unsafe { model.pq_rows_unchecked(e.u, e.v) };
                 if self.half_precision {
                     for x in p.iter_mut() {
                         *x = f16_round(*x);
@@ -119,9 +146,8 @@ impl SimtKernel {
                         *x = f16_round(*x);
                     }
                 }
-                let err = kernel::sgd_step(p, q, e.r, gamma, lambda_p, lambda_q);
+                let err = kernel::sgd_step(&mut *p, &mut *q, e.r, gamma, lambda_p, lambda_q);
                 if self.half_precision {
-                    let (p, q) = model.pq_rows_mut(e.u, e.v);
                     for x in p.iter_mut() {
                         *x = f16_round(*x);
                     }

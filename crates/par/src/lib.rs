@@ -32,4 +32,4 @@ pub use ops::{
     chunk_map_reduce, for_each_bounded_mut, for_each_chunk, for_each_chunk_mut,
     stable_counting_scatter, ScatterSlice, DEFAULT_CHUNK,
 };
-pub use pool::ThreadPool;
+pub use pool::{effective_parallelism, in_pool, ThreadPool};

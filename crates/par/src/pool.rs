@@ -295,6 +295,25 @@ fn default_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
+/// The process-wide parallelism budget every thread-spawning layer in the
+/// workspace must respect: `MF_PAR_THREADS` when set (≥ 1), else
+/// `available_parallelism`. [`ThreadPool::global`] is sized by this value,
+/// and code that spawns its own threads (e.g. the real-thread trainer
+/// runtime) clamps its worker count to it so the process never
+/// oversubscribes the budget.
+pub fn effective_parallelism() -> usize {
+    default_threads()
+}
+
+/// True while the current thread is executing inside an mf-par batch —
+/// either as a pool worker or as a caller participating in its own batch.
+/// Layers that would otherwise spawn threads (nested fan-out) must check
+/// this and fall back to inline execution instead of stacking a second
+/// level of parallelism on top of the pool.
+pub fn in_pool() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,10 +73,11 @@ impl Indexed {
         let mut row_idx = vec![0u32; nnz];
         let mut csr_pos = vec![0usize; nnz];
         for u in 0..m {
-            for pos in row_ptr[u]..row_ptr[u + 1] {
-                let v = col_idx[pos] as usize;
+            let lo = row_ptr[u];
+            for (off, &v) in col_idx[lo..row_ptr[u + 1]].iter().enumerate() {
+                let v = v as usize;
                 row_idx[ccur[v]] = u as u32;
-                csr_pos[ccur[v]] = pos;
+                csr_pos[ccur[v]] = lo + off;
                 ccur[v] += 1;
             }
         }
@@ -114,9 +115,9 @@ where
     // Residuals in CSR entry order: e = r − p·q.
     let mut resid: Vec<f32> = Vec::with_capacity(data.nnz());
     for u in 0..m {
-        for pos in ix.row_ptr[u]..ix.row_ptr[u + 1] {
-            let v = ix.col_idx[pos];
-            resid.push(ix.val[pos] - model.predict(u as u32, v));
+        let (lo, hi) = (ix.row_ptr[u], ix.row_ptr[u + 1]);
+        for (&r, &v) in ix.val[lo..hi].iter().zip(&ix.col_idx[lo..hi]) {
+            resid.push(r - model.predict(u as u32, v));
         }
     }
 
@@ -127,9 +128,9 @@ where
             // Restore the rank-one term: r̂ = e + p_ud·q_vd.
             for u in 0..m {
                 let pud = model.p_row(u as u32)[d];
-                for pos in ix.row_ptr[u]..ix.row_ptr[u + 1] {
-                    let v = ix.col_idx[pos];
-                    resid[pos] += pud * model.q_row(v)[d];
+                let (lo, hi) = (ix.row_ptr[u], ix.row_ptr[u + 1]);
+                for (r, &v) in resid[lo..hi].iter_mut().zip(&ix.col_idx[lo..hi]) {
+                    *r += pud * model.q_row(v)[d];
                 }
             }
             // Closed-form update of the user coordinates.
@@ -141,9 +142,9 @@ where
                 }
                 let mut num = 0f64;
                 let mut den = lambda_p as f64 * (hi - lo) as f64;
-                for pos in lo..hi {
-                    let qvd = model.q_row(ix.col_idx[pos])[d] as f64;
-                    num += resid[pos] as f64 * qvd;
+                for (&r, &v) in resid[lo..hi].iter().zip(&ix.col_idx[lo..hi]) {
+                    let qvd = model.q_row(v)[d] as f64;
+                    num += r as f64 * qvd;
                     den += qvd * qvd;
                 }
                 model.p_row_mut(u as u32)[d] = (num / den) as f32;
@@ -168,9 +169,9 @@ where
             // Deflate with the refreshed coordinates.
             for u in 0..m {
                 let pud = model.p_row(u as u32)[d];
-                for pos in ix.row_ptr[u]..ix.row_ptr[u + 1] {
-                    let v = ix.col_idx[pos];
-                    resid[pos] -= pud * model.q_row(v)[d];
+                let (lo, hi) = (ix.row_ptr[u], ix.row_ptr[u + 1]);
+                for (r, &v) in resid[lo..hi].iter_mut().zip(&ix.col_idx[lo..hi]) {
+                    *r -= pud * model.q_row(v)[d];
                 }
             }
         }

@@ -154,7 +154,6 @@ pub fn train_with_report(data: &SparseMatrix, cfg: &FpsgdConfig) -> (Model, Fpsg
             });
         }
     });
-    drop(shared);
 
     let st = sched.into_inner();
     let update_counts = st.pool.counts().to_vec();

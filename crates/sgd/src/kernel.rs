@@ -98,7 +98,7 @@ pub fn dot_scalar(p: &[f32], q: &[f32]) -> f32 {
 /// compile-time-length arrays, reduced by a tree at the end.
 #[inline(always)]
 fn dot_mono<const K: usize>(p: &[f32; K], q: &[f32; K]) -> f32 {
-    const { assert!(K % LANES == 0 && K > 0) };
+    const { assert!(K.is_multiple_of(LANES) && K > 0) };
     // Seed the accumulators with the first chunk's products instead of
     // zeros: at K == LANES (k = 8) the whole dot is then just the products
     // plus the tree reduction — same op count as the scalar chain but

@@ -32,3 +32,4 @@ pub mod shared;
 
 pub use hyper::{HyperParams, LearningRate};
 pub use model::Model;
+pub use shared::SharedModel;

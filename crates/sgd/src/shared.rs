@@ -21,8 +21,11 @@ use mf_sparse::{BlockSlices, Rating};
 use crate::kernel;
 use crate::model::Model;
 
-/// Maximum latent dimension supported by the atomic (Hogwild) path, which
-/// stages factor rows in fixed stack buffers to avoid per-step allocation.
+/// Maximum latent dimension supported by the *atomic* (Hogwild) path,
+/// which stages factor rows in fixed stack buffers to avoid per-step
+/// allocation. Only [`SharedModel::sgd_step_atomic`] /
+/// [`SharedModel::sgd_block_atomic`] enforce it — the exclusive and
+/// row-view paths support any latent dimension.
 pub const MAX_ATOMIC_K: usize = 512;
 
 /// A raw view over a model's factor buffers, shareable across threads.
@@ -48,10 +51,6 @@ impl<'a> SharedModel<'a> {
     /// Creates the shared view.
     pub fn new(model: &'a mut Model) -> SharedModel<'a> {
         let (p, q, k, m, n) = model.raw_parts_mut();
-        assert!(
-            k <= MAX_ATOMIC_K,
-            "latent dimension {k} exceeds MAX_ATOMIC_K ({MAX_ATOMIC_K})"
-        );
         SharedModel {
             p,
             q,
@@ -65,6 +64,45 @@ impl<'a> SharedModel<'a> {
     /// Latent dimension.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Number of user rows (`P` height).
+    pub fn nrows(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of item rows (`Q` height).
+    pub fn ncols(&self) -> u32 {
+        self.n
+    }
+
+    /// Returns mutable views of user `u`'s `P` row and item `v`'s `Q`
+    /// row — the escape hatch for execution engines (e.g. the simulated
+    /// SIMT kernel) that need to run their own visit order over rows the
+    /// block scheduler has reserved for the calling thread.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned slices, no other thread may
+    /// access the factor rows of `u` or `v` (the scheduler's
+    /// conflict-freedom invariant provides this), and the caller must not
+    /// request an overlapping row pair while holding these. `u`/`v` must
+    /// be in bounds (checked in debug builds).
+    // `&self` → `&mut` is this type's whole point: SharedModel is an
+    // interior-mutability view (the exclusivity that normally comes from
+    // `&mut` is supplied by the scheduler invariant in the safety
+    // contract), exactly like `sgd_block_exclusive` above.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn pq_rows_unchecked(&self, u: u32, v: u32) -> (&mut [f32], &mut [f32]) {
+        debug_assert!(u < self.m && v < self.n);
+        // SAFETY: in-bounds rows of the exclusively borrowed model;
+        // exclusivity of the rows themselves is the caller's contract.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(self.p.add(u as usize * self.k), self.k),
+                std::slice::from_raw_parts_mut(self.q.add(v as usize * self.k), self.k),
+            )
+        }
     }
 
     /// Runs the SGD kernel over a whole structure-of-arrays block at full
@@ -98,9 +136,18 @@ impl<'a> SharedModel<'a> {
     /// One SGD step with every factor load/store performed as a relaxed
     /// atomic. Safe to call concurrently from any number of threads — this
     /// is the Hogwild access path. Returns the pre-update error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the latent dimension exceeds [`MAX_ATOMIC_K`] (the
+    /// stack staging buffers below are fixed-size).
     pub fn sgd_step_atomic(&self, e: Rating, gamma: f32, lambda_p: f32, lambda_q: f32) -> f32 {
         debug_assert!(e.u < self.m && e.v < self.n);
         let k = self.k;
+        assert!(
+            k <= MAX_ATOMIC_K,
+            "latent dimension {k} exceeds MAX_ATOMIC_K ({MAX_ATOMIC_K})"
+        );
         // Stage the rows in stack buffers via relaxed atomic loads.
         let mut pu = [0f32; MAX_ATOMIC_K];
         let mut qv = [0f32; MAX_ATOMIC_K];
@@ -247,8 +294,31 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "MAX_ATOMIC_K")]
-    fn oversized_k_rejected() {
+    fn oversized_k_rejected_by_atomic_path() {
         let mut m = Model::constant(1, 1, MAX_ATOMIC_K + 1, 0.0);
-        let _ = SharedModel::new(&mut m);
+        let shared = SharedModel::new(&mut m);
+        let _ = shared.sgd_step_atomic(Rating::new(0, 0, 1.0), 0.01, 0.0, 0.0);
+    }
+
+    #[test]
+    fn oversized_k_fine_on_exclusive_path() {
+        // Only the atomic path stages rows in MAX_ATOMIC_K buffers; the
+        // exclusive path (and everything built on it, e.g. the SIMT
+        // kernel) must support any latent dimension.
+        let k = MAX_ATOMIC_K + 8;
+        let mut a = Model::init(2, 2, k, 3);
+        let mut b = a.clone();
+        let block = vec![Rating::new(0, 1, 3.0)];
+        let soa = SoaRatings::from_entries(&block);
+        let mut direct_sq = 0.0;
+        for e in &block {
+            let (p, q) = a.pq_rows_mut(e.u, e.v);
+            let err = kernel::sgd_step(p, q, e.r, 0.01, 0.05, 0.05);
+            direct_sq += (err as f64) * (err as f64);
+        }
+        let shared = SharedModel::new(&mut b);
+        let shared_sq = unsafe { shared.sgd_block_exclusive(soa.as_slices(), 0.01, 0.05, 0.05) };
+        assert_eq!(a, b);
+        assert_eq!(direct_sq, shared_sq);
     }
 }

@@ -12,6 +12,10 @@
 //! * [`hetero::experiments::run`] — run any of the paper's six algorithm
 //!   variants on a train/test pair and get a trained model plus a full
 //!   run report.
+//! * [`hetero::runtime::run_training_real`] — the same schedulers on
+//!   real OS threads: deterministic exclusive rounds or free-running
+//!   relaxed workers, with measured throughputs fed back into the cost
+//!   models.
 //! * [`data::preset`] — the Table I benchmark datasets (synthetic
 //!   stand-ins at configurable scale).
 //! * [`sgd`] — the single-resource trainers (sequential, Hogwild, FPSGD

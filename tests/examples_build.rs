@@ -13,10 +13,11 @@ use std::path::Path;
 use std::process::Command;
 
 /// The examples this workspace ships; keep in sync with `examples/`.
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "movielens_recommender",
     "hetero_scheduling",
+    "hetero_train",
     "gpu_pipeline",
     "cost_calibration",
     "serve_topk",

@@ -1,6 +1,17 @@
 //! Property tests over the heterogeneous scheduler: for random task
 //! request/release interleavings, the conflict-freedom and accounting
-//! invariants must hold.
+//! invariants must hold — checked two ways at once:
+//!
+//! * pairwise: no two held tasks share a block-level conflict
+//!   (`BlockId::conflicts_with`), and
+//! * against an independent **band-occupancy oracle**: a plain
+//!   `row_busy`/`col_busy` bitmap maintained outside the scheduler. Every
+//!   acquire must land on bands the oracle says are free, and every
+//!   release must return exactly the bands the oracle says are held.
+//!
+//! Both schedulers are driven through every policy variant: the uniform
+//! scheduler with the per-block cap on and off, the star scheduler with
+//! dynamic stealing on and off and across steal-ratio settings.
 
 use hsgd_star::hetero::layout::StarLayout;
 use hsgd_star::hetero::scheduler::{BlockScheduler, StarScheduler, UniformScheduler, WorkerClass};
@@ -17,6 +28,66 @@ fn dense(m: u32, n: u32) -> SparseMatrix {
     SparseMatrix::new(m, n, e).unwrap()
 }
 
+/// The independent safety oracle: band-granularity occupancy, maintained
+/// from the task stream alone (no scheduler internals).
+struct OccupancyOracle {
+    row_busy: Vec<bool>,
+    col_busy: Vec<bool>,
+}
+
+impl OccupancyOracle {
+    fn new(spec: &GridSpec) -> OccupancyOracle {
+        OccupancyOracle {
+            row_busy: vec![false; spec.nrow_blocks() as usize],
+            col_busy: vec![false; spec.ncol_blocks() as usize],
+        }
+    }
+
+    /// Marks a task's bands busy, failing if any already were.
+    fn acquire(&mut self, task: &hsgd_star::hetero::scheduler::Task) -> Result<(), TestCaseError> {
+        let col = task.blocks[0].col as usize;
+        prop_assert!(
+            !self.col_busy[col],
+            "scheduler assigned column band {col} while the oracle holds it busy"
+        );
+        self.col_busy[col] = true;
+        for b in &task.blocks {
+            prop_assert_eq!(
+                b.col as usize,
+                col,
+                "multi-block task must stay in one column band"
+            );
+            let r = b.row as usize;
+            prop_assert!(
+                !self.row_busy[r],
+                "scheduler assigned row band {} while the oracle holds it busy",
+                r
+            );
+            self.row_busy[r] = true;
+        }
+        Ok(())
+    }
+
+    /// Clears a task's bands, failing if any were not held.
+    fn release(&mut self, task: &hsgd_star::hetero::scheduler::Task) -> Result<(), TestCaseError> {
+        let col = task.blocks[0].col as usize;
+        prop_assert!(
+            self.col_busy[col],
+            "released a column band the oracle thinks is free"
+        );
+        self.col_busy[col] = false;
+        for b in &task.blocks {
+            let r = b.row as usize;
+            prop_assert!(
+                self.row_busy[r],
+                "released a row band the oracle thinks is free"
+            );
+            self.row_busy[r] = false;
+        }
+        Ok(())
+    }
+}
+
 /// Drives a scheduler with a random interleaving of "request work for X"
 /// and "release the oldest held task", checking invariants throughout.
 fn drive<S: BlockScheduler>(
@@ -25,17 +96,19 @@ fn drive<S: BlockScheduler>(
     ops: &[(u8, bool)],
     workers: &[WorkerClass],
 ) -> Result<(), TestCaseError> {
+    let mut oracle = OccupancyOracle::new(sched.spec());
     let mut held: Vec<hsgd_star::hetero::scheduler::Task> = Vec::new();
     for &(widx, is_release) in ops {
         if is_release {
             if !held.is_empty() {
                 let t = held.remove(0);
+                oracle.release(&t)?;
                 sched.release(&t);
             }
         } else {
             let who = workers[widx as usize % workers.len()];
             if let Some(t) = sched.next_task(who, part) {
-                // Invariant: no conflict with any held task.
+                // Invariant 1: no block-level conflict with any held task.
                 for other in &held {
                     for a in &t.blocks {
                         for b in &other.blocks {
@@ -46,14 +119,20 @@ fn drive<S: BlockScheduler>(
                         }
                     }
                 }
+                // Invariant 2: the occupancy oracle agrees the bands were
+                // free (and now holds them).
+                oracle.acquire(&t)?;
                 held.push(t);
             }
         }
     }
     // Drain and check accounting.
     for t in held.drain(..) {
+        oracle.release(&t)?;
         sched.release(&t);
     }
+    prop_assert!(oracle.row_busy.iter().all(|&b| !b), "rows leaked");
+    prop_assert!(oracle.col_busy.iter().all(|&b| !b), "columns leaked");
     let assigned: u64 = sched.counts().iter().map(|&c| c as u64).sum();
     prop_assert_eq!(assigned, sched.completed());
     Ok(())
@@ -67,11 +146,12 @@ proptest! {
         ops in prop::collection::vec((0u8..8, prop::bool::ANY), 1..400),
         rows in 3u32..8,
         cols in 3u32..8,
+        cap_per_block in prop::bool::ANY,
     ) {
         let data = dense(32, 32);
         let spec = GridSpec::uniform(32, 32, rows, cols);
         let part = GridPartition::build(&data, spec.clone());
-        let sched = UniformScheduler::new(spec, 3, true);
+        let sched = UniformScheduler::new(spec, 3, cap_per_block);
         let workers = [WorkerClass::Cpu, WorkerClass::Gpu(0)];
         drive(sched, &part, &ops, &workers)?;
     }
@@ -83,17 +163,60 @@ proptest! {
         ng in 1u32..3,
         alpha in 0.1f64..0.9,
         dynamic in prop::bool::ANY,
+        steal_ratio in 0.0f64..4.0,
     ) {
         let data = dense(48, 48);
         let layout = StarLayout::build(&data, nc, ng, alpha);
         let part = GridPartition::build(&data, layout.spec.clone());
-        let sched = StarScheduler::new(layout, 2, dynamic);
+        let sched = StarScheduler::new(layout, 2, dynamic).with_steal_ratio(steal_ratio);
         let workers = [
             WorkerClass::Cpu,
             WorkerClass::Gpu(0),
             WorkerClass::Gpu(ng - 1),
         ];
         drive(sched, &part, &ops, &workers)?;
+    }
+
+    #[test]
+    fn star_scheduler_safe_under_measured_feedback(
+        ops in prop::collection::vec((0u8..8, prop::bool::ANY), 1..300),
+        nc in 2u32..5,
+        ng in 1u32..3,
+        alpha in 0.1f64..0.9,
+        rates in prop::collection::vec((1.0f64..1e8, 1.0f64..1e8), 1..8),
+    ) {
+        // The real-thread runtime re-derives the steal ratio from
+        // measured rates mid-run; safety must be unaffected no matter
+        // when or with what values that happens.
+        let data = dense(48, 48);
+        let layout = StarLayout::build(&data, nc, ng, alpha);
+        let part = GridPartition::build(&data, layout.spec.clone());
+        let mut sched = StarScheduler::new(layout, 2, true);
+        let mut oracle = OccupancyOracle::new(sched.spec());
+        let mut held: Vec<hsgd_star::hetero::scheduler::Task> = Vec::new();
+        let workers = [WorkerClass::Cpu, WorkerClass::Gpu(0)];
+        for (i, &(widx, is_release)) in ops.iter().enumerate() {
+            if i % 7 == 3 {
+                let (c, g) = rates[i % rates.len()];
+                sched.observe_throughput(c, g);
+                prop_assert!((sched.steal_ratio() - g / c).abs() < 1e-9);
+            }
+            if is_release {
+                if !held.is_empty() {
+                    let t = held.remove(0);
+                    oracle.release(&t)?;
+                    sched.release(&t);
+                }
+            } else if let Some(t) = sched.next_task(workers[widx as usize % 2], &part) {
+                oracle.acquire(&t)?;
+                held.push(t);
+            }
+        }
+        for t in held.drain(..) {
+            sched.release(&t);
+        }
+        let assigned: u64 = sched.counts().iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(assigned, sched.completed());
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Cross-world agreement: the real-thread runtime and the virtual-time
+//! DES trainer drive the *same* scheduler instances (built by the same
+//! `star_setup` offline phase) and must land in the same place.
+//!
+//! Pins two contracts:
+//! * **Quality agreement** — on one seeded dataset/config, the real
+//!   heterogeneous trainer's final test RMSE is within 0.05 of the
+//!   virtual-time trainer's.
+//! * **Exclusive-mode determinism** — fixed seed ⇒ bit-identical factors
+//!   for 1, 2, and 4 workers (the real-thread counterpart of the DES
+//!   reproducibility argument; see ARCHITECTURE.md § "Execution layers").
+
+use hsgd_star::hetero::experiments::{preprocess_pair, star_setup};
+use hsgd_star::hetero::runtime::{run_training_real, ExecMode, ThreadedExecutor};
+use hsgd_star::hetero::trainer::run_training;
+use hsgd_star::hetero::{CostModelKind, CpuSpec, DevicePool, HeteroConfig};
+use hsgd_star::par::ThreadPool;
+use hsgd_star::sgd::HyperParams;
+use hsgd_star::sparse::SparseMatrix;
+use mf_des::SimTime;
+
+/// Device scale mirroring the experiments tests: 1/100 of the Quadro
+/// P4000 so a ~100k-rating dataset exercises the same curve regions as
+/// the paper's full-scale runs.
+const DEV_SCALE: f64 = 100.0;
+
+fn dataset(seed: u64) -> (SparseMatrix, SparseMatrix) {
+    let ds = hsgd_star::data::generator::generate(&hsgd_star::data::GeneratorConfig {
+        name: "sim-vs-real".into(),
+        num_users: 2_000,
+        num_items: 1_000,
+        num_train: 80_000,
+        num_test: 8_000,
+        planted_rank: 4,
+        noise_std: 0.4,
+        rating_min: 1.0,
+        rating_max: 5.0,
+        user_skew: 0.4,
+        item_skew: 0.4,
+        seed,
+    });
+    (ds.train, ds.test)
+}
+
+fn cfg() -> HeteroConfig {
+    HeteroConfig {
+        hyper: HyperParams {
+            k: 8,
+            lambda_p: 0.05,
+            lambda_q: 0.05,
+            gamma: 0.01,
+            schedule: hsgd_star::sgd::LearningRate::Fixed,
+        },
+        nc: 4,
+        ng: 1,
+        gpu: hsgd_star::gpu::GpuSpec::quadro_p4000().scaled_down(DEV_SCALE),
+        cpu: CpuSpec::default().scaled_down(DEV_SCALE),
+        iterations: 6,
+        seed: 11,
+        dynamic_scheduling: true,
+        cost_model: CostModelKind::Tailored,
+        probe_interval_secs: None,
+        target_rmse: None,
+    }
+}
+
+fn pool_for(cfg: &HeteroConfig, gpus: Vec<hsgd_star::hetero::devices::GpuWorker>) -> DevicePool {
+    let ng = gpus.len();
+    DevicePool {
+        cpu_workers: cfg.nc,
+        gpus,
+        gpu_start: vec![SimTime::ZERO; ng],
+    }
+}
+
+#[test]
+fn real_hetero_rmse_agrees_with_virtual_trainer() {
+    let cfg = cfg();
+    let (train, test) = dataset(21);
+    let (train, test) = preprocess_pair(&train, &test, cfg.seed);
+
+    // Same offline phase → same scheduler type, same layout, same steal
+    // ratio — one driven by the DES world, one by real threads.
+    let virt_setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
+    let virt = run_training(
+        &train,
+        &test,
+        virt_setup.scheduler,
+        pool_for(&cfg, virt_setup.gpus),
+        &cfg,
+        Some(virt_setup.alpha),
+        "HSGD*/virtual",
+    );
+
+    for mode in [ExecMode::Relaxed, ExecMode::Exclusive] {
+        let real_setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
+        let real = run_training_real(
+            &train,
+            &test,
+            real_setup.scheduler,
+            pool_for(&cfg, real_setup.gpus),
+            &cfg,
+            mode,
+            Some(real_setup.alpha),
+            "HSGD*/real",
+        );
+        let dv = virt.report.final_test_rmse;
+        let dr = real.report.final_test_rmse;
+        assert!(
+            (dv - dr).abs() <= 0.05,
+            "{mode:?}: virtual RMSE {dv:.4} vs real RMSE {dr:.4} diverged past 0.05"
+        );
+        // Both worlds drain the full pass budget; the dynamic phase may
+        // add a few over-target (soft-cap slack) passes, and how many is
+        // timing-dependent, so exact equality is not required.
+        let blocks = virt.report.update_counts.len() as u64;
+        let budget = blocks * cfg.iterations as u64;
+        let slack_cap =
+            blocks * (cfg.iterations + hsgd_star::hetero::scheduler::SOFT_CAP_SLACK) as u64;
+        for (world, passes) in [
+            ("virtual", virt.report.total_passes),
+            ("real", real.report.total_passes),
+        ] {
+            assert!(
+                (budget..=slack_cap).contains(&passes),
+                "{mode:?}/{world}: {passes} passes outside [{budget}, {slack_cap}]"
+            );
+        }
+        // The real world reports its measured economics.
+        let measured = real
+            .report
+            .measured
+            .as_ref()
+            .expect("real runs carry measurements");
+        assert!(measured.wall_secs > 0.0);
+        assert!(measured.final_dynamic_ratio.is_some());
+    }
+}
+
+#[test]
+fn exclusive_mode_is_bit_deterministic_across_1_2_4_workers() {
+    let cfg = cfg();
+    let (train, test) = dataset(22);
+    let (train, test) = preprocess_pair(&train, &test, cfg.seed);
+
+    let run_with = |workers: usize| {
+        let setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
+        let pool = ThreadPool::new(workers);
+        let mut exec = ThreadedExecutor::with_pool(&pool);
+        hsgd_star::hetero::executor::train_with_executor(
+            &train,
+            &test,
+            setup.scheduler,
+            pool_for(&cfg, setup.gpus),
+            &cfg,
+            Some(setup.alpha),
+            "HSGD*/real-excl",
+            |_, _| {},
+            &mut exec,
+        )
+    };
+
+    let w1 = run_with(1);
+    let w2 = run_with(2);
+    let w4 = run_with(4);
+    assert_eq!(
+        w1.model, w2.model,
+        "exclusive mode must be bit-identical for 1 vs 2 workers"
+    );
+    assert_eq!(
+        w1.model, w4.model,
+        "exclusive mode must be bit-identical for 1 vs 4 workers"
+    );
+    // Scheduling artifacts agree too: same update-count distribution,
+    // same steal count, same probe values.
+    assert_eq!(w1.report.update_counts, w2.report.update_counts);
+    assert_eq!(w1.report.update_counts, w4.report.update_counts);
+    assert_eq!(w1.report.steals, w4.report.steals);
+    let rmse_only = |r: &hsgd_star::hetero::RunReport| {
+        r.rmse_series.iter().map(|&(_, x)| x).collect::<Vec<_>>()
+    };
+    assert_eq!(rmse_only(&w1.report), rmse_only(&w4.report));
+}
+
+#[test]
+fn relaxed_mode_converges_like_exclusive() {
+    // Relaxed runs are timing-dependent, but convergence quality must
+    // stay in the same band as the deterministic mode on the same data.
+    let cfg = cfg();
+    let (train, test) = dataset(23);
+    let (train, test) = preprocess_pair(&train, &test, cfg.seed);
+
+    let excl_setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
+    let excl = run_training_real(
+        &train,
+        &test,
+        excl_setup.scheduler,
+        pool_for(&cfg, excl_setup.gpus),
+        &cfg,
+        ExecMode::Exclusive,
+        None,
+        "excl",
+    );
+    let relaxed_setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
+    let relaxed = run_training_real(
+        &train,
+        &test,
+        relaxed_setup.scheduler,
+        pool_for(&cfg, relaxed_setup.gpus),
+        &cfg,
+        ExecMode::Relaxed,
+        None,
+        "relaxed",
+    );
+    let (a, b) = (excl.report.final_test_rmse, relaxed.report.final_test_rmse);
+    assert!(
+        (a - b).abs() <= 0.05,
+        "exclusive RMSE {a:.4} vs relaxed RMSE {b:.4}"
+    );
+}
