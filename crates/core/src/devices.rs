@@ -6,12 +6,14 @@
 //! [`gpu_sim::GpuDevice`], which accounts PCIe transfers and the 3-stream
 //! pipeline and runs the SIMT kernel.
 
+use std::sync::Arc;
+
 use mf_des::SimTime;
 use mf_sgd::{kernel, HyperParams, Model, SharedModel};
 use mf_sparse::GridPartition;
 
 use crate::config::CpuSpec;
-use crate::executor::{Device, DeviceCompletion};
+use crate::executor::{Device, DeviceCompletion, DeviceHealth, HealthCell};
 use crate::scheduler::Task;
 
 /// Relative amplitude of the deterministic execution-time jitter applied
@@ -97,6 +99,10 @@ pub struct GpuWorker {
     /// memory — the cuMF single-device regime used by GPU-Only — and
     /// per-task transfers are free after the initial bulk load.
     pub resident_all: bool,
+    /// Shared health flag. Fault injectors keep a clone of this handle
+    /// (see [`GpuWorker::health_handle`]) and flip it mid-run; both
+    /// execution worlds poll it at their dispatch boundaries.
+    health: Arc<HealthCell>,
 }
 
 impl GpuWorker {
@@ -105,7 +111,14 @@ impl GpuWorker {
         GpuWorker {
             device: gpu_sim::GpuDevice::new(spec),
             resident_all: false,
+            health: Arc::new(HealthCell::new()),
         }
+    }
+
+    /// A handle to this worker's health cell, for fault injectors that
+    /// flip device state from outside the execution world.
+    pub fn health_handle(&self) -> Arc<HealthCell> {
+        Arc::clone(&self.health)
     }
 
     /// Executes `task`, returning the absolute completion breakdown and
@@ -211,6 +224,10 @@ impl GpuWorker {
 impl Device for GpuWorker {
     fn queue_depth(&self) -> usize {
         2
+    }
+
+    fn health(&self) -> DeviceHealth {
+        self.health.get()
     }
 
     fn process(

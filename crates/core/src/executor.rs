@@ -25,6 +25,8 @@
 //! in how many tasks they keep in flight and how completion times are
 //! modeled.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mf_des::SimTime;
 use mf_sgd::{eval, HyperParams, Model};
 use mf_sparse::{BlockOrder, GridPartition, SparseMatrix};
@@ -68,6 +70,92 @@ pub struct DeviceCompletion {
     pub cost: Option<gpu_sim::BlockCost>,
 }
 
+/// Health of one device, as reported by its [`Device::health`] poll.
+///
+/// Execution worlds consult this at dispatch and completion boundaries:
+/// a `Degraded` device keeps working (worlds that model time may stretch
+/// its completion times by the factor), while a `Failed` device must
+/// receive no further work and its queued tasks must be *requeued* to the
+/// scheduler ([`BlockScheduler::requeue`]) so the remaining devices can
+/// pick them up instead of the run stalling on lost bands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceHealth {
+    /// Operating normally.
+    Ok,
+    /// Still working, but slowed down by the given factor (≥ 1 means
+    /// "takes that many times longer").
+    Degraded(f64),
+    /// Permanently gone: accepts no new work; queued work must be drained
+    /// back to the scheduler.
+    Failed,
+}
+
+/// A shared, lock-free health flag for one device.
+///
+/// Fault injectors flip the cell from outside while an execution world
+/// polls it at its dispatch/completion boundaries — which is why it is an
+/// atomic rather than a field on the device: the real-thread world reads
+/// it from worker threads while the monitor writes it from release
+/// callbacks.
+///
+/// Encoding (one `AtomicU64`): `0` = Ok, `1` = Failed, any other value =
+/// the `f64` bit pattern of a `Degraded` slowdown factor. Factors are
+/// clamped to ≥ 1e-6 so their bit patterns can never collide with the two
+/// reserved words.
+#[derive(Debug, Default)]
+pub struct HealthCell(AtomicU64);
+
+impl HealthCell {
+    const OK: u64 = 0;
+    const FAILED: u64 = 1;
+
+    /// A cell starting in the [`DeviceHealth::Ok`] state.
+    pub fn new() -> HealthCell {
+        HealthCell(AtomicU64::new(Self::OK))
+    }
+
+    /// Reads the current health.
+    pub fn get(&self) -> DeviceHealth {
+        match self.0.load(Ordering::Acquire) {
+            Self::OK => DeviceHealth::Ok,
+            Self::FAILED => DeviceHealth::Failed,
+            bits => DeviceHealth::Degraded(f64::from_bits(bits)),
+        }
+    }
+
+    /// Sets the health. Degraded factors are clamped to ≥ 1e-6 (so their
+    /// bit patterns stay clear of the Ok/Failed words); a non-finite
+    /// factor is treated as a failure. Failure is sticky: once `Failed`,
+    /// later `Ok`/`Degraded` writes are ignored — a dead device does not
+    /// come back mid-run.
+    pub fn set(&self, health: DeviceHealth) {
+        let bits = match health {
+            DeviceHealth::Ok => Self::OK,
+            DeviceHealth::Failed => Self::FAILED,
+            DeviceHealth::Degraded(f) if !f.is_finite() => Self::FAILED,
+            DeviceHealth::Degraded(f) => f.max(1e-6).to_bits(),
+        };
+        // Sticky failure: only move away from FAILED if we *are* FAILED →
+        // never. compare_exchange loop is overkill; a fetch_update keeps
+        // the invariant under concurrent writers.
+        let _ = self
+            .0
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur != Self::FAILED).then_some(bits)
+            });
+    }
+
+    /// Marks the device permanently failed.
+    pub fn fail(&self) {
+        self.0.store(Self::FAILED, Ordering::Release);
+    }
+
+    /// Whether the device is permanently failed.
+    pub fn is_failed(&self) -> bool {
+        self.0.load(Ordering::Acquire) == Self::FAILED
+    }
+}
+
 /// One virtual device in the DES world: executes a task's real SGD
 /// arithmetic at dispatch and reports the modeled completion time.
 pub trait Device {
@@ -76,6 +164,13 @@ pub trait Device {
     /// overlap the next block's transfer with the current kernel, and the
     /// reason the HSGD\* grid has `2·n_g` extra columns).
     fn queue_depth(&self) -> usize;
+
+    /// Current health. The default device never fails; fault-injecting
+    /// wrappers and [`crate::devices::GpuWorker`] report a shared
+    /// [`HealthCell`].
+    fn health(&self) -> DeviceHealth {
+        DeviceHealth::Ok
+    }
 
     /// Executes `task` on `model` at virtual time `now`.
     fn process(
@@ -310,4 +405,51 @@ where
         measured: outcome.measured,
     };
     TrainOutcome { model, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_cell_roundtrips_every_state() {
+        let cell = HealthCell::new();
+        assert_eq!(cell.get(), DeviceHealth::Ok);
+        cell.set(DeviceHealth::Degraded(3.5));
+        assert_eq!(cell.get(), DeviceHealth::Degraded(3.5));
+        cell.set(DeviceHealth::Ok);
+        assert_eq!(cell.get(), DeviceHealth::Ok);
+        cell.fail();
+        assert_eq!(cell.get(), DeviceHealth::Failed);
+        assert!(cell.is_failed());
+    }
+
+    #[test]
+    fn health_cell_failure_is_sticky() {
+        let cell = HealthCell::new();
+        cell.set(DeviceHealth::Failed);
+        cell.set(DeviceHealth::Ok);
+        assert!(cell.is_failed(), "a dead device must not resurrect");
+        cell.set(DeviceHealth::Degraded(2.0));
+        assert!(cell.is_failed());
+    }
+
+    #[test]
+    fn health_cell_clamps_adversarial_factors() {
+        // Factors whose bit patterns would collide with the reserved
+        // Ok/Failed words (0.0 has bits 0; 5e-324 has bits 1) are clamped
+        // up, and non-finite factors read back as failure.
+        let cell = HealthCell::new();
+        cell.set(DeviceHealth::Degraded(0.0));
+        assert_eq!(cell.get(), DeviceHealth::Degraded(1e-6));
+        let cell = HealthCell::new();
+        cell.set(DeviceHealth::Degraded(f64::from_bits(1)));
+        assert_eq!(cell.get(), DeviceHealth::Degraded(1e-6));
+        let cell = HealthCell::new();
+        cell.set(DeviceHealth::Degraded(f64::INFINITY));
+        assert_eq!(cell.get(), DeviceHealth::Failed);
+        let cell = HealthCell::new();
+        cell.set(DeviceHealth::Degraded(f64::NAN));
+        assert_eq!(cell.get(), DeviceHealth::Failed);
+    }
 }

@@ -44,6 +44,7 @@
 //! worker threads are spawned — instead of stacking a second level of
 //! parallelism on top of the pool.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
@@ -57,8 +58,8 @@ use mf_sparse::{GridPartition, SparseMatrix};
 use crate::config::HeteroConfig;
 use crate::devices::GpuWorker;
 use crate::executor::{
-    train_with_executor, DevicePool, ExecContext, ExecOutcome, Executor, MeasuredThroughput,
-    ProbeState, TrainOutcome,
+    train_with_executor, Device, DeviceHealth, DevicePool, ExecContext, ExecOutcome, Executor,
+    HealthCell, MeasuredThroughput, ProbeState, TrainOutcome,
 };
 use crate::scheduler::{BlockScheduler, Task, WorkerClass};
 
@@ -87,6 +88,7 @@ pub struct ThreadedExecutor<'p> {
     mode: ExecMode,
     feedback: bool,
     pool: Option<&'p ThreadPool>,
+    cpu_health: Vec<Arc<HealthCell>>,
 }
 
 impl ThreadedExecutor<'static> {
@@ -99,6 +101,7 @@ impl ThreadedExecutor<'static> {
             mode,
             feedback: true,
             pool: None,
+            cpu_health: Vec::new(),
         }
     }
 }
@@ -111,6 +114,7 @@ impl<'p> ThreadedExecutor<'p> {
             mode: ExecMode::Exclusive,
             feedback: true,
             pool: Some(pool),
+            cpu_health: Vec::new(),
         }
     }
 
@@ -119,6 +123,19 @@ impl<'p> ThreadedExecutor<'p> {
     /// that would make scheduling timing-dependent).
     pub fn with_feedback(mut self, on: bool) -> ThreadedExecutor<'p> {
         self.feedback = on;
+        self
+    }
+
+    /// Registers health cells for the CPU worker side (exclusive mode).
+    /// Exclusive rounds have no per-CPU-worker identity — the sweep
+    /// acquires CPU tasks as a class — so CPU failure takes effect when
+    /// *every* registered cell is failed: the sweep then assigns no more
+    /// CPU work, mirroring the DES world with all CPU slots dead. GPU
+    /// health needs no registration (each [`GpuWorker`] carries its own
+    /// cell). Degraded states are ignored here: wall-clock worlds cannot
+    /// re-time a real thread.
+    pub fn with_cpu_health(mut self, cells: Vec<Arc<HealthCell>>) -> ThreadedExecutor<'p> {
+        self.cpu_health = cells;
         self
     }
 
@@ -138,7 +155,7 @@ impl Executor for ThreadedExecutor<'_> {
 
     fn execute(&mut self, ctx: ExecContext<'_>) -> ExecOutcome {
         match self.mode {
-            ExecMode::Exclusive => run_exclusive(ctx, self.pool),
+            ExecMode::Exclusive => run_exclusive(ctx, self.pool, &self.cpu_health),
             ExecMode::Relaxed => run_relaxed(ctx, self.feedback),
         }
     }
@@ -265,14 +282,21 @@ impl Meter {
 /// One round's sweep: GPUs first (up to the prefetch depth each), then
 /// CPU tasks until nothing conflict-free is left. Depends only on
 /// scheduler state — never on thread timing — which is the heart of the
-/// determinism argument.
+/// determinism argument. `gpu_alive[g]` / `cpu_alive` exclude failed
+/// devices from the sweep: health flips between rounds (deterministic
+/// points — failures are applied at release boundaries), so skipping a
+/// dead device here is itself deterministic.
 fn sweep_round(
     scheduler: &mut (dyn BlockScheduler + Send),
     part: &GridPartition,
-    ng: usize,
+    gpu_alive: &[bool],
+    cpu_alive: bool,
 ) -> Vec<(WorkerClass, Task)> {
     let mut tasks = Vec::new();
-    for g in 0..ng {
+    for (g, &alive) in gpu_alive.iter().enumerate() {
+        if !alive {
+            continue;
+        }
         let who = WorkerClass::Gpu(g as u32);
         for _ in 0..GPU_QUEUE_DEPTH {
             match scheduler.next_task(who, part) {
@@ -281,13 +305,19 @@ fn sweep_round(
             }
         }
     }
-    while let Some(t) = scheduler.next_task(WorkerClass::Cpu, part) {
-        tasks.push((WorkerClass::Cpu, t));
+    if cpu_alive {
+        while let Some(t) = scheduler.next_task(WorkerClass::Cpu, part) {
+            tasks.push((WorkerClass::Cpu, t));
+        }
     }
     tasks
 }
 
-fn run_exclusive(ctx: ExecContext<'_>, pool: Option<&ThreadPool>) -> ExecOutcome {
+fn run_exclusive(
+    ctx: ExecContext<'_>,
+    pool: Option<&ThreadPool>,
+    cpu_health: &[Arc<HealthCell>],
+) -> ExecOutcome {
     let ExecContext {
         scheduler,
         part,
@@ -313,6 +343,8 @@ fn run_exclusive(ctx: ExecContext<'_>, pool: Option<&ThreadPool>) -> ExecOutcome
     let mut probes = ProbeState::new(nblocks, cfg.target_rmse);
     let mut meter = Meter::new();
     let ng = dev_pool.gpus.len();
+    let gpu_health: Vec<Arc<HealthCell>> =
+        dev_pool.gpus.iter().map(|g| g.health_handle()).collect();
     let gpus: Vec<Mutex<GpuWorker>> = dev_pool.gpus.into_iter().map(Mutex::new).collect();
     let hyper = &cfg.hyper;
 
@@ -321,7 +353,12 @@ fn run_exclusive(ctx: ExecContext<'_>, pool: Option<&ThreadPool>) -> ExecOutcome
     let mut stalled = false;
 
     while !probes.stopped {
-        let tasks = sweep_round(scheduler, part, ng);
+        // Health is sampled once per round, at the top: fault injectors
+        // flip cells from the release path (between rounds), so the alive
+        // set is stable and deterministic for the whole sweep.
+        let gpu_alive: Vec<bool> = gpu_health.iter().map(|h| !h.is_failed()).collect();
+        let cpu_alive = cpu_health.is_empty() || cpu_health.iter().any(|h| !h.is_failed());
+        let tasks = sweep_round(scheduler, part, &gpu_alive, cpu_alive);
         if tasks.is_empty() {
             stalled = scheduler.remaining() > 0;
             break;
@@ -433,6 +470,10 @@ struct HubState<'a, 'b> {
     release_gen: u64,
     /// Workers whose no-work verdict is at the current `release_gen`.
     verdicts: usize,
+    /// Workers still participating. Starts at the spawn count; a worker
+    /// that retires because its device failed decrements it, so the stall
+    /// vote needs unanimity only among the survivors.
+    active: usize,
     /// Set on global stall or full drain: everyone exits.
     done: bool,
     /// True when the run ended with passes still unassigned.
@@ -468,7 +509,6 @@ impl HubState<'_, '_> {
 struct Hub<'a, 'b> {
     state: Mutex<HubState<'a, 'b>>,
     cond: Condvar,
-    workers: usize,
 }
 
 impl Hub<'_, '_> {
@@ -512,7 +552,7 @@ impl Hub<'_, '_> {
             if verdict_at != Some(st.release_gen) {
                 verdict_at = Some(st.release_gen);
                 st.verdicts += 1;
-                if st.verdicts == self.workers && st.inflight == 0 {
+                if st.verdicts >= st.active && st.inflight == 0 {
                     // Unanimous current-generation verdicts and nothing in
                     // flight: no release can ever come, so the scheduler
                     // state is frozen with unassignable passes.
@@ -561,6 +601,29 @@ impl Hub<'_, '_> {
         // most a couple of new assignments — baton-pass to one sleeper
         // (it re-notifies after its own acquire), as in FPSGD.
         self.cond.notify_one();
+    }
+
+    /// Retires a worker whose device failed: its unstarted local queue is
+    /// requeued to the scheduler (the failed-device drain — without it
+    /// those tasks' bands stay busy forever and the run hangs), and the
+    /// worker leaves the stall vote. Wakes everyone: the requeued work is
+    /// newly assignable, and the survivors' quorum shrank.
+    fn retire_failed(&self, tasks: Vec<Task>) {
+        {
+            let mut st = self.state.lock();
+            st.inflight -= tasks.len();
+            for t in &tasks {
+                st.scheduler.requeue(t);
+            }
+            st.release_gen += 1;
+            st.verdicts = 0;
+            st.active -= 1;
+            if st.active == 0 {
+                st.done = true;
+                st.stalled = st.scheduler.remaining() > 0;
+            }
+        }
+        self.cond.notify_all();
     }
 }
 
@@ -627,6 +690,13 @@ fn gpu_worker(
             }
             local.extend(got);
         }
+        // Polled between tasks: a failed device stops here, draining its
+        // unstarted prefetch window back to the scheduler instead of
+        // holding those bands hostage.
+        if matches!(worker.health(), DeviceHealth::Failed) {
+            hub.retire_failed(local.drain(..).collect());
+            return;
+        }
         let Some(task) = local.pop_front() else {
             return;
         };
@@ -670,7 +740,12 @@ fn run_relaxed_inline(
         let mut progressed = false;
         for (g, worker) in gpus.iter_mut().enumerate() {
             let who = WorkerClass::Gpu(g as u32);
-            while let Some(task) = scheduler.next_task(who, part) {
+            // Health is re-polled per task: inline mode has no prefetch
+            // window, so a failed GPU simply stops being offered work.
+            while !matches!(worker.health(), DeviceHealth::Failed) {
+                let Some(task) = scheduler.next_task(who, part) else {
+                    break;
+                };
                 let gamma = hyper.gamma_at(task.pass);
                 let t0 = Instant::now();
                 // SAFETY: single-threaded here; the task's bands are ours.
@@ -769,12 +844,12 @@ fn run_relaxed(ctx: ExecContext<'_>, feedback: bool) -> ExecOutcome {
                 inflight: 0,
                 release_gen: 0,
                 verdicts: 0,
+                active: nc + ng,
                 done: false,
                 stalled: false,
                 feedback,
             }),
             cond: Condvar::new(),
-            workers: nc + ng,
         };
         let shared = SharedModel::new(model);
         std::thread::scope(|s| {
@@ -1044,6 +1119,103 @@ mod tests {
         // Only the CPU region's passes completed.
         let total: u64 = out.report.update_counts.iter().map(|&c| c as u64).sum();
         assert_eq!(total, out.report.total_passes);
+    }
+
+    #[test]
+    fn relaxed_drains_failed_gpu_window_back_to_scheduler() {
+        // The GPU is dead before the run starts: its worker thread still
+        // acquires a prefetch window (the scheduler hands out work before
+        // health is polled), so the drain path — requeue the window,
+        // retire the worker — runs deterministically. The CPU workers
+        // must then finish the *entire* budget, GPU region included.
+        let (train, test) = low_rank_data(48, 48, 9);
+        let cfg = test_cfg(2);
+        let layout = StarLayout::build(&train, 2, 1, 0.5);
+        let blocks = layout.spec.block_count() as u64;
+        let sched = StarScheduler::new(layout, cfg.iterations, true);
+        let gpu = GpuWorker::new(cfg.gpu);
+        let health = gpu.health_handle();
+        health.fail();
+        let pool = DevicePool {
+            cpu_workers: 2,
+            gpus: vec![gpu],
+            gpu_start: vec![],
+        };
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            ExecMode::Relaxed,
+            None,
+            "dead-gpu",
+        );
+        assert_eq!(out.report.gpu_points, 0, "a dead GPU does no work");
+        assert!(out.report.cpu_points > 0);
+        assert_eq!(
+            out.report.total_passes,
+            blocks * cfg.iterations as u64,
+            "requeued window must be finished by the survivors"
+        );
+        let total: u64 = out.report.update_counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, out.report.total_passes);
+    }
+
+    #[test]
+    fn exclusive_skips_failed_gpu_and_cpu_takes_over() {
+        let (train, test) = low_rank_data(48, 48, 10);
+        let cfg = test_cfg(2);
+        let layout = StarLayout::build(&train, 2, 1, 0.5);
+        let blocks = layout.spec.block_count() as u64;
+        let sched = StarScheduler::new(layout, cfg.iterations, true);
+        let gpu = GpuWorker::new(cfg.gpu);
+        gpu.health_handle().fail();
+        let pool = DevicePool {
+            cpu_workers: 2,
+            gpus: vec![gpu],
+            gpu_start: vec![],
+        };
+        let out = run_training_real(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            ExecMode::Exclusive,
+            None,
+            "dead-gpu-excl",
+        );
+        assert_eq!(out.report.gpu_points, 0);
+        assert_eq!(out.report.total_passes, blocks * cfg.iterations as u64);
+    }
+
+    #[test]
+    fn exclusive_with_all_cpu_cells_failed_ends_early_not_hanging() {
+        use crate::executor::HealthCell;
+        use std::sync::Arc;
+
+        let (train, test) = low_rank_data(24, 24, 11);
+        let cfg = test_cfg(2);
+        let spec = uniform_layout(&train, 3, 3);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let cell = Arc::new(HealthCell::new());
+        cell.fail();
+        let mut exec =
+            ThreadedExecutor::new(ExecMode::Exclusive).with_cpu_health(vec![Arc::clone(&cell)]);
+        let out = train_with_executor(
+            &train,
+            &test,
+            sched,
+            cpu_pool(2),
+            &cfg,
+            None,
+            "dead-cpus",
+            |_, _| {},
+            &mut exec,
+        );
+        assert_eq!(out.report.total_passes, 0, "no live device, no work");
+        assert_eq!(out.report.cpu_points + out.report.gpu_points, 0);
     }
 
     #[test]

@@ -74,6 +74,20 @@ pub trait BlockScheduler {
     /// Returns a finished task's bands to the free pool.
     fn release(&mut self, task: &Task);
 
+    /// Takes back a task that was assigned but will **not** execute — its
+    /// device failed before starting it. The inverse of `next_task`:
+    /// bands are freed, per-block counts rewound, and the pass budget
+    /// restored, so another device can be assigned the same work.
+    /// `completed` is unchanged (nothing ran). Policies that cannot
+    /// un-assign work keep this default, which panics — requeue support
+    /// is what makes a policy safe to drive over failing devices.
+    fn requeue(&mut self, task: &Task) {
+        panic!(
+            "scheduler cannot requeue {:?}: policy has no device-failure support",
+            task.blocks
+        );
+    }
+
     /// Block passes not yet assigned.
     fn remaining(&self) -> u64;
 
@@ -229,6 +243,12 @@ impl BlockScheduler for UniformScheduler {
         self.completed += task.blocks.len() as u64;
     }
 
+    fn requeue(&mut self, task: &Task) {
+        debug_assert_eq!(task.blocks.len(), 1, "uniform tasks are single blocks");
+        self.pool.unacquire(task.blocks[0]);
+        self.remaining += 1;
+    }
+
     fn remaining(&self) -> u64 {
         self.remaining
     }
@@ -253,8 +273,14 @@ pub struct StarScheduler {
     occ: Occupancy,
     counts: Vec<u32>,
     target: u32,
-    cpu_remaining: u64,
-    gpu_remaining: u64,
+    /// Signed pass budgets: slack (over-target) passes inside a group
+    /// task can overdraw a budget, and keeping the debt (rather than
+    /// saturating at zero) is what makes [`BlockScheduler::requeue`] an
+    /// exact inverse of assignment. Every `> 0` check and the public
+    /// [`BlockScheduler::remaining`] clamp at zero, so the debt is
+    /// invisible outside this struct.
+    cpu_remaining: i64,
+    gpu_remaining: i64,
     completed: u64,
     dynamic_enabled: bool,
     steals: u64,
@@ -271,15 +297,15 @@ impl StarScheduler {
     /// should set it via [`StarScheduler::with_steal_ratio`].
     pub fn new(layout: StarLayout, iterations: u32, dynamic_enabled: bool) -> StarScheduler {
         let spec = &layout.spec;
-        let cols = spec.ncol_blocks() as u64;
-        let cpu_blocks = layout.cpu_bands as u64 * cols;
-        let gpu_blocks = (layout.total_bands() - layout.cpu_bands) as u64 * cols;
+        let cols = spec.ncol_blocks() as i64;
+        let cpu_blocks = layout.cpu_bands as i64 * cols;
+        let gpu_blocks = (layout.total_bands() - layout.cpu_bands) as i64 * cols;
         StarScheduler {
             occ: Occupancy::new(spec.nrow_blocks(), spec.ncol_blocks()),
             counts: vec![0; spec.block_count()],
             target: iterations,
-            cpu_remaining: cpu_blocks * iterations as u64,
-            gpu_remaining: gpu_blocks * iterations as u64,
+            cpu_remaining: cpu_blocks * iterations as i64,
+            gpu_remaining: gpu_blocks * iterations as i64,
             completed: 0,
             dynamic_enabled,
             steals: 0,
@@ -444,9 +470,9 @@ impl StarScheduler {
         for b in &blocks {
             self.counts[spec.flat_index(*b)] += 1;
             if self.layout.is_cpu_band(b.row) {
-                self.cpu_remaining = self.cpu_remaining.saturating_sub(1);
+                self.cpu_remaining -= 1;
             } else {
-                self.gpu_remaining = self.gpu_remaining.saturating_sub(1);
+                self.gpu_remaining -= 1;
             }
         }
         if stolen {
@@ -546,8 +572,29 @@ impl BlockScheduler for StarScheduler {
         }
     }
 
+    fn requeue(&mut self, task: &Task) {
+        let spec = &self.layout.spec;
+        for b in &task.blocks {
+            let idx = spec.flat_index(*b);
+            assert!(self.counts[idx] > 0, "requeue of never-assigned block {b}");
+            self.counts[idx] -= 1;
+            if self.layout.is_cpu_band(b.row) {
+                self.cpu_remaining += 1;
+            } else {
+                self.gpu_remaining += 1;
+            }
+        }
+        if task.stolen {
+            self.steals -= 1;
+            if !self.layout.is_cpu_band(task.blocks[0].row) {
+                self.active_stolen -= 1;
+            }
+        }
+        self.occ.release(task);
+    }
+
     fn remaining(&self) -> u64 {
-        self.cpu_remaining + self.gpu_remaining
+        (self.cpu_remaining.max(0) + self.gpu_remaining.max(0)) as u64
     }
 
     fn completed(&self) -> u64 {
@@ -749,6 +796,76 @@ mod tests {
     }
 
     #[test]
+    fn uniform_requeue_restores_assignment() {
+        let data = dense_matrix(12, 12);
+        let spec = GridSpec::uniform(12, 12, 3, 3);
+        let part = GridPartition::build(&data, spec.clone());
+        let mut sched = UniformScheduler::new(spec, 2, true);
+        let t = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        let before_remaining = sched.remaining() + 1; // t holds one pass
+        sched.requeue(&t);
+        assert_eq!(sched.remaining(), before_remaining);
+        assert_eq!(sched.completed(), 0, "a requeued task never ran");
+        assert!(sched.counts().iter().all(|&c| c == 0));
+        // The identical grant is offered again, and the full drain still
+        // reaches exact per-block counts — the pass was not lost.
+        let again = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+        assert_eq!(again.blocks, t.blocks);
+        assert_eq!(again.pass, t.pass);
+        sched.release(&again);
+        while let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
+            sched.release(&t);
+        }
+        assert_eq!(sched.remaining(), 0);
+        assert!(sched.counts().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn star_requeue_is_exact_inverse_of_assignment() {
+        let (mut sched, part) = build_star(2, 1, 0.5, 2, true);
+        let remaining0 = sched.remaining();
+        let counts0 = sched.counts().to_vec();
+        // A multi-block GPU group task is the hardest case: several
+        // blocks' counts and budget entries must all rewind.
+        let t = sched.next_task(WorkerClass::Gpu(0), &part).unwrap();
+        assert!(t.blocks.len() > 1);
+        sched.requeue(&t);
+        assert_eq!(sched.remaining(), remaining0);
+        assert_eq!(sched.counts(), &counts0[..]);
+        assert_eq!(sched.completed(), 0);
+        let again = sched.next_task(WorkerClass::Gpu(0), &part).unwrap();
+        assert_eq!(again.blocks, t.blocks, "identical task re-offered");
+        sched.release(&again);
+        // Requeue of a *stolen* task also rewinds the steal accounting.
+        while let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
+            if t.stolen {
+                let steals = sched.steals();
+                sched.requeue(&t);
+                assert_eq!(sched.steals(), steals - 1);
+                let redo = sched.next_task(WorkerClass::Cpu, &part).unwrap();
+                sched.release(&redo);
+                continue;
+            }
+            sched.release(&t);
+        }
+        // The run still drains completely after all that churn.
+        loop {
+            let cpu = sched.next_task(WorkerClass::Cpu, &part);
+            let gpu = sched.next_task(WorkerClass::Gpu(0), &part);
+            if cpu.is_none() && gpu.is_none() {
+                break;
+            }
+            if let Some(t) = cpu {
+                sched.release(&t);
+            }
+            if let Some(t) = gpu {
+                sched.release(&t);
+            }
+        }
+        assert_eq!(sched.remaining(), 0);
+    }
+
+    #[test]
     fn uncapped_hsgd_policy_can_skew_counts() {
         // Reproduce Example 3 mechanically: two slow "CPU" tasks pin rows
         // 0 and 1; a fast worker drains the rest of the budget from the
@@ -845,10 +962,7 @@ mod tests {
     fn star_dynamic_lets_cpu_steal_gpu_blocks() {
         let (mut sched, part) = build_star(2, 1, 0.5, 1, true);
         // Drain the CPU region sequentially.
-        loop {
-            let Some(t) = sched.next_task(WorkerClass::Cpu, &part) else {
-                break;
-            };
+        while let Some(t) = sched.next_task(WorkerClass::Cpu, &part) {
             let was_cpu = t.blocks[0].row < sched.layout().cpu_bands;
             sched.release(&t);
             if !was_cpu {
@@ -867,10 +981,7 @@ mod tests {
     #[test]
     fn star_dynamic_lets_gpu_steal_cpu_blocks() {
         let (mut sched, part) = build_star(2, 1, 0.3, 1, true);
-        loop {
-            let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) else {
-                break;
-            };
+        while let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) {
             sched.release(&t);
         }
         assert_eq!(sched.remaining(), 0, "GPU should finish everything");
@@ -881,10 +992,7 @@ mod tests {
     #[test]
     fn star_no_dynamic_leaves_other_region() {
         let (mut sched, part) = build_star(2, 1, 0.4, 1, false);
-        loop {
-            let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) else {
-                break;
-            };
+        while let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) {
             sched.release(&t);
         }
         // GPU drained its region but cannot touch the CPU's.
@@ -912,10 +1020,7 @@ mod tests {
         let (mut sched, part) = build_star(4, 2, 0.6, 1, false);
         // GPU 0 drains its own group...
         let own = sched.layout().gpu_group_bands(0);
-        loop {
-            let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) else {
-                break;
-            };
+        while let Some(t) = sched.next_task(WorkerClass::Gpu(0), &part) {
             let in_own = t.blocks[0].row < own.end && t.blocks[0].row >= own.start;
             sched.release(&t);
             if !in_own {

@@ -32,7 +32,7 @@ use mf_sparse::SparseMatrix;
 use crate::config::HeteroConfig;
 use crate::devices::CpuWorker;
 use crate::executor::{
-    train_with_executor, Device, ExecContext, ExecOutcome, Executor, ProbeState,
+    train_with_executor, Device, DeviceHealth, ExecContext, ExecOutcome, Executor, ProbeState,
 };
 use crate::scheduler::{BlockScheduler, Task, WorkerClass};
 
@@ -58,6 +58,11 @@ struct Sim<'a, 'b> {
     /// the events carry.
     slots: Vec<Slot>,
     ncpu: usize,
+    /// Requeue a failed device's in-flight tasks to the scheduler (the
+    /// device-failure drain fix). Always on in production; the fuzz
+    /// harness's negative test turns it off to demonstrate the monitor
+    /// catches the pre-fix lost-block stall.
+    drain_failed: bool,
     probes: ProbeState,
     cpu_points: u64,
     gpu_points: u64,
@@ -72,7 +77,19 @@ impl Sim<'_, '_> {
     }
 
     fn is_done(&self) -> bool {
-        (self.ctx.scheduler.remaining() == 0 || self.probes.stopped) && self.is_drained()
+        if !self.is_drained() {
+            return false;
+        }
+        if self.ctx.scheduler.remaining() == 0 || self.probes.stopped {
+            return true;
+        }
+        // Drained with passes left: terminal when a device failure
+        // explains the stall (no finish event will ever fire again) —
+        // without this, an interval Probe would reschedule itself forever
+        // on a failure-stalled run.
+        self.slots
+            .iter()
+            .any(|s| matches!(s.dev.health(), DeviceHealth::Failed))
     }
 
     fn dispatch(&mut self, i: usize, now: SimTime, h: &mut EngineHandle<'_, Ev>) {
@@ -80,7 +97,13 @@ impl Sim<'_, '_> {
             return;
         }
         let slot = &mut self.slots[i];
-        while slot.inflight.len() < slot.dev.queue_depth() {
+        // Re-polled every iteration: a failed device accepts no new work
+        // (even if it failed while processing the task just dispatched);
+        // whatever it still holds drains back to the scheduler as its
+        // finish events arrive.
+        while slot.inflight.len() < slot.dev.queue_depth()
+            && !matches!(slot.dev.health(), DeviceHealth::Failed)
+        {
             let Some(task) = self.ctx.scheduler.next_task(slot.class, self.ctx.part) else {
                 break;
             };
@@ -140,6 +163,22 @@ impl Sim<'_, '_> {
                     .inflight
                     .pop_front()
                     .expect("device finish without a task in flight");
+                if matches!(self.slots[i].dev.health(), DeviceHealth::Failed) {
+                    // The device died with this task in flight: its result
+                    // is lost, so the pass goes back to the scheduler for
+                    // another device to redo. (The SGD arithmetic already
+                    // ran at dispatch — the DES world cannot un-apply it —
+                    // but scheduling-wise the pass is not counted and the
+                    // bands are free again.) With the drain fix disabled,
+                    // the task simply vanishes with the device, which is
+                    // the pre-fix stalling behaviour the fuzz harness's
+                    // negative test pins down.
+                    if self.drain_failed {
+                        self.ctx.scheduler.requeue(&task);
+                        self.dispatch_all(now, h);
+                    }
+                    return;
+                }
                 self.ctx.scheduler.release(&task);
                 self.end_time = self.end_time.max(now);
                 self.probes.at_boundary(
@@ -164,18 +203,61 @@ impl Sim<'_, '_> {
     }
 }
 
+/// A hook that may wrap each virtual device as the DES world builds its
+/// slots — how fault injectors interpose latency/health adversaries
+/// without the world knowing about them.
+pub type DeviceWrapper = dyn FnMut(Box<dyn Device>, WorkerClass) -> Box<dyn Device>;
+
 /// The virtual-time (discrete-event simulation) execution world.
 ///
 /// Durations come from calibrated performance models; arithmetic is real.
 /// Runs are bit-for-bit reproducible because the event order is fully
 /// deterministic.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct VirtualExecutor;
+pub struct VirtualExecutor {
+    wrap: Option<Box<DeviceWrapper>>,
+    drain_failed: bool,
+}
+
+impl std::fmt::Debug for VirtualExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualExecutor")
+            .field("wrap", &self.wrap.as_ref().map(|_| ".."))
+            .field("drain_failed", &self.drain_failed)
+            .finish()
+    }
+}
+
+impl Default for VirtualExecutor {
+    fn default() -> VirtualExecutor {
+        VirtualExecutor::new()
+    }
+}
 
 impl VirtualExecutor {
     /// Creates the DES world.
     pub fn new() -> VirtualExecutor {
-        VirtualExecutor
+        VirtualExecutor {
+            wrap: None,
+            drain_failed: true,
+        }
+    }
+
+    /// Installs a device wrapper: every slot's device (CPU workers and
+    /// GPUs alike) is passed through `wrap` at world construction, so a
+    /// fault injector can interpose adversarial latency and health state
+    /// per device.
+    pub fn with_device_wrapper(mut self, wrap: Box<DeviceWrapper>) -> VirtualExecutor {
+        self.wrap = Some(wrap);
+        self
+    }
+
+    /// Enables/disables the failed-device drain fix (on by default).
+    /// Disabling reproduces the pre-fix behaviour where a dead device's
+    /// in-flight tasks vanish with it — only the fuzz harness's negative
+    /// test should ever want this.
+    pub fn with_drain_failed(mut self, on: bool) -> VirtualExecutor {
+        self.drain_failed = on;
+        self
     }
 }
 
@@ -189,17 +271,22 @@ impl Executor for VirtualExecutor {
         let cpu_workers = ctx.pool.cpu_workers;
         let cpu_spec = ctx.cfg.cpu;
         let gpu_start = std::mem::take(&mut ctx.pool.gpu_start);
+        let mut wrap_dev = |dev: Box<dyn Device>, class: WorkerClass| match &mut self.wrap {
+            Some(w) => w(dev, class),
+            None => dev,
+        };
         let mut slots: Vec<Slot> = (0..cpu_workers)
             .map(|_| Slot {
-                dev: Box::new(CpuWorker { spec: cpu_spec }),
+                dev: wrap_dev(Box::new(CpuWorker { spec: cpu_spec }), WorkerClass::Cpu),
                 class: WorkerClass::Cpu,
                 inflight: VecDeque::new(),
             })
             .collect();
         for (g, gpu) in std::mem::take(&mut ctx.pool.gpus).into_iter().enumerate() {
+            let class = WorkerClass::Gpu(g as u32);
             slots.push(Slot {
-                dev: Box::new(gpu),
-                class: WorkerClass::Gpu(g as u32),
+                dev: wrap_dev(Box::new(gpu), class),
+                class,
                 inflight: VecDeque::new(),
             });
         }
@@ -209,6 +296,7 @@ impl Executor for VirtualExecutor {
         let mut sim = Sim {
             slots,
             ncpu: cpu_workers,
+            drain_failed: self.drain_failed,
             probes: ProbeState::new(nblocks, target),
             cpu_points: 0,
             gpu_points: 0,
@@ -243,8 +331,16 @@ impl Executor for VirtualExecutor {
         };
         while engine.step(&mut handler) {}
 
+        // A drained event queue with passes left is a deadlock — unless a
+        // device failure explains it (e.g. the only device that could run
+        // a region died), in which case the run ends early but cleanly.
+        let any_failed = sim
+            .slots
+            .iter()
+            .any(|s| matches!(s.dev.health(), DeviceHealth::Failed));
+        let stalled = sim.ctx.scheduler.remaining() > 0 && !sim.probes.stopped;
         assert!(
-            sim.ctx.scheduler.remaining() == 0 || sim.probes.stopped,
+            !stalled || any_failed,
             "trainer deadlock: {} passes unassigned with all devices idle",
             sim.ctx.scheduler.remaining()
         );
@@ -260,7 +356,7 @@ impl Executor for VirtualExecutor {
             gpu_points: sim.gpu_points,
             cpu_busy_secs: sim.cpu_busy,
             gpu_busy_secs: sim.gpu_busy,
-            ended_early: sim.probes.stopped,
+            ended_early: sim.probes.stopped || stalled,
             measured: None,
         }
     }
@@ -491,6 +587,140 @@ mod tests {
         assert_eq!(snapshots.last().unwrap(), &out.model);
         // Earlier snapshots differ (training moved the factors).
         assert_ne!(snapshots.first().unwrap(), &out.model);
+    }
+
+    /// Wrapper device that permanently fails after a fixed number of
+    /// dispatched tasks — the unit-level stand-in for the fuzz harness's
+    /// scripted device deaths.
+    struct FailAfter {
+        inner: Box<dyn Device>,
+        cell: std::sync::Arc<crate::executor::HealthCell>,
+        left: usize,
+    }
+
+    impl Device for FailAfter {
+        fn queue_depth(&self) -> usize {
+            self.inner.queue_depth()
+        }
+
+        fn health(&self) -> crate::executor::DeviceHealth {
+            self.cell.get()
+        }
+
+        fn process(
+            &mut self,
+            now: SimTime,
+            model: &mut Model,
+            part: &mf_sparse::GridPartition,
+            task: &Task,
+            gamma: f32,
+            hyper: &mf_sgd::HyperParams,
+        ) -> crate::executor::DeviceCompletion {
+            let comp = self.inner.process(now, model, part, task, gamma, hyper);
+            self.left -= 1;
+            if self.left == 0 {
+                self.cell.fail();
+            }
+            comp
+        }
+    }
+
+    #[test]
+    fn failed_device_drains_queue_back_to_scheduler() {
+        use crate::executor::HealthCell;
+        use crate::layout::StarLayout;
+        use crate::scheduler::StarScheduler;
+        use std::sync::Arc;
+
+        // A star run whose GPU dies after 3 dispatched tasks, with one of
+        // them still in flight. The drain fix must requeue the in-flight
+        // work so the CPU workers finish everything: no pass lost, no
+        // deadlock panic, accounting exact.
+        let (train, test) = low_rank_data(48, 48, 11);
+        let cfg = test_cfg(2);
+        let layout = StarLayout::build(&train, 2, 1, 0.5);
+        let sched = StarScheduler::new(layout, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 2,
+            gpus: vec![GpuWorker::new(cfg.gpu)],
+            gpu_start: vec![SimTime::ZERO],
+        };
+        let cell = Arc::new(HealthCell::new());
+        let cell2 = Arc::clone(&cell);
+        let mut exec =
+            VirtualExecutor::new().with_device_wrapper(Box::new(move |dev, class| match class {
+                WorkerClass::Gpu(_) => Box::new(FailAfter {
+                    inner: dev,
+                    cell: Arc::clone(&cell2),
+                    left: 3,
+                }),
+                WorkerClass::Cpu => dev,
+            }));
+        let out = train_with_executor(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            None,
+            "gpu-dies",
+            |_, _| {},
+            &mut exec,
+        );
+        assert!(cell.is_failed(), "the injected failure must have fired");
+        assert!(out.report.gpu_points > 0, "GPU worked before dying");
+        assert!(out.report.cpu_points > 0);
+        // Drain invariant: every completed pass is counted exactly once —
+        // a lost (never-requeued) task would leave counts above completed,
+        // a double-executed one would leave them below.
+        let total: u64 = out.report.update_counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, out.report.total_passes);
+        // And nothing was left unassigned: the CPU side stole the dead
+        // GPU's region to completion.
+        assert_eq!(
+            out.report.total_passes,
+            out.report.update_counts.len() as u64 * cfg.iterations as u64
+        );
+    }
+
+    #[test]
+    fn all_devices_failed_ends_early_instead_of_deadlocking() {
+        use crate::executor::HealthCell;
+        use std::sync::Arc;
+
+        // Every device dies almost immediately: the run must end with
+        // `ended_early` (not the deadlock assert) and consistent counts.
+        let (train, test) = low_rank_data(30, 30, 12);
+        let cfg = test_cfg(6);
+        let spec = uniform_layout(&train, 5, 4);
+        let sched = UniformScheduler::new(spec, cfg.iterations, true);
+        let pool = DevicePool {
+            cpu_workers: 2,
+            gpus: vec![],
+            gpu_start: vec![],
+        };
+        let mut exec = VirtualExecutor::new().with_device_wrapper(Box::new(|dev, _| {
+            Box::new(FailAfter {
+                inner: dev,
+                cell: Arc::new(HealthCell::new()),
+                left: 2,
+            })
+        }));
+        let out = train_with_executor(
+            &train,
+            &test,
+            sched,
+            pool,
+            &cfg,
+            None,
+            "all-die",
+            |_, _| {},
+            &mut exec,
+        );
+        // Whatever completed is exactly what the counts say.
+        let total: u64 = out.report.update_counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, out.report.total_passes);
+        assert!(out.report.total_passes < 20 * cfg.iterations as u64);
     }
 
     #[test]

@@ -15,22 +15,37 @@ pub struct LineFit {
 ///
 /// # Panics
 ///
-/// Panics on fewer than two points or when all `x` coincide (no unique
-/// line) — both indicate a calibration harness bug.
+/// Panics on fewer than two points or when the fit is degenerate (all
+/// `x` coincide, or the moment sums overflow) — both indicate a
+/// calibration harness bug. Feedback paths fed by untrusted wall-clock
+/// measurements should use [`try_ols`] instead.
 pub fn ols(points: &[(f64, f64)]) -> LineFit {
     assert!(points.len() >= 2, "need at least two points to fit a line");
+    try_ols(points).expect("degenerate fit: all x values coincide")
+}
+
+/// [`ols`] without the panics: returns `None` on fewer than two points,
+/// coincident `x`, or whenever extreme magnitudes overflow the moment
+/// sums into non-finite coefficients (a NaN denominator is rejected
+/// explicitly).
+pub fn try_ols(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
     let n = points.len() as f64;
     let sx: f64 = points.iter().map(|p| p.0).sum();
     let sy: f64 = points.iter().map(|p| p.1).sum();
     let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let denom = n * sxx - sx * sx;
-    assert!(
-        denom.abs() > 1e-12 * (sxx.abs() + 1.0),
-        "degenerate fit: all x values coincide"
-    );
+    if denom.is_nan() || denom.abs() <= 1e-12 * (sxx.abs() + 1.0) {
+        return None;
+    }
     let a = (n * sxy - sx * sy) / denom;
     let b = (sy - a * sx) / n;
+    if !(a.is_finite() && b.is_finite()) {
+        return None;
+    }
 
     // R².
     let mean_y = sy / n;
@@ -41,7 +56,7 @@ pub fn ols(points: &[(f64, f64)]) -> LineFit {
     } else {
         1.0 - ss_res / ss_tot
     };
-    LineFit { a, b, r2 }
+    Some(LineFit { a, b, r2 })
 }
 
 /// Fits `y = a·ln(x) + b` by OLS in the transformed feature `ln x`.

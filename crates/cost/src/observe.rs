@@ -59,7 +59,11 @@ impl ThroughputObserver {
     /// cannot swing it the way a per-sample rate could).
     pub fn mean_rate(&self) -> Option<f64> {
         if self.total_secs > 0.0 && self.total_size > 0.0 {
-            Some(self.total_size / self.total_secs)
+            // The totals can overflow to ∞ under pathologically long
+            // streams of huge-but-finite samples; a non-finite rate would
+            // poison every consumer downstream, so refuse to report one.
+            let rate = self.total_size / self.total_secs;
+            rate.is_finite().then_some(rate)
         } else {
             None
         }
@@ -68,8 +72,18 @@ impl ThroughputObserver {
     /// Fits `t = a·size + b` over the recorded samples by OLS — the same
     /// linear family the α solver and Table II consume. Returns `None`
     /// when the samples cannot support a fit: fewer than
-    /// [`ThroughputObserver::MIN_FIT_SAMPLES`] points, or all sizes
-    /// (nearly) coincident, which would make the regression degenerate.
+    /// [`ThroughputObserver::MIN_FIT_SAMPLES`] points, all sizes (nearly)
+    /// coincident (degenerate regression), or an OLS result that is not
+    /// finite (the sums overflowed under extreme sample magnitudes).
+    ///
+    /// The returned model is always *order-correct*: `time_secs` is
+    /// monotone non-decreasing in size. Adversarial sample streams — e.g.
+    /// large tasks that happened to finish faster than small ones — can
+    /// drive the raw OLS slope negative, which would tell the α solver
+    /// that more work takes less time and push the split to a boundary.
+    /// In that case the fit falls back to the through-origin mean-rate
+    /// model `t = size / mean_rate`, which is the best constant-throughput
+    /// summary of the same data and is always non-decreasing.
     pub fn fit_linear(&self) -> Option<LinearCost> {
         if self.samples.len() < Self::MIN_FIT_SAMPLES {
             return None;
@@ -87,8 +101,15 @@ impl ThroughputObserver {
         if max_x - min_x <= 1e-9 * (max_x.abs() + 1.0) {
             return None;
         }
-        let f = fit::ols(&self.samples);
-        Some(LinearCost::new(f.a, f.b))
+        match fit::try_ols(&self.samples) {
+            Some(f) if f.a >= 0.0 && f.b.is_finite() => Some(LinearCost::new(f.a, f.b)),
+            // Negative slope or overflowed moments: fall back to the
+            // through-origin mean-rate model.
+            _ => {
+                let a = self.total_secs / self.total_size;
+                (a.is_finite() && a > 0.0).then(|| LinearCost::new(a, 0.0))
+            }
+        }
     }
 
     /// Minimum sample count before [`ThroughputObserver::fit_linear`]
@@ -144,6 +165,23 @@ mod tests {
         }
         assert_eq!(o.fit_linear(), None, "coincident sizes cannot fit a line");
         assert!(o.mean_rate().is_some(), "the rate is still well-defined");
+    }
+
+    #[test]
+    fn inverted_stream_falls_back_to_mean_rate_model() {
+        // Bigger tasks finishing *faster* — raw OLS slope would be
+        // negative, telling the solver more work takes less time.
+        let mut o = ThroughputObserver::new();
+        o.record(1000.0, 4.0);
+        o.record(2000.0, 3.0);
+        o.record(3000.0, 2.0);
+        o.record(4000.0, 1.0);
+        let m = o.fit_linear().expect("fallback model must exist");
+        assert!(m.a > 0.0, "slope must be positive, got {}", m.a);
+        assert_eq!(m.b, 0.0);
+        // Through-origin mean-rate model: a = Σsecs/Σsize = 10/10000.
+        assert!((m.a - 1e-3).abs() < 1e-15);
+        assert!(m.time_secs(2000.0) >= m.time_secs(1000.0));
     }
 
     #[test]

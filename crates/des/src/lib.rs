@@ -13,6 +13,9 @@
 //! * [`Clock`] — a monotone virtual clock.
 //! * [`Engine`] — a convenience driver that pops events in order and hands
 //!   them to a handler until the queue drains or a horizon is reached.
+//! * [`ScriptedSource`] — a replayable stream of *external* events keyed
+//!   by an arbitrary progress notion (virtual time, completed passes),
+//!   used to inject scripted faults identically into any execution world.
 //!
 //! The design goal is determinism: given the same inputs, a simulation
 //! produces bit-identical results on every run. That is what makes the
@@ -32,9 +35,11 @@
 mod clock;
 mod engine;
 mod queue;
+mod source;
 mod time;
 
 pub use clock::Clock;
 pub use engine::{Engine, EngineHandle};
 pub use queue::{EventQueue, ScheduledEvent};
+pub use source::{EventSource, ScriptedSource};
 pub use time::SimTime;

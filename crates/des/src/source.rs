@@ -1,0 +1,123 @@
+//! Injectable event sources: scripted streams of external events.
+//!
+//! A simulation's *internal* events live in the [`crate::Engine`] queue.
+//! Some experiments additionally need *external* events injected at
+//! predetermined points — a device that fails after the 40th completed
+//! block, a cost-model measurement that arrives mid-run. Those scripts
+//! are naturally keyed by whatever progress notion the experiment uses
+//! (virtual time, completed passes, round number), and they must replay
+//! identically in every execution world, including ones that do not run
+//! on the DES engine at all.
+//!
+//! [`ScriptedSource`] is that replayable stream: a key-sorted list of
+//! `(key, event)` pairs drained in order by [`EventSource::pop_due`] as
+//! the observed progress value advances. The adversarial fuzz harness
+//! (`mf-fuzz`) keys its fault scripts by completed block passes, which is
+//! what lets one regression script drive both the virtual-time trainer
+//! and the real-thread exclusive runtime.
+
+/// A replayable stream of external events ordered by a progress key.
+///
+/// `K` is the progress notion (virtual time, completed passes, …); the
+/// source releases each event once the observed progress reaches its key.
+pub trait EventSource<K: Ord, E> {
+    /// The key of the next undelivered event, if any.
+    fn peek_key(&self) -> Option<&K>;
+
+    /// Delivers the next event whose key is `<= now`, or `None` when no
+    /// event is due yet (or the script is exhausted). Call in a loop to
+    /// drain everything due at the current progress point.
+    fn pop_due(&mut self, now: &K) -> Option<E>;
+
+    /// Number of undelivered events.
+    fn remaining(&self) -> usize;
+
+    /// Whether every event has been delivered.
+    fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// An [`EventSource`] over a fixed script, sorted by key at construction
+/// (stably — equal-key events deliver in script order, mirroring the
+/// engine queue's FIFO tie-break).
+#[derive(Debug, Clone)]
+pub struct ScriptedSource<K, E> {
+    /// Key-sorted `(key, event)` pairs; `next` indexes the first
+    /// undelivered one.
+    items: Vec<(K, E)>,
+    next: usize,
+}
+
+impl<K: Ord, E> ScriptedSource<K, E> {
+    /// Builds the source from `(key, event)` pairs in any order.
+    pub fn new(mut items: Vec<(K, E)>) -> ScriptedSource<K, E> {
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        ScriptedSource { items, next: 0 }
+    }
+
+    /// The full script, sorted, including already-delivered events.
+    pub fn script(&self) -> &[(K, E)] {
+        &self.items
+    }
+}
+
+impl<K: Ord, E: Clone> EventSource<K, E> for ScriptedSource<K, E> {
+    fn peek_key(&self) -> Option<&K> {
+        self.items.get(self.next).map(|(k, _)| k)
+    }
+
+    fn pop_due(&mut self, now: &K) -> Option<E> {
+        let (k, e) = self.items.get(self.next)?;
+        if k <= now {
+            self.next += 1;
+            Some(e.clone())
+        } else {
+            None
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.items.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_key_order() {
+        let mut s = ScriptedSource::new(vec![(5u64, "late"), (1, "early"), (3, "mid")]);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.peek_key(), Some(&1));
+        assert_eq!(s.pop_due(&0), None, "nothing due before the first key");
+        assert_eq!(s.pop_due(&1), Some("early"));
+        assert_eq!(s.pop_due(&2), None);
+        // Progress jumps over several keys: both become due.
+        assert_eq!(s.pop_due(&10), Some("mid"));
+        assert_eq!(s.pop_due(&10), Some("late"));
+        assert_eq!(s.pop_due(&10), None);
+        assert!(s.is_exhausted());
+    }
+
+    #[test]
+    fn equal_keys_preserve_script_order() {
+        let mut s = ScriptedSource::new(vec![(2u64, 'a'), (2, 'b'), (2, 'c')]);
+        let mut got = Vec::new();
+        while let Some(e) = s.pop_due(&2) {
+            got.push(e);
+        }
+        assert_eq!(got, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn progress_never_rewinds_delivery() {
+        let mut s = ScriptedSource::new(vec![(4u64, 1), (8, 2)]);
+        assert_eq!(s.pop_due(&9), Some(1));
+        // A smaller "now" (clock misuse) cannot re-deliver or skip.
+        assert_eq!(s.pop_due(&0), None);
+        assert_eq!(s.pop_due(&8), Some(2));
+        assert_eq!(s.remaining(), 0);
+    }
+}

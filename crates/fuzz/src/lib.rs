@@ -1,0 +1,38 @@
+//! Adversarial scheduler validation: seeded timing-fuzz and
+//! fault-injection for the HSGD\* schedulers, across both execution
+//! worlds.
+//!
+//! The production schedulers ([`hsgd_core::scheduler::UniformScheduler`],
+//! [`hsgd_core::scheduler::StarScheduler`]) promise a safety contract —
+//! conflict-free block assignment, no lost or double-executed passes,
+//! progress under device faults, feedback that re-converges after bad
+//! measurements. This crate *attacks* that contract:
+//!
+//! * [`script`] — deterministic event scripts: dataset/scheduler
+//!   geometry plus injected faults (slowdowns, freezes, permanent
+//!   failures, cost-model lies), keyed by completed block passes so the
+//!   same script replays identically in virtual time and on real
+//!   threads. Serialized as a small text format for the regression
+//!   corpus in `tests/fuzz_corpus/`.
+//! * [`monitor`] — [`monitor::MonitoredScheduler`], a transparent
+//!   scheduler wrapper asserting the contract at every
+//!   dispatch/release, which doubles as the fault-injection clock.
+//! * [`devices`] — [`devices::AdversarialDevice`], a virtual-device
+//!   wrapper adding heavy-tailed latency and health-cell slowdowns.
+//! * [`harness`] — [`harness::run_script`] drives one script through
+//!   the DES world or the real-thread exclusive world;
+//!   [`harness::shrink`] minimizes failing scripts to the events that
+//!   matter.
+//!
+//! `mf-bench`'s `fuzz_smoke` binary replays the committed corpus and a
+//! batch of fresh seeds in CI.
+
+pub mod devices;
+pub mod harness;
+pub mod monitor;
+pub mod rng;
+pub mod script;
+
+pub use harness::{fuzz_seed, run_script, run_script_all, shrink, FuzzFailure, RunStats, World};
+pub use monitor::MonitoredScheduler;
+pub use script::{DevId, Event, Latency, SchedKind, Script};

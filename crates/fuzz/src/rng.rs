@@ -1,0 +1,103 @@
+//! The harness's own splitmix64 stream — deliberately independent of the
+//! vendored `rand` so a corpus script's behaviour is pinned by this
+//! crate alone.
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix(u64);
+
+impl SplitMix {
+    /// A stream seeded from `seed`.
+    pub fn new(seed: u64) -> SplitMix {
+        SplitMix(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.0)
+    }
+
+    /// Uniform in `[0, 1)` (53-bit mantissa).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// The splitmix64 finalizer as a stateless hash — used to derive
+/// per-(task, device) latency factors that are stable across replays and
+/// independent of draw order.
+pub fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A heavy-tailed (bounded Pareto) multiplicative latency factor in
+/// `[1, cap]`, derived from a hash `h`: `(1 − u)^{−1/α}` for uniform `u`.
+/// Small `α` (≈1) gives frequent large stragglers; large `α` concentrates
+/// near 1. This is the adversarial stand-in for the benign ±5% jitter the
+/// production devices model.
+pub fn pareto_factor(h: u64, alpha: f64, cap: f64) -> f64 {
+    let u = (mix(h) >> 11) as f64 / (1u64 << 53) as f64;
+    (1.0 - u).powf(-1.0 / alpha.max(0.1)).min(cap.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = SplitMix::new(3);
+        for _ in 0..1000 {
+            let v = r.range(2, 5);
+            assert!((2..=5).contains(&v));
+            let f = r.range_f64(0.5, 1.5);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pareto_factor_is_bounded_and_heavy_tailed() {
+        let mut big = 0usize;
+        for h in 0..10_000u64 {
+            let f = pareto_factor(h, 1.3, 16.0);
+            assert!((1.0..=16.0).contains(&f), "factor {f}");
+            if f > 4.0 {
+                big += 1;
+            }
+        }
+        // The tail actually occurs: a few percent of draws are > 4x.
+        assert!(big > 50, "only {big} straggler draws in 10k");
+    }
+}

@@ -283,6 +283,44 @@ impl FreeBlockPool {
         best.map(|(count, id)| (id, count))
     }
 
+    /// Un-grants an acquired block *without counting the pass*: frees its
+    /// bands, decrements its count back to the pre-acquire value, and
+    /// re-pools it. This is the failure path — a device died with the
+    /// block still queued, so the work never happened and the block must
+    /// become assignable again at its old pass number.
+    ///
+    /// Safe with the two-level heap because a held block has no entry in
+    /// any heap (its last entry was consumed by the acquire that granted
+    /// it), so rewinding its count cannot strand a stale key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not currently held (unacquire without
+    /// acquire).
+    pub fn unacquire(&mut self, id: BlockId) {
+        let flat = self.flat(id);
+        assert!(
+            self.held[flat],
+            "unacquire of {id} without acquire (bands busy: row {}, col {})",
+            self.row_busy[id.row as usize], self.col_busy[id.col as usize],
+        );
+        self.held[flat] = false;
+        self.row_busy[id.row as usize] = false;
+        self.col_busy[id.col as usize] = false;
+        self.in_flight -= 1;
+        debug_assert!(self.counts[flat] > 0, "held block must have been counted");
+        self.counts[flat] -= 1;
+        if self.scan {
+            return;
+        }
+        self.promote_row(id.row as usize);
+        self.promote_col(id.col as usize);
+        let count = self.counts[flat];
+        if self.cap.is_none_or(|cap| count < cap) {
+            self.heap.push(Reverse((count, flat as u32, Origin::Fresh)));
+        }
+    }
+
     /// Returns an acquired block: frees its bands, re-pools it (unless it
     /// has reached the cap), and promotes each band's parked minimum back
     /// into the main heap.
@@ -421,6 +459,65 @@ mod tests {
             }
             assert!(pool.counts().iter().all(|&c| c == 2));
         }
+    }
+
+    #[test]
+    fn unacquire_rewinds_count_and_reoffers_block() {
+        // Both implementations: after an unacquire the same block comes
+        // back at the same pass number, and the drain still reaches exact
+        // counts — the un-granted pass is not lost.
+        for threshold in [usize::MAX, 0] {
+            let mut pool = FreeBlockPool::with_scan_threshold(3, 3, Some(2), threshold);
+            let (id, pass) = pool.acquire().unwrap();
+            assert_eq!(pass, 0);
+            assert_eq!(pool.count(id), 1);
+            pool.unacquire(id);
+            assert_eq!(pool.count(id), 0, "unacquire must rewind the count");
+            assert_eq!(pool.in_flight(), 0);
+            // The exact same grant is offered again.
+            assert_eq!(pool.acquire(), Some((id, 0)));
+            pool.release(id);
+            while let Some((id, _)) = pool.acquire() {
+                pool.release(id);
+            }
+            assert!(pool.counts().iter().all(|&c| c == 2));
+        }
+    }
+
+    #[test]
+    fn unacquire_matches_scan_oracle_through_mixed_traffic() {
+        // Same deterministic acquire/release/unacquire schedule on both
+        // implementations: all grants and counts must stay identical.
+        let mut scan = FreeBlockPool::with_scan_threshold(5, 4, Some(3), usize::MAX);
+        let mut heap = FreeBlockPool::with_scan_threshold(5, 4, Some(3), 0);
+        let mut held: Vec<BlockId> = Vec::new();
+        for step in 0..600usize {
+            if step % 5 == 4 && !held.is_empty() {
+                let id = held.remove(step % held.len());
+                scan.unacquire(id);
+                heap.unacquire(id);
+            } else if step % 3 == 2 && !held.is_empty() {
+                let id = held.remove(step % held.len());
+                scan.release(id);
+                heap.release(id);
+            } else {
+                let a = scan.acquire();
+                let b = heap.acquire();
+                assert_eq!(a, b, "step {step}");
+                if let Some((id, _)) = a {
+                    held.push(id);
+                }
+            }
+            assert_eq!(scan.counts(), heap.counts(), "step {step}");
+            assert_eq!(scan.in_flight(), heap.in_flight());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without acquire")]
+    fn unacquire_without_acquire_panics() {
+        let mut pool = FreeBlockPool::new(2, 2, None);
+        pool.unacquire(BlockId::new(1, 1));
     }
 
     #[test]

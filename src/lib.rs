@@ -75,3 +75,7 @@ pub use mf_serve as serve;
 
 /// The virtual GPU device (SIMT kernel, PCIe model, stream pipeline).
 pub use gpu_sim as gpu;
+
+/// Adversarial scheduler validation: seeded fault scripts, the
+/// invariant monitor, and the shrinking fuzz harness.
+pub use mf_fuzz as fuzz;

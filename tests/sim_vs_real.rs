@@ -7,8 +7,9 @@
 //!   heterogeneous trainer's final test RMSE is within 0.05 of the
 //!   virtual-time trainer's.
 //! * **Exclusive-mode determinism** — fixed seed ⇒ bit-identical factors
-//!   for 1, 2, and 4 workers (the real-thread counterpart of the DES
-//!   reproducibility argument; see ARCHITECTURE.md § "Execution layers").
+//!   across the whole worker matrix (1, 2, 4 and 8 workers — the
+//!   real-thread counterpart of the DES reproducibility argument; see
+//!   ARCHITECTURE.md § "Execution layers").
 
 use hsgd_star::hetero::experiments::{preprocess_pair, star_setup};
 use hsgd_star::hetero::runtime::{run_training_real, ExecMode, ThreadedExecutor};
@@ -137,49 +138,68 @@ fn real_hetero_rmse_agrees_with_virtual_trainer() {
     }
 }
 
+/// The worker counts every exclusive-mode run must agree across. The
+/// matrix deliberately exceeds the container's likely core budget (the
+/// pool clamps internally), so oversubscription is part of the contract.
+const WORKER_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+/// One exclusive-mode run pinned to `workers` pool threads.
+fn exclusive_run_with(
+    train: &SparseMatrix,
+    test: &SparseMatrix,
+    cfg: &HeteroConfig,
+    workers: usize,
+) -> hsgd_star::hetero::TrainOutcome {
+    let setup = star_setup(train, cfg, CostModelKind::Tailored, true);
+    let pool = ThreadPool::new(workers);
+    let mut exec = ThreadedExecutor::with_pool(&pool);
+    hsgd_star::hetero::executor::train_with_executor(
+        train,
+        test,
+        setup.scheduler,
+        pool_for(cfg, setup.gpus),
+        cfg,
+        Some(setup.alpha),
+        "HSGD*/real-excl",
+        |_, _| {},
+        &mut exec,
+    )
+}
+
 #[test]
-fn exclusive_mode_is_bit_deterministic_across_1_2_4_workers() {
+fn exclusive_mode_is_bit_deterministic_across_worker_matrix() {
     let cfg = cfg();
     let (train, test) = dataset(22);
     let (train, test) = preprocess_pair(&train, &test, cfg.seed);
 
-    let run_with = |workers: usize| {
-        let setup = star_setup(&train, &cfg, CostModelKind::Tailored, true);
-        let pool = ThreadPool::new(workers);
-        let mut exec = ThreadedExecutor::with_pool(&pool);
-        hsgd_star::hetero::executor::train_with_executor(
-            &train,
-            &test,
-            setup.scheduler,
-            pool_for(&cfg, setup.gpus),
-            &cfg,
-            Some(setup.alpha),
-            "HSGD*/real-excl",
-            |_, _| {},
-            &mut exec,
-        )
-    };
-
-    let w1 = run_with(1);
-    let w2 = run_with(2);
-    let w4 = run_with(4);
-    assert_eq!(
-        w1.model, w2.model,
-        "exclusive mode must be bit-identical for 1 vs 2 workers"
-    );
-    assert_eq!(
-        w1.model, w4.model,
-        "exclusive mode must be bit-identical for 1 vs 4 workers"
-    );
-    // Scheduling artifacts agree too: same update-count distribution,
-    // same steal count, same probe values.
-    assert_eq!(w1.report.update_counts, w2.report.update_counts);
-    assert_eq!(w1.report.update_counts, w4.report.update_counts);
-    assert_eq!(w1.report.steals, w4.report.steals);
     let rmse_only = |r: &hsgd_star::hetero::RunReport| {
         r.rmse_series.iter().map(|&(_, x)| x).collect::<Vec<_>>()
     };
-    assert_eq!(rmse_only(&w1.report), rmse_only(&w4.report));
+
+    let baseline = exclusive_run_with(&train, &test, &cfg, WORKER_MATRIX[0]);
+    for &workers in &WORKER_MATRIX[1..] {
+        let run = exclusive_run_with(&train, &test, &cfg, workers);
+        assert_eq!(
+            baseline.model, run.model,
+            "exclusive mode must be bit-identical for {} vs {workers} workers",
+            WORKER_MATRIX[0]
+        );
+        // Scheduling artifacts agree too: same update-count
+        // distribution, same steal count, same probe values.
+        assert_eq!(
+            baseline.report.update_counts, run.report.update_counts,
+            "update counts diverged at {workers} workers"
+        );
+        assert_eq!(
+            baseline.report.steals, run.report.steals,
+            "steal count diverged at {workers} workers"
+        );
+        assert_eq!(
+            rmse_only(&baseline.report),
+            rmse_only(&run.report),
+            "probe series diverged at {workers} workers"
+        );
+    }
 }
 
 #[test]
