@@ -1,13 +1,14 @@
 //! `bench_gate` — the CI perf-regression gate.
 //!
-//! Re-measures the kernel, serving, real-thread heterogeneous, and
-//! end-to-end hot paths in quick mode and compares them against the
-//! committed `BENCH_hotpath.json`: the build fails (exit 1) when
-//! monomorphized-SoA kernel GFLOP/s at any supported dimension, batched
-//! top-k queries/s, heterogeneous trainer ratings/s (per execution mode,
-//! at the committed worker mix), or FPSGD ratings/s (at the committed
-//! thread count and latent dimension) drops more than the tolerance
-//! below the committed value.
+//! Re-measures the kernel, serving, serving-load, real-thread
+//! heterogeneous, and end-to-end hot paths in quick mode and compares
+//! them against the committed `BENCH_hotpath.json`: the build fails
+//! (exit 1) when monomorphized-SoA kernel GFLOP/s at any supported
+//! dimension, pooled per-query top-k queries/s, batched tile-sweep
+//! queries/s (at each committed admission batch size), heterogeneous
+//! trainer ratings/s (per execution mode, at the committed worker mix),
+//! or FPSGD ratings/s (at the committed thread count and latent
+//! dimension) drops more than the tolerance below the committed value.
 //!
 //! Knobs (environment):
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
@@ -80,6 +81,25 @@ fn main() {
             // Baselines committed before the serving layer carry no
             // section; nothing to compare until the next full run.
             println!("serving queries/s: no committed baseline — skipped");
+        }
+    }
+
+    let committed_load = hotpath::parse_serving_load(&json);
+    if committed_load.is_empty() {
+        // Baselines committed before the batched sweep carry no section;
+        // nothing to compare until the next full run.
+        println!("serving_load batched queries/s: no committed baseline — skipped");
+    } else {
+        let load = hotpath::bench_serving_load(true, 42);
+        for (batch, qps_ref) in &committed_load {
+            match load.points.iter().find(|p| p.batch == *batch) {
+                Some(p) => check(
+                    format!("serving_load batch={batch} queries/s"),
+                    p.batched_qps,
+                    *qps_ref,
+                ),
+                None => println!("serving_load batch={batch}: not re-measured — skipped"),
+            }
         }
     }
 

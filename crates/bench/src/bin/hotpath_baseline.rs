@@ -1,9 +1,9 @@
 //! `hotpath_baseline` — the recorded performance baseline for the hot-path
 //! layers every trainer funnels through (see [`mf_bench::hotpath`]).
 //!
-//! Six sections, each printed side by side against the path it replaced,
-//! and all written to `BENCH_hotpath.json` so the repo's perf trajectory
-//! has a measured point to compare future PRs against:
+//! Seven sections, each printed side by side against the path it
+//! replaced, and all written to `BENCH_hotpath.json` so the repo's perf
+//! trajectory has a measured point to compare future PRs against:
 //!
 //! 1. **Kernel** — SGD update GFLOP/s: scalar reference vs monomorphized
 //!    AoS vs monomorphized SoA (the block layout trainers now use).
@@ -13,9 +13,11 @@
 //! 3. **Ingest** — the `O(nnz)` preprocessing passes: text parse, seeded
 //!    shuffle, user-major grid build, CSR build; serial vs pooled.
 //! 4. **Eval** — the RMSE reduction, serial vs pooled.
-//! 5. **Serving** — batched top-k queries/s against the tiled
+//! 5. **Serving** — per-query top-k queries/s against the tiled
 //!    `mf-serve::FactorStore`: serial vs pooled vs warm result cache.
-//! 6. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
+//! 6. **Serving load** — the batched tile sweep under Zipf traffic:
+//!    saturated queries/s plus p50/p99 latency per admission batch size.
+//! 7. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
 //!
 //! Run with `--quick` for a CI smoke pass; the committed
 //! `BENCH_hotpath.json` comes from a full run:
@@ -125,6 +127,37 @@ fn main() {
             format!("{:.0}", sv.par_qps),
             format!("{:.0}", sv.cached_qps),
         ]],
+    );
+
+    let sl = &report.serving_load;
+    print_table(
+        &format!(
+            "hot path · batched tile sweep under Zipf load (users={}, items={}, k={}, s={})",
+            sl.users, sl.items, sl.k, sl.zipf_s
+        ),
+        &[
+            "batch",
+            "batched q/s",
+            "offered q/s",
+            "p50 µs",
+            "p99 µs",
+            "mean batch",
+            "unique frac",
+        ],
+        &sl.points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.batch.to_string(),
+                    format!("{:.0}", p.batched_qps),
+                    format!("{:.0}", p.offered_qps),
+                    format!("{:.0}", p.p50_us),
+                    format!("{:.0}", p.p99_us),
+                    format!("{:.1}", p.mean_batch),
+                    format!("{:.3}", p.unique_frac),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     print_table(

@@ -2,7 +2,8 @@
 //! through — the SGD kernel, the block scheduler, the ingest pipeline
 //! (parse → shuffle → CSR/grid build), and the evaluation reductions —
 //! plus the serving layer a trained model is deployed behind
-//! (`mf-serve` batched top-k) and the real-thread heterogeneous trainer
+//! (`mf-serve` per-query top-k and the batched tile sweep under Zipf
+//! load) and the real-thread heterogeneous trainer
 //! (`hsgd-core::runtime` driving `StarScheduler` on OS threads).
 //!
 //! Shared by two binaries:
@@ -122,6 +123,50 @@ pub struct ServingBench {
     pub cached_qps: f64,
 }
 
+/// One operating point of the batched-serving load bench: the tile sweep
+/// at a fixed admission batch size.
+pub struct LoadPoint {
+    /// Admission cap (`BatchPolicy::max_batch`) at this point.
+    pub batch: usize,
+    /// Saturated sweep throughput: back-to-back batches of `batch`
+    /// queries, no queueing.
+    pub batched_qps: f64,
+    /// Poisson arrival rate the latency columns were measured at (60% of
+    /// saturation).
+    pub offered_qps: f64,
+    /// Median latency (queue wait + batch service), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean dispatched batch size under that load.
+    pub mean_batch: f64,
+    /// Unique query groups per served query — the Zipf dedup win
+    /// (`1.0` = no duplicates, smaller = more sweeps saved).
+    pub unique_frac: f64,
+}
+
+/// Serving-load section: the batched tile sweep (`FactorStore::
+/// sweep_batch_in`) under Zipf query traffic, across admission batch
+/// sizes.
+pub struct ServingLoadBench {
+    /// Users with stored factors.
+    pub users: u32,
+    /// Items in the catalog.
+    pub items: u32,
+    /// Latent dimension.
+    pub k: usize,
+    /// Queries in the replayed mix.
+    pub queries: usize,
+    /// Top-k size per query.
+    pub count: usize,
+    /// Zipf exponent of the user popularity distribution.
+    pub zipf_s: f64,
+    /// Threads in the sweep pool.
+    pub threads: usize,
+    /// One row per admission batch size.
+    pub points: Vec<LoadPoint>,
+}
+
 /// Real-thread heterogeneous training throughput: `StarScheduler` driven
 /// by `hsgd-core::runtime` over one worker mix, per execution mode.
 pub struct HeteroRow {
@@ -169,6 +214,8 @@ pub struct HotpathReport {
     pub eval: EvalBench,
     /// Serving section.
     pub serving: ServingBench,
+    /// Batched-serving load section.
+    pub serving_load: ServingLoadBench,
     /// Real-thread heterogeneous trainer section.
     pub hetero: Vec<HeteroRow>,
     /// End-to-end section.
@@ -198,6 +245,7 @@ pub fn run(args: &BenchArgs) -> HotpathReport {
         ingest: bench_ingest(quick, args.seed),
         eval: bench_eval(quick, args.seed),
         serving: bench_serving(quick, args.seed),
+        serving_load: bench_serving_load(quick, args.seed),
         hetero: bench_hetero(quick, args.seed),
         fpsgd: bench_fpsgd(quick, args),
     }
@@ -560,34 +608,44 @@ pub fn bench_serving(quick: bool, seed: u64) -> ServingBench {
     let par = ThreadPool::global();
     let qps = |secs: f64| nqueries as f64 / secs;
 
-    let serial_secs = best_of(
-        runs,
-        || (),
-        |_| {
-            black_box(store.serve_batch_in(&queries, &serial));
-        },
-    );
-    let par_secs = best_of(
-        runs,
-        || (),
-        |_| {
-            black_box(store.serve_batch_in(&queries, par));
-        },
-    );
-    // Warm-cache pass: fill outside the timed region, then re-serve the
+    // Warm-cache store: fill outside the timed region, then re-serve the
     // identical batch — every query hits.
     let cached_store = {
         let model = Model::init(users, items, k, seed ^ 0x5e7e);
         FactorStore::new(model, 1).with_cache(users as usize)
     };
     let _ = cached_store.serve_batch_in(&queries, &serial);
-    let cached_secs = best_of(
-        runs,
-        || (),
-        |_| {
-            black_box(cached_store.serve_batch_in(&queries, &serial));
-        },
-    );
+
+    // Interleave the three variants within each round (keeping the
+    // per-variant best across rounds), like the kernel section: a
+    // host-load hiccup then hits all three about equally instead of
+    // biasing whichever variant owned that time window.
+    let mut serial_secs = f64::INFINITY;
+    let mut par_secs = f64::INFINITY;
+    let mut cached_secs = f64::INFINITY;
+    for _ in 0..runs {
+        serial_secs = serial_secs.min(best_of(
+            1,
+            || (),
+            |_| {
+                black_box(store.serve_batch_in(&queries, &serial));
+            },
+        ));
+        par_secs = par_secs.min(best_of(
+            1,
+            || (),
+            |_| {
+                black_box(store.serve_batch_in(&queries, par));
+            },
+        ));
+        cached_secs = cached_secs.min(best_of(
+            1,
+            || (),
+            |_| {
+                black_box(cached_store.serve_batch_in(&queries, &serial));
+            },
+        ));
+    }
 
     ServingBench {
         users,
@@ -599,6 +657,110 @@ pub fn bench_serving(quick: bool, seed: u64) -> ServingBench {
         serial_qps: qps(serial_secs),
         par_qps: qps(par_secs),
         cached_qps: qps(cached_secs),
+    }
+}
+
+/// The admission batch sizes the load bench (and the gate) measure at.
+pub const LOAD_BATCH_POINTS: [usize; 3] = [1024, 4096, 8192];
+
+/// Serving-load section: the batched tile sweep under Zipf query
+/// traffic, one row per admission batch size.
+///
+/// Two measurements per point:
+///
+/// * **saturated throughput** — back-to-back `sweep_batch_in` calls at
+///   the point's batch size over the whole mix (best-of, like every
+///   other section);
+/// * **latency under load** — the same mix replayed through
+///   [`mf_serve::sched::run_load`] as Poisson arrivals at 60% of that
+///   saturated rate, admission cut at the batch size or at twice its
+///   expected fill time, p50/p99 from an [`hsgd_core::stats::Histogram`].
+///
+/// The quick store is smaller (cache-friendlier, more dedup per batch),
+/// so quick ≥ full on the same silicon — the conservative direction for
+/// the gate, mirroring the other sections.
+pub fn bench_serving_load(quick: bool, seed: u64) -> ServingLoadBench {
+    use hsgd_core::stats::Histogram;
+    use mf_data::{poisson_arrivals, query_mix, QueryMixConfig};
+    use mf_serve::sched::run_load;
+    use mf_serve::{BatchPolicy, Batcher, FactorStore, Query, QueryUser};
+
+    let (users, items) = if quick {
+        (2_000u32, 8_000u32)
+    } else {
+        (10_000u32, 40_000u32)
+    };
+    let k = 32;
+    let count = 10;
+    let nqueries = 8_192;
+    let runs = if quick { 3 } else { 5 };
+    let zipf_s = 1.05;
+
+    let model = Model::init(users, items, k, seed ^ 0x5e7e);
+    let store = FactorStore::new(model, 1);
+    let mix = QueryMixConfig {
+        users,
+        items,
+        user_s: zipf_s,
+        count,
+        max_history: 32,
+        seed: seed ^ 0x717e,
+    };
+    let queries: Vec<Query> = query_mix(&mix, nqueries)
+        .into_iter()
+        .map(|s| Query {
+            user: QueryUser::Id(s.user),
+            count: s.count,
+            exclude: s.exclude,
+        })
+        .collect();
+    let pool = ThreadPool::global();
+
+    let mut points = Vec::new();
+    for batch in LOAD_BATCH_POINTS {
+        let secs = best_of(
+            runs,
+            || (),
+            |_| {
+                for chunk in queries.chunks(batch) {
+                    black_box(store.sweep_batch_in(chunk, pool));
+                }
+            },
+        );
+        let batched_qps = nqueries as f64 / secs;
+
+        let offered_qps = batched_qps * 0.6;
+        let arrivals: Vec<(f64, Query)> =
+            poisson_arrivals(offered_qps, nqueries, seed ^ batch as u64)
+                .into_iter()
+                .zip(queries.iter().cloned())
+                .collect();
+        let max_delay = 2.0 * batch as f64 / offered_qps;
+        let mut batcher = Batcher::new(BatchPolicy::fixed(batch, max_delay));
+        let report = run_load(&store, &arrivals, &mut batcher, pool);
+        let mut hist = Histogram::latency_secs();
+        for &l in &report.latencies {
+            hist.record(l);
+        }
+        points.push(LoadPoint {
+            batch,
+            batched_qps,
+            offered_qps,
+            p50_us: hist.p50() * 1e6,
+            p99_us: hist.p99() * 1e6,
+            mean_batch: report.served as f64 / report.batch_sizes.len().max(1) as f64,
+            unique_frac: report.unique as f64 / report.served.max(1) as f64,
+        });
+    }
+    ServingLoadBench {
+        users,
+        items,
+        k,
+        queries: nqueries,
+        count,
+        zipf_s,
+        threads: pool.threads(),
+        points,
     }
 }
 
@@ -825,6 +987,21 @@ pub fn to_json(r: &HotpathReport) -> String {
         sv.users, sv.items, sv.k, sv.queries, sv.count, sv.threads,
         sv.serial_qps, sv.par_qps, sv.cached_qps
     );
+    let sl = &r.serving_load;
+    let _ = writeln!(
+        s,
+        "  \"serving_load\": {{\"users\": {}, \"items\": {}, \"k\": {}, \"queries\": {}, \"count\": {}, \"zipf_s\": {}, \"threads\": {}, \"points\": [",
+        sl.users, sl.items, sl.k, sl.queries, sl.count, sl.zipf_s, sl.threads
+    );
+    for (i, p) in sl.points.iter().enumerate() {
+        let comma = if i + 1 < sl.points.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"batch\": {}, \"batched_qps\": {:.1}, \"offered_qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_batch\": {:.1}, \"unique_frac\": {:.3}}}{comma}",
+            p.batch, p.batched_qps, p.offered_qps, p.p50_us, p.p99_us, p.mean_batch, p.unique_frac
+        );
+    }
+    let _ = writeln!(s, "  ]}},");
     let _ = writeln!(s, "  \"hetero\": [");
     for (i, h) in r.hetero.iter().enumerate() {
         let comma = if i + 1 < r.hetero.len() { "," } else { "" };
@@ -880,6 +1057,16 @@ pub fn parse_kernel_rows(json: &str) -> Vec<(usize, f64, Option<f64>)> {
 pub fn parse_serving(json: &str) -> Option<f64> {
     let line = json.lines().find(|l| l.contains("\"par_qps\""))?;
     json_num(line, "par_qps")
+}
+
+/// `(batch, batched_qps)` points of a committed baseline's serving-load
+/// section. Baselines written before the batched sweep existed have
+/// none; those return empty and the gate skips the check.
+pub fn parse_serving_load(json: &str) -> Vec<(usize, f64)> {
+    json.lines()
+        .filter(|l| l.contains("\"batched_qps\""))
+        .filter_map(|l| Some((json_num(l, "batch")? as usize, json_num(l, "batched_qps")?)))
+        .collect()
 }
 
 /// Extracts `"key": "value"` from a one-object-per-line JSON fragment.
@@ -967,6 +1154,35 @@ mod tests {
                 par_qps: 1500.5,
                 cached_qps: 9000.0,
             },
+            serving_load: ServingLoadBench {
+                users: 100,
+                items: 500,
+                k: 16,
+                queries: 200,
+                count: 10,
+                zipf_s: 1.05,
+                threads: 2,
+                points: vec![
+                    LoadPoint {
+                        batch: 64,
+                        batched_qps: 25000.5,
+                        offered_qps: 15000.3,
+                        p50_us: 2200.0,
+                        p99_us: 4100.0,
+                        mean_batch: 60.1,
+                        unique_frac: 0.61,
+                    },
+                    LoadPoint {
+                        batch: 256,
+                        batched_qps: 48000.0,
+                        offered_qps: 28800.0,
+                        p50_us: 6000.0,
+                        p99_us: 12000.0,
+                        mean_batch: 250.0,
+                        unique_frac: 0.44,
+                    },
+                ],
+            },
             hetero: vec![HeteroRow {
                 label: "relaxed".into(),
                 cpu_workers: 2,
@@ -991,6 +1207,10 @@ mod tests {
         assert_eq!(parse_fpsgd(&json), Some((4, 32, 42954805.0)));
         assert_eq!(parse_serving(&json), Some(1500.5));
         assert_eq!(
+            parse_serving_load(&json),
+            vec![(64, 25000.5), (256, 48000.0)]
+        );
+        assert_eq!(
             parse_hetero(&json),
             vec![("relaxed".to_string(), 2, 12345678.0)]
         );
@@ -1004,6 +1224,11 @@ mod tests {
     #[test]
     fn parse_serving_absent_is_none() {
         assert_eq!(parse_serving("{\"fpsgd\": {\"ratings_per_s\": 1}}"), None);
+    }
+
+    #[test]
+    fn parse_serving_load_absent_is_empty() {
+        assert!(parse_serving_load("{\"serving\": {\"par_qps\": 1}}").is_empty());
     }
 
     #[test]

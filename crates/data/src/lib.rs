@@ -22,8 +22,10 @@
 
 pub mod generator;
 pub mod presets;
+pub mod queries;
 pub mod zipf;
 
 pub use generator::{Dataset, GeneratorConfig};
 pub use presets::{preset, DatasetPreset, PresetName};
+pub use queries::{poisson_arrivals, query_mix, QueryMixConfig, QuerySpec};
 pub use zipf::Zipf;

@@ -20,6 +20,17 @@
 //!   top-k queries over the `mf-par` pool, deterministically for any
 //!   thread count, with a norm-bound prune and an LRU result cache keyed
 //!   on `(user, epoch)`.
+//! * [`batch`] — the high-throughput query path:
+//!   [`batch::BatchPlan`] deduplicates a query batch, then
+//!   `FactorStore::sweep_batch` walks item tiles in the *outer* loop and
+//!   scores a register-resident panel of query factors against each
+//!   cache-hot tile, bit-identical to the per-query scan (module docs
+//!   and ARCHITECTURE.md § "Batched serving" give the argument).
+//! * [`sched`] — the admission layer in front of the sweep:
+//!   [`sched::Batcher`] cuts arriving queries into batches under a
+//!   `max_batch`/`max_delay` policy (optionally adaptive), and
+//!   [`sched::run_load`] replays a timestamped query mix against a
+//!   store, reporting per-query latencies for histogramming.
 //!
 //! The intended flow, end to end (this is `examples/serve_topk.rs`):
 //!
@@ -30,11 +41,15 @@
 //!                                      └── QueryUser::Factor ──► serve_batch ──► TopK
 //! ```
 
+pub mod batch;
 pub mod checkpoint;
 pub mod foldin;
 pub mod hash;
+pub mod sched;
 pub mod store;
 
+pub use batch::BatchPlan;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta};
 pub use foldin::{FoldIn, FoldInConfig};
+pub use sched::{BatchPolicy, Batcher, LoadReport};
 pub use store::{FactorStore, Query, QueryUser, TopK};

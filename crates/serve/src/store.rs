@@ -14,11 +14,15 @@
 //! tie-break or a strict comparison.
 //!
 //! [`FactorStore::serve_batch`] fans a query batch over the `mf-par`
-//! pool — one task per query, results written by query index — so the
-//! output is **bit-identical for any thread count**: per-query work
-//! shares no mutable state, and an optional LRU result cache (keyed on
-//! `(user, epoch, count, canonicalized exclude list)`) only ever
-//! returns values equal to what recomputation would produce.
+//! pool — query chunks as tasks, results written back in query order —
+//! so the output is **bit-identical for any thread count**: per-query
+//! work shares no mutable state, and an optional LRU result cache
+//! (keyed on `(user, epoch, count, canonicalized exclude list)`) only
+//! ever returns values equal to what recomputation would produce.
+//! [`FactorStore::sweep_batch`] (in [`crate::batch`]) is the
+//! throughput path: it plans the batch, dedups identical queries, and
+//! streams each tile through the core **once per batch** with the
+//! `mf-sgd` panel kernel — same bits, one catalog pass.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -35,15 +39,33 @@ use mf_sgd::{kernel, Model};
 pub const TILE_ITEMS: usize = 512;
 
 /// One contiguous shard of item factors.
-struct Tile {
+pub(crate) struct Tile {
     /// First item id in the tile.
-    base: u32,
+    pub(crate) base: u32,
     /// `len × k` row-major factor rows.
-    factors: Vec<f32>,
+    pub(crate) factors: Vec<f32>,
     /// Per-item Euclidean norms `|q_v|`.
-    norms: Vec<f32>,
+    pub(crate) norms: Vec<f32>,
     /// `max(norms)` — the tile's prune bound.
-    max_norm: f32,
+    pub(crate) max_norm: f32,
+}
+
+/// Widens every Cauchy–Schwarz bound past the computed-arithmetic
+/// rounding window (see the comment in [`FactorStore::serve_one`]'s
+/// scan), so a prune can only ever skip provably-losing work. Shared by
+/// the serial scan and the batched tile sweep ([`crate::batch`]), which
+/// must prune under identical conditions to stay answer-identical.
+pub(crate) const BOUND_SLACK: f32 = 1.0 + 1e-4;
+
+/// Whether a Cauchy–Schwarz `bound` proves that nothing it covers can
+/// displace the current k-th best `worst` under the oracle's *total*
+/// order. IEEE `<=` would also skip a `+0.0` bound against a `−0.0`
+/// worst (which `total_cmp` ranks strictly lower), and a NaN on either
+/// side makes the bound meaningless — Cauchy–Schwarz says nothing about
+/// NaN scores, so NaN disables pruning.
+#[inline]
+pub(crate) fn prunable(bound: f32, worst: f32) -> bool {
+    !bound.is_nan() && !worst.is_nan() && bound.total_cmp(&worst) != Ordering::Greater
 }
 
 /// Who a query scores for.
@@ -93,9 +115,9 @@ pub struct TopK {
 /// Max-heap entry ordered so the heap's *top* is the current **loser**:
 /// lowest score first, ties preferring to evict the *larger* item id
 /// (the one that loses the ascending-id tie-break).
-struct Worst {
-    item: u32,
-    score: f32,
+pub(crate) struct Worst {
+    pub(crate) item: u32,
+    pub(crate) score: f32,
 }
 
 impl PartialEq for Worst {
@@ -132,21 +154,21 @@ pub struct CacheStats {
 /// two queries share an entry exactly when they are semantically the
 /// same query; a digest here would let a collision serve one query
 /// another's withheld items.
-type CacheKey = (u32, u64, usize, Vec<u32>);
+pub(crate) type CacheKey = (u32, u64, usize, Vec<u32>);
 
 /// The LRU result cache. Plain `HashMap` + logical clock: a hit
 /// refreshes the entry's stamp, insertion past capacity evicts the
 /// stalest entry. Eviction is `O(len)` — at serving cache sizes
 /// (hundreds to low thousands of entries) a scan is faster than
 /// maintaining an intrusive list, and the map stays std-only.
-struct Lru {
+pub(crate) struct Lru {
     cap: usize,
     tick: u64,
     map: HashMap<CacheKey, (u64, TopK)>,
 }
 
 impl Lru {
-    fn get(&mut self, key: &CacheKey) -> Option<TopK> {
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<TopK> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|slot| {
@@ -155,7 +177,7 @@ impl Lru {
         })
     }
 
-    fn insert(&mut self, key: CacheKey, value: TopK) {
+    pub(crate) fn insert(&mut self, key: CacheKey, value: TopK) {
         self.tick += 1;
         if self.map.len() >= self.cap && !self.map.contains_key(&key) {
             if let Some(stalest) = self
@@ -180,10 +202,10 @@ pub struct FactorStore {
     epoch: u64,
     /// User factors, row-major (`m × k`).
     p: Vec<f32>,
-    tiles: Vec<Tile>,
-    cache: Option<Mutex<Lru>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) cache: Option<Mutex<Lru>>,
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
 }
 
 impl FactorStore {
@@ -327,22 +349,47 @@ impl FactorStore {
         result
     }
 
-    /// Answers a batch on the process-wide pool. One task per query;
-    /// results land at their query's index, so the output is the same
-    /// `Vec` for any thread count.
+    /// Answers a batch on the process-wide pool, one independent scan
+    /// per query. Results land at their query's index, so the output is
+    /// the same `Vec` for any thread count.
+    ///
+    /// This is the *per-query* batch path; queries that can share tile
+    /// sweeps should go through [`FactorStore::sweep_batch`] instead,
+    /// which streams each tile once per batch.
     pub fn serve_batch(&self, queries: &[Query]) -> Vec<TopK> {
         self.serve_batch_in(queries, ThreadPool::global())
     }
 
     /// [`FactorStore::serve_batch`] on an explicit pool.
+    ///
+    /// Queries are handed to the pool in *chunks* (a few per thread),
+    /// not one task each: per-query tasks made the pooled path slower
+    /// than serial — every `run_indexed` claim is an atomic RMW on a
+    /// shared counter plus a slot lock, which at ~0.5 ms of work per
+    /// query cost more than the parallelism bought back on small pools.
+    /// Chunking amortizes that overhead across `CHUNK_PER_THREAD × threads`
+    /// tasks while still leaving enough tasks for the pool's
+    /// work-stealing to balance uneven queries.
     pub fn serve_batch_in(&self, queries: &[Query], pool: &ThreadPool) -> Vec<TopK> {
-        let slots: Vec<Mutex<Option<TopK>>> = queries.iter().map(|_| Mutex::new(None)).collect();
-        pool.run_indexed(queries.len(), |i| {
-            *slots[i].lock().expect("slot lock") = Some(self.serve_one(&queries[i]));
+        /// Tasks per pool thread: enough slack for stealing to smooth
+        /// out expensive queries, few enough that per-task overhead
+        /// stays amortized.
+        const CHUNK_PER_THREAD: usize = 4;
+        let chunk = queries
+            .len()
+            .div_ceil(pool.threads() * CHUNK_PER_THREAD)
+            .max(1);
+        let ntasks = queries.len().div_ceil(chunk);
+        let slots: Vec<Mutex<Vec<TopK>>> = (0..ntasks).map(|_| Mutex::new(Vec::new())).collect();
+        pool.run_indexed(ntasks, |t| {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(queries.len());
+            let answers: Vec<TopK> = queries[lo..hi].iter().map(|q| self.serve_one(q)).collect();
+            *slots[t].lock().expect("slot lock") = answers;
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("slot lock").expect("query answered"))
+            .flat_map(|s| s.into_inner().expect("slot lock"))
             .collect()
     }
 
@@ -351,7 +398,7 @@ impl FactorStore {
     /// key on, so they always scan. The exclude list is canonicalized
     /// (sorted, deduped), so order/duplicate variants of the same query
     /// share one entry.
-    fn cache_key(&self, query: &Query) -> Option<CacheKey> {
+    pub(crate) fn cache_key(&self, query: &Query) -> Option<CacheKey> {
         self.cache.as_ref()?;
         match query.user {
             QueryUser::Id(u) => {
@@ -383,27 +430,18 @@ impl FactorStore {
 
         // Cauchy–Schwarz gives score ≤ |p|·|q| in exact arithmetic; the
         // *computed* dot can exceed the *computed* norm product by a few
-        // ulps of accumulated rounding. The slack widens every bound past
-        // that window so the prune can only ever skip provably-losing
-        // work — keeping the scan's answer equal to the unpruned oracle's
-        // bit for bit.
-        const BOUND_SLACK: f32 = 1.0 + 1e-4;
+        // ulps of accumulated rounding. BOUND_SLACK widens every bound
+        // past that window so the prune can only ever skip
+        // provably-losing work — keeping the scan's answer equal to the
+        // unpruned oracle's bit for bit.
         let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(query.count + 1);
         for tile in &self.tiles {
             // Tile prune: no score inside can exceed |p|·max|q|. Once the
             // heap is full, a candidate must beat the current worst
             // *strictly* (items arrive in ascending id order, so an equal
             // score always loses the tie-break) — `bound ≤ worst` proves
-            // the whole tile irrelevant.
-            // A skip is legal only when the bound provably cannot beat
-            // the current worst under the oracle's *total* order: IEEE
-            // `<=` would also skip a +0.0 bound against a −0.0 worst
-            // (which total_cmp ranks strictly lower), and a NaN on
-            // either side makes the bound meaningless — Cauchy–Schwarz
-            // says nothing about NaN scores, so NaN disables pruning.
-            let prunable = |bound: f32, worst: f32| {
-                !bound.is_nan() && !worst.is_nan() && bound.total_cmp(&worst) != Ordering::Greater
-            };
+            // the whole tile irrelevant. See `prunable` for why the
+            // comparison runs under the oracle's total order.
             if heap.len() == query.count {
                 let worst = heap.peek().expect("full heap").score;
                 if prunable(p_norm * tile.max_norm * BOUND_SLACK, worst) {

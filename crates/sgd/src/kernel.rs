@@ -44,7 +44,7 @@ macro_rules! dispatch_k {
             128 => $mono::<128>($($args),*),
             k => {
                 debug_assert!(
-                    !is_monomorphized(k),
+                    !crate::kernel::is_monomorphized(k),
                     "dimension {k} is in MONO_DIMS but has no dispatch arm"
                 );
                 $fallback
@@ -52,6 +52,8 @@ macro_rules! dispatch_k {
         }
     };
 }
+
+pub(crate) use dispatch_k;
 
 const _: () = assert!(
     matches!(MONO_DIMS, [8, 16, 32, 64, 128]),

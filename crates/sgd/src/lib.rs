@@ -29,6 +29,7 @@ pub mod kernel;
 pub mod model;
 pub mod sequential;
 pub mod shared;
+pub mod sweep;
 
 pub use hyper::{HyperParams, LearningRate};
 pub use model::Model;
