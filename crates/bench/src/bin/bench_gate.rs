@@ -1,17 +1,27 @@
 //! `bench_gate` — the CI perf-regression gate.
 //!
-//! Re-measures the kernel, serving, serving-load, real-thread
-//! heterogeneous, and end-to-end hot paths in quick mode and compares
-//! them against the committed `BENCH_hotpath.json`: the build fails
-//! (exit 1) when monomorphized-SoA kernel GFLOP/s at any supported
-//! dimension, pooled per-query top-k queries/s, batched tile-sweep
-//! queries/s (at each committed admission batch size), heterogeneous
-//! trainer ratings/s (per execution mode, at the committed worker mix),
-//! or FPSGD ratings/s (at the committed thread count and latent
-//! dimension) drops more than the tolerance below the committed value.
+//! Re-measures the kernel, serving, serving-load, online-lifecycle,
+//! real-thread heterogeneous, and end-to-end hot paths in quick mode
+//! and compares them against the committed `BENCH_hotpath.json`: the
+//! build fails (exit 1) when monomorphized-SoA kernel GFLOP/s at any
+//! supported dimension, pooled per-query top-k queries/s, batched
+//! tile-sweep queries/s (at each committed admission batch size),
+//! lifecycle delta-publish or recovery MB/s (the crash-safe live
+//! loop's storage hot path), heterogeneous trainer ratings/s (per
+//! execution mode, at the committed worker mix), or FPSGD ratings/s
+//! (at the committed thread count and latent dimension) drops more
+//! than the tolerance below the committed value.
 //!
 //! Knobs (environment):
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
+//! * `BENCH_GATE_TOLERANCE_STORAGE` — allowed fractional drop for the
+//!   lifecycle storage checks (default `0.50`). Publish MB/s rides the
+//!   host's fsync latency and recovery MB/s the process's allocator /
+//!   page-cache state, both of which swing far more run-to-run than
+//!   CPU-bound sections; the wide floor still catches the failure
+//!   modes that matter there (a lost write-combining path, a
+//!   per-record fsync, quadratic recovery), which are order-of-
+//!   magnitude, not tens of percent.
 //! * `BENCH_GATE_SKIP=1` — report but never fail (escape hatch for
 //!   known-slow hosts).
 //!
@@ -37,10 +47,15 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.20);
+    let storage_tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE_STORAGE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.50);
     let skip = std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1");
     let floor = 1.0 - tolerance;
+    let storage_floor = 1.0 - storage_tolerance;
     let mut failures = 0usize;
-    let mut check = |label: String, measured: f64, committed: f64| {
+    let mut check = |label: String, measured: f64, committed: f64, floor: f64| {
         let ratio = measured / committed;
         let verdict = if ratio >= floor { "ok" } else { "REGRESSED" };
         println!(
@@ -68,6 +83,7 @@ fn main() {
                 format!("kernel k={}", row.k),
                 row.soa_gflops,
                 soa_ref.unwrap_or(mono_ref),
+                floor,
             );
         }
     }
@@ -75,7 +91,12 @@ fn main() {
     match hotpath::parse_serving(&json) {
         Some(qps_ref) => {
             let serving = hotpath::bench_serving(true, 42);
-            check("serving queries/s".to_string(), serving.par_qps, qps_ref);
+            check(
+                "serving queries/s".to_string(),
+                serving.par_qps,
+                qps_ref,
+                floor,
+            );
         }
         None => {
             // Baselines committed before the serving layer carry no
@@ -97,9 +118,36 @@ fn main() {
                     format!("serving_load batch={batch} queries/s"),
                     p.batched_qps,
                     *qps_ref,
+                    floor,
                 ),
                 None => println!("serving_load batch={batch}: not re-measured — skipped"),
             }
+        }
+    }
+
+    match hotpath::parse_lifecycle(&json) {
+        Some((delta_ref, recover_ref)) => {
+            // Quick mode keeps the full run's record geometry, so the
+            // fsync-bound MB/s numbers compare like for like; only the
+            // storage throughputs gate — swap/lag are informational.
+            let lc = hotpath::bench_lifecycle(true, 42);
+            check(
+                "lifecycle delta publish MB/s".to_string(),
+                lc.delta_write_mbs,
+                delta_ref,
+                storage_floor,
+            );
+            check(
+                "lifecycle recovery MB/s".to_string(),
+                lc.recover_mbs,
+                recover_ref,
+                storage_floor,
+            );
+        }
+        None => {
+            // Baselines committed before the live loop carry no
+            // section; nothing to compare until the next full run.
+            println!("lifecycle MB/s: no committed baseline — skipped");
         }
     }
 
@@ -117,6 +165,7 @@ fn main() {
                     format!("hetero {label} ratings/s (cpu_workers={workers})"),
                     h.ratings_per_s,
                     *rate_ref,
+                    floor,
                 ),
                 None => println!("hetero {label}: not re-measured — skipped"),
             }
@@ -130,6 +179,7 @@ fn main() {
                 format!("fpsgd ratings/s (threads={threads}, k={k})"),
                 e2e.ratings_per_s,
                 ratings_ref,
+                floor,
             );
         }
         None => {

@@ -1,7 +1,7 @@
 //! `hotpath_baseline` — the recorded performance baseline for the hot-path
 //! layers every trainer funnels through (see [`mf_bench::hotpath`]).
 //!
-//! Seven sections, each printed side by side against the path it
+//! Eight sections, each printed side by side against the path it
 //! replaced, and all written to `BENCH_hotpath.json` so the repo's perf
 //! trajectory has a measured point to compare future PRs against:
 //!
@@ -17,7 +17,10 @@
 //!    `mf-serve::FactorStore`: serial vs pooled vs warm result cache.
 //! 6. **Serving load** — the batched tile sweep under Zipf traffic:
 //!    saturated queries/s plus p50/p99 latency per admission batch size.
-//! 7. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
+//! 7. **Lifecycle** — the crash-safe `mf-serve::live` loop: delta and
+//!    snapshot publish MB/s, directory recovery, versioned-swap latency,
+//!    and reader-observed epoch lag.
+//! 8. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
 //!
 //! Run with `--quick` for a CI smoke pass; the committed
 //! `BENCH_hotpath.json` comes from a full run:
@@ -158,6 +161,40 @@ fn main() {
                 ]
             })
             .collect::<Vec<_>>(),
+    );
+
+    let lc = &report.lifecycle;
+    print_table(
+        &format!(
+            "hot path · crash-safe online lifecycle (users={}, items={}, k={}, {}/epoch)",
+            lc.users, lc.items, lc.k, lc.per_epoch
+        ),
+        &[
+            "epochs",
+            "deltas",
+            "snaps",
+            "disk MB",
+            "delta MB/s",
+            "snap MB/s",
+            "recover ms",
+            "recover MB/s",
+            "swap p50 µs",
+            "swap p99 µs",
+            "lag p99",
+        ],
+        &[vec![
+            lc.epochs.to_string(),
+            lc.deltas.to_string(),
+            lc.snapshots.to_string(),
+            format!("{:.1}", lc.bytes as f64 / 1e6),
+            format!("{:.0}", lc.delta_write_mbs),
+            format!("{:.0}", lc.snapshot_write_mbs),
+            format!("{:.2}", lc.recover_ms),
+            format!("{:.0}", lc.recover_mbs),
+            format!("{:.2}", lc.swap_p50_us),
+            format!("{:.2}", lc.swap_p99_us),
+            lc.lag_p99.to_string(),
+        ]],
     );
 
     print_table(

@@ -182,6 +182,107 @@ impl Histogram {
     }
 }
 
+/// Serving-staleness instrument: the distribution of the **epoch lag** a
+/// reader observes — how many epochs the trainer is ahead of the version
+/// currently being served. Lags are small integers (a healthy live loop
+/// sits at 0 or 1), so this is an exact linear-bucket counter rather than
+/// a log-spaced [`Histogram`]: one bucket per lag up to
+/// [`EpochLag::MAX_TRACKED`], plus an overflow bucket reported as the
+/// maximum recorded lag. `record` is O(1); quantiles are exact
+/// nearest-rank values (no bucket overshoot) for every tracked lag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochLag {
+    /// `counts[lag]` for `lag ≤ MAX_TRACKED`.
+    counts: Vec<u64>,
+    /// Samples beyond the tracked range.
+    overflow: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for EpochLag {
+    fn default() -> Self {
+        EpochLag::new()
+    }
+}
+
+impl EpochLag {
+    /// Largest lag tracked exactly; anything beyond lands in overflow
+    /// (and is reported as the recorded maximum).
+    pub const MAX_TRACKED: u64 = 64;
+
+    /// An empty lag distribution.
+    pub fn new() -> EpochLag {
+        EpochLag {
+            counts: vec![0; Self::MAX_TRACKED as usize + 1],
+            overflow: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observed lag (in epochs).
+    pub fn record(&mut self, lag: u64) {
+        if lag <= Self::MAX_TRACKED {
+            self.counts[lag as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.max = self.max.max(lag);
+    }
+
+    /// Adds `other`'s counts into `self` (per-thread instruments merge
+    /// exactly — the grids are identical by construction).
+    pub fn merge(&mut self, other: &EpochLag) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) by the nearest-rank rule — exact
+    /// for tracked lags, the recorded maximum when the rank falls in
+    /// overflow. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile needs q in [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (lag, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return lag as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Median lag.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile lag.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Largest recorded lag (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+}
+
 /// Distribution statistics over per-block update counts — the measurement
 /// behind the paper's Example 3 (HSGD's skewed updates) and Fig. 4.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -298,6 +399,44 @@ impl RunReport {
 
 #[cfg(test)]
 mod tests {
+    mod epoch_lag {
+        use crate::stats::EpochLag;
+
+        #[test]
+        fn quantiles_are_exact_and_merge_adds() {
+            let mut a = EpochLag::new();
+            for _ in 0..98 {
+                a.record(0);
+            }
+            a.record(1);
+            a.record(3);
+            assert_eq!(a.count(), 100);
+            assert_eq!(a.p50(), 0);
+            assert_eq!(a.p99(), 1);
+            assert_eq!(a.quantile(1.0), 3);
+            assert_eq!(a.max(), 3);
+
+            let mut b = EpochLag::new();
+            for _ in 0..300 {
+                b.record(5);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), 400);
+            assert_eq!(a.p50(), 5);
+            assert_eq!(a.max(), 5);
+        }
+
+        #[test]
+        fn overflow_reports_recorded_max() {
+            let mut h = EpochLag::new();
+            h.record(EpochLag::MAX_TRACKED + 100);
+            assert_eq!(h.p50(), EpochLag::MAX_TRACKED + 100);
+            assert_eq!(h.max(), EpochLag::MAX_TRACKED + 100);
+            // Empty distribution is all zeros, not NaN-ish.
+            assert_eq!(EpochLag::new().p99(), 0);
+        }
+    }
+
     use super::*;
     use proptest::prelude::*;
 

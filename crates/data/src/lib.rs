@@ -23,9 +23,11 @@
 pub mod generator;
 pub mod presets;
 pub mod queries;
+pub mod stream;
 pub mod zipf;
 
 pub use generator::{Dataset, GeneratorConfig};
 pub use presets::{preset, DatasetPreset, PresetName};
 pub use queries::{poisson_arrivals, query_mix, QueryMixConfig, QuerySpec};
+pub use stream::{ingest_stream, IngestConfig, IngestEvent};
 pub use zipf::Zipf;

@@ -1,0 +1,174 @@
+//! Replayable rating-ingest streams for the online lifecycle.
+//!
+//! The live train-and-serve loop consumes a *stream* of ratings rather
+//! than a frozen matrix: known users rating known items, interleaved
+//! with genuinely new users and items arriving for the first time. This
+//! module generates such a stream deterministically, with the two
+//! properties the lifecycle machinery exercises:
+//!
+//! * **Growth.** A configurable fraction of events name the *next*
+//!   unseen user (or item) id, so the model must fold rows in
+//!   mid-flight. New ids are allocated densely (`users`, `users+1`, …)
+//!   — exactly how the trainer grows its matrices.
+//! * **Skew.** Existing users/items are drawn with a cheap head-biased
+//!   law (squared-uniform), so hot rows are rewritten repeatedly — the
+//!   regime where row-level delta checkpoints beat full snapshots.
+//!
+//! Replay determinism is the point: the same `(config, n)` always
+//! yields the same stream, so a kill-and-recover run and its reference
+//! run ingest identical ratings (`mf-fuzz` leans on this).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic ingest stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestConfig {
+    /// Users known at stream start (ids `0..users`).
+    pub users: u32,
+    /// Items known at stream start.
+    pub items: u32,
+    /// Probability an event introduces the next unseen user id.
+    pub new_user_frac: f64,
+    /// Probability an event introduces the next unseen item id.
+    pub new_item_frac: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl IngestConfig {
+    /// A lifecycle-flavored default: ~10% new users, ~5% new items.
+    pub fn lifecycle(users: u32, items: u32, seed: u64) -> IngestConfig {
+        IngestConfig {
+            users,
+            items,
+            new_user_frac: 0.10,
+            new_item_frac: 0.05,
+            seed,
+        }
+    }
+}
+
+/// One ingested rating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestEvent {
+    /// Rating user (possibly first seen here).
+    pub user: u32,
+    /// Rated item (possibly first seen here).
+    pub item: u32,
+    /// Rating value in `[1, 5]`.
+    pub rating: f32,
+}
+
+/// Draws `n` ingest events. Deterministic in `cfg.seed`; new ids are
+/// allocated densely from `cfg.users` / `cfg.items` upward, and an id
+/// introduced by event *i* is an "existing" id for every later event.
+///
+/// # Panics
+///
+/// Panics unless `users`, `items` are positive and the fractions are
+/// in `[0, 1]`.
+pub fn ingest_stream(cfg: &IngestConfig, n: usize) -> Vec<IngestEvent> {
+    assert!(cfg.users > 0 && cfg.items > 0, "need a non-empty universe");
+    assert!(
+        (0.0..=1.0).contains(&cfg.new_user_frac) && (0.0..=1.0).contains(&cfg.new_item_frac),
+        "fractions must be probabilities"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ INGEST_SEED_SALT);
+    let mut next_user = cfg.users;
+    let mut next_item = cfg.items;
+    // Squared-uniform head bias: P(id < x·N) = √x — hot head, long
+    // tail, no per-draw Zipf table rebuild as the universe grows.
+    let head_biased = |rng: &mut StdRng, n: u32| -> u32 {
+        let u: f64 = rng.random();
+        ((u * u * n as f64) as u32).min(n - 1)
+    };
+    (0..n)
+        .map(|_| {
+            let user = if rng.random::<f64>() < cfg.new_user_frac {
+                next_user += 1;
+                next_user - 1
+            } else {
+                head_biased(&mut rng, next_user)
+            };
+            let item = if rng.random::<f64>() < cfg.new_item_frac {
+                next_item += 1;
+                next_item - 1
+            } else {
+                head_biased(&mut rng, next_item)
+            };
+            // A crude planted preference keeps ratings learnable-ish
+            // (hash-structured, not pure noise) within [1, 5].
+            let pref =
+                ((user as u64).wrapping_mul(2654435761) ^ (item as u64).wrapping_mul(40503)) % 5;
+            let jitter = rng.random::<f64>();
+            IngestEvent {
+                user,
+                item,
+                rating: (1.0 + pref as f64 * 0.8 + jitter * 0.8).min(5.0) as f32,
+            }
+        })
+        .collect()
+}
+
+/// Domain-separates the ingest stream from the other seeded generators
+/// sharing a master seed.
+const INGEST_SEED_SALT: u64 = 0x5f1e_57e4_a21b_90d3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> IngestConfig {
+        IngestConfig::lifecycle(100, 150, 11)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        assert_eq!(ingest_stream(&cfg(), 500), ingest_stream(&cfg(), 500));
+        assert_ne!(
+            ingest_stream(&cfg(), 500),
+            ingest_stream(&IngestConfig { seed: 12, ..cfg() }, 500)
+        );
+    }
+
+    #[test]
+    fn new_ids_are_dense_and_arrive_at_roughly_the_rate() {
+        let events = ingest_stream(&cfg(), 4000);
+        let mut max_user = 99u32;
+        let mut max_item = 149u32;
+        let mut new_users = 0usize;
+        for e in &events {
+            assert!(e.user <= max_user + 1, "user ids must grow densely");
+            assert!(e.item <= max_item + 1, "item ids must grow densely");
+            if e.user > max_user {
+                max_user = e.user;
+                new_users += 1;
+            }
+            max_item = max_item.max(e.item);
+            assert!((1.0..=5.0).contains(&e.rating), "rating {}", e.rating);
+        }
+        let frac = new_users as f64 / events.len() as f64;
+        assert!(
+            (0.05..0.15).contains(&frac),
+            "new-user rate {frac:.3} far from configured 0.10"
+        );
+    }
+
+    #[test]
+    fn existing_draws_favor_the_head() {
+        let events = ingest_stream(
+            &IngestConfig {
+                new_user_frac: 0.0,
+                new_item_frac: 0.0,
+                ..cfg()
+            },
+            4000,
+        );
+        let head = events.iter().filter(|e| e.user < 25).count();
+        assert!(
+            head as f64 / events.len() as f64 > 0.4,
+            "head-biased law should concentrate on low ids ({head}/4000)"
+        );
+    }
+}

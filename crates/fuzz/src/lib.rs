@@ -24,15 +24,31 @@
 //!   [`harness::shrink`] minimizes failing scripts to the events that
 //!   matter.
 //!
-//! `mf-bench`'s `fuzz_smoke` binary replays the committed corpus and a
-//! batch of fresh seeds in CI.
+//! A second fuzz surface attacks the **durability layer** instead of
+//! the schedulers:
+//!
+//! * [`iofault`] — [`iofault::FaultFs`], an in-memory filesystem
+//!   injecting short writes, ENOSPC, byte-exact crash kills, torn
+//!   renames, and bit flips under the live train-and-serve loop
+//!   (`mf_serve::live`), plus [`iofault::run_io_script`], the
+//!   kill-and-recover harness auditing `mf_serve::delta::recover`
+//!   against a shadow log of acked epochs. Scenarios serialize as
+//!   `hsgd-fuzz io v1` scripts next to the scheduler ones.
+//!
+//! `mf-bench`'s `fuzz_smoke` binary replays the committed corpus (both
+//! script kinds) and a batch of fresh seeds in CI.
 
 pub mod devices;
 pub mod harness;
+pub mod iofault;
 pub mod monitor;
 pub mod rng;
 pub mod script;
 
 pub use harness::{fuzz_seed, run_script, run_script_all, shrink, FuzzFailure, RunStats, World};
+pub use iofault::{
+    fuzz_io_seed, probe_offsets, run_io_script, run_io_script_with, shrink_io, FaultFs, IoEvent,
+    IoFailure, IoOptions, IoRunStats, IoScript, CRASH_MSG,
+};
 pub use monitor::MonitoredScheduler;
 pub use script::{DevId, Event, Latency, SchedKind, Script};

@@ -406,14 +406,15 @@ impl fmt::Display for Script {
     }
 }
 
-/// key=value accessor over one line's fields.
-struct Fields<'a> {
+/// key=value accessor over one line's fields. Shared with the
+/// IO-fault script parser ([`crate::iofault`]).
+pub(crate) struct Fields<'a> {
     line: &'a str,
     parts: Vec<(&'a str, &'a str)>,
 }
 
 impl<'a> Fields<'a> {
-    fn parse(line: &'a str, rest: &'a str) -> Result<Fields<'a>, String> {
+    pub(crate) fn parse(line: &'a str, rest: &'a str) -> Result<Fields<'a>, String> {
         let mut parts = Vec::new();
         for tok in rest.split_whitespace() {
             let (k, v) = tok
@@ -424,7 +425,7 @@ impl<'a> Fields<'a> {
         Ok(Fields { line, parts })
     }
 
-    fn get<T: FromStr>(&self, key: &str) -> Result<T, String> {
+    pub(crate) fn get<T: FromStr>(&self, key: &str) -> Result<T, String> {
         let (_, v) = self
             .parts
             .iter()

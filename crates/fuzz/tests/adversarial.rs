@@ -1,7 +1,7 @@
 //! End-to-end adversarial runs: generated seeds and the committed
 //! regression corpus, replayed through both execution worlds.
 
-use mf_fuzz::{fuzz_seed, run_script, shrink, Event, Script, World};
+use mf_fuzz::{fuzz_seed, run_io_script, run_script, shrink, Event, IoScript, Script, World};
 
 /// Pinned seeds exercised in both worlds on every test run. The
 /// `fuzz_smoke` bench binary covers a much wider random batch.
@@ -136,6 +136,18 @@ fn corpus_scripts_replay_green_in_both_worlds() {
     assert!(!entries.is_empty(), "fuzz corpus is empty");
     for path in entries {
         let text = std::fs::read_to_string(&path).expect("readable script");
+        // Dispatch on the magic line: storage-lifecycle scripts replay
+        // through the fault-injected durability harness, scheduler
+        // scripts through both execution worlds.
+        if text.lines().next().map(str::trim) == Some(IoScript::MAGIC) {
+            let script: IoScript = text
+                .parse()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            if let Err(f) = run_io_script(&script) {
+                panic!("{} failed the durability harness:\n{f}", path.display());
+            }
+            continue;
+        }
         let script: Script = text
             .parse()
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));

@@ -1,0 +1,122 @@
+//! The fault-injected durability suite: committed lifecycle scenarios,
+//! a batch of fresh generated ones, and a negative test proving the
+//! harness actually detects silent corruption.
+
+use mf_fuzz::{
+    fuzz_io_seed, probe_offsets, run_io_script, run_io_script_with, shrink_io, IoEvent, IoOptions,
+    IoScript,
+};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fuzz_corpus")
+}
+
+/// Every committed IO scenario (`hsgd-fuzz io v1` magic) replays green.
+#[test]
+fn corpus_lifecycle_scripts_replay_green() {
+    let mut seen = 0;
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fz"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("read corpus file");
+        if text.lines().next().map(str::trim) != Some(IoScript::MAGIC) {
+            continue; // a scheduler script; fuzz_smoke covers it
+        }
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let script: IoScript = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let stats = run_io_script(&script).unwrap_or_else(|f| panic!("{name}: {f}"));
+        assert!(
+            stats.crashed || stats.recovered_epoch.is_some(),
+            "{name}: scenario exercised nothing"
+        );
+        seen += 1;
+    }
+    assert!(
+        seen >= 3,
+        "expected ≥ 3 committed lifecycle scenarios, found {seen}"
+    );
+}
+
+/// Freshly generated hostile scenarios hold the durability contract.
+#[test]
+fn fresh_io_seeds_hold_the_contract() {
+    for seed in 0..30u64 {
+        if let Err(f) = fuzz_io_seed(seed) {
+            let script = IoScript::generate(seed);
+            let minimal = shrink_io(&script, |c| run_io_script(c).is_err());
+            panic!("seed {seed}: {f}\nshrunk:\n{minimal}");
+        }
+    }
+}
+
+/// A scenario whose only fault is a bit flip in a mid-chain acked
+/// delta: honestly audited it passes (recovery degrades to the last
+/// intact prefix, which the oracle expects), but an oracle that
+/// pretends the flip never happened must be caught — proving the
+/// harness detects silently corrupted recoveries rather than
+/// vacuously passing.
+#[test]
+fn harness_detects_silent_corruption() {
+    let mut script = IoScript {
+        seed: 17,
+        users: 24,
+        items: 32,
+        k: 6,
+        epochs: 5,
+        per_epoch: 25,
+        new_user_frac: 0.08,
+        new_item_frac: 0.04,
+        snapshot_every: 10, // all deltas: the chain is load-bearing
+        events: Vec::new(),
+    };
+    let offsets = probe_offsets(&script);
+    // Flip a byte of epoch 2's delta once epoch 3 is writing; then the
+    // chain 0 → 1 → 2 → … is severed at 1.
+    script.events.push(IoEvent::BitFlip {
+        at: offsets[2] + 1,
+        file: "delta_epoch_00002.mfckd".to_string(),
+        byte: 321,
+    });
+    // Kill the run mid-way through epoch 5's delta.
+    script.events.push(IoEvent::Crash {
+        at: offsets[4] + 40,
+    });
+
+    let stats = run_io_script(&script).expect("honest audit is green");
+    assert!(stats.crashed);
+    assert_eq!(
+        stats.recovered_epoch,
+        Some(1),
+        "the flip severs the chain after epoch 1"
+    );
+
+    let fail = run_io_script_with(&script, IoOptions { ignore_flips: true })
+        .expect_err("a flip-blind oracle must be caught");
+    assert!(
+        fail.violations
+            .iter()
+            .any(|v| v.contains("recovered epoch")),
+        "wrong violation class: {fail}"
+    );
+
+    // Shrinking under the broken oracle keeps both events: the flip
+    // causes the divergence, the crash makes epoch 4 acked-but-lost.
+    let minimal = shrink_io(&script, |c| {
+        run_io_script_with(c, IoOptions { ignore_flips: true }).is_err()
+    });
+    assert!(
+        minimal
+            .events
+            .iter()
+            .any(|e| matches!(e, IoEvent::BitFlip { .. })),
+        "shrink dropped the load-bearing flip: {minimal}"
+    );
+}

@@ -100,6 +100,32 @@ pub enum CheckpointError {
     },
     /// The reserved header field was not zero (set by a future writer).
     ReservedNonZero,
+    /// The file ended mid-record — a torn tail from an interrupted
+    /// write, not corruption of bytes that exist. Recovery treats the
+    /// two differently: torn files are the expected debris of a crash
+    /// (truncate back to the last durable record); checksum mismatches
+    /// mean bytes rotted in place.
+    Torn {
+        /// The section the stream ran dry in: `"header"`, `"P"`, `"Q"`,
+        /// or (for v2 deltas) `"P-runs"` / `"Q-runs"`.
+        section: &'static str,
+    },
+    /// A v2 delta's run table is inconsistent (overlapping, descending,
+    /// or out-of-range row runs) despite a valid checksum — a bogus
+    /// file written whole, not an accident.
+    BadRuns {
+        /// The section with the bad run table.
+        section: &'static str,
+    },
+    /// A v2 delta was applied to a model at the wrong epoch: deltas
+    /// chain strictly (`delta.base_epoch` must equal the epoch of the
+    /// state it patches).
+    BaseMismatch {
+        /// The base epoch the delta expects.
+        delta_base: u64,
+        /// The epoch of the state it was applied to.
+        have_epoch: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -124,6 +150,19 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ReservedNonZero => {
                 write!(f, "reserved header field is non-zero (written by a newer format?)")
             }
+            CheckpointError::Torn { section } => {
+                write!(f, "torn tail: file ends mid-{section} (interrupted write)")
+            }
+            CheckpointError::BadRuns { section } => {
+                write!(f, "invalid row-run table in {section} section")
+            }
+            CheckpointError::BaseMismatch {
+                delta_base,
+                have_epoch,
+            } => write!(
+                f,
+                "delta chains from epoch {delta_base} but the state is at epoch {have_epoch}"
+            ),
         }
     }
 }
@@ -134,6 +173,23 @@ impl From<io::Error> for CheckpointError {
     fn from(e: io::Error) -> Self {
         CheckpointError::Io(e)
     }
+}
+
+/// `read_exact` that types truncation: a stream running dry is a
+/// [`CheckpointError::Torn`] tail (an interrupted write), distinct from
+/// every other I/O failure. Shared with the v2 delta reader.
+pub(crate) fn read_exact_or_torn<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Torn { section }
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
 }
 
 /// Writes one factor buffer as a checksummed section: the raw f32 stream
@@ -161,8 +217,8 @@ fn read_section<R: Read>(
 ) -> Result<Vec<f32>, CheckpointError> {
     // Capacity grows with the bytes actually read rather than trusting
     // the header: a corrupt-but-checksummed geometry claiming terabytes
-    // must fail with a truncation `Io` error when the stream runs dry,
-    // not abort the process in the allocator.
+    // must fail as a `Torn` tail when the stream runs dry, not abort
+    // the process in the allocator.
     let mut out = Vec::with_capacity(len.min(CHUNK / 4));
     let mut hasher = Xxh64::new(0);
     let mut buf = vec![0u8; CHUNK];
@@ -170,7 +226,7 @@ fn read_section<R: Read>(
     while remaining > 0 {
         let take = remaining.min(CHUNK);
         let bytes = &mut buf[..take];
-        r.read_exact(bytes)?;
+        read_exact_or_torn(r, bytes, section)?;
         hasher.update(bytes);
         for quad in bytes.chunks_exact(4) {
             out.push(f32::from_le_bytes(quad.try_into().expect("4 bytes")));
@@ -178,7 +234,7 @@ fn read_section<R: Read>(
         remaining -= take;
     }
     let mut b8 = [0u8; 8];
-    r.read_exact(&mut b8)?;
+    read_exact_or_torn(r, &mut b8, section)?;
     let expected = u64::from_le_bytes(b8);
     let actual = hasher.digest();
     if expected != actual {
@@ -224,21 +280,41 @@ pub fn write_checkpoint<W: Write>(model: &Model, meta: CheckpointMeta, w: W) -> 
     w.flush()
 }
 
-/// Saves a checkpoint to a file path.
+/// Saves a checkpoint to a file path **atomically**: the bytes stream
+/// into `path + ".tmp"`, are fsynced, and only then renamed over
+/// `path` — a crash at any byte leaves either the previous file intact
+/// or orphaned temp debris, never a half-written checkpoint under the
+/// final name (see [`crate::vfs`]).
 pub fn save<P: AsRef<Path>>(model: &Model, meta: CheckpointMeta, path: P) -> io::Result<()> {
-    write_checkpoint(model, meta, File::create(path)?)
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    crate::vfs::Vfs::publish(&crate::vfs::RealFs, dir, &name, &mut |w| {
+        write_checkpoint(model, meta, w)
+    })
 }
 
-/// Reads a checkpoint from any source, verifying all three checksums.
-pub fn read_checkpoint<R: Read>(r: R) -> Result<Checkpoint, CheckpointError> {
-    let mut r = BufReader::new(r);
+/// Reads and validates the 48-byte header + trailing checksum common to
+/// v1 checkpoints and v2 deltas, returning the raw header bytes.
+/// Shared with [`crate::delta`]; version/geometry interpretation stays
+/// with the caller.
+pub(crate) fn read_verified_header<R: Read>(
+    r: &mut R,
+) -> Result<[u8; HEADER_LEN], CheckpointError> {
     let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
+    read_exact_or_torn(r, &mut header, "header")?;
     if header[0..4] != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
     let mut b8 = [0u8; 8];
-    r.read_exact(&mut b8)?;
+    read_exact_or_torn(r, &mut b8, "header")?;
     let stored = u64::from_le_bytes(b8);
     let computed = crate::hash::xxh64(&header);
     if stored != computed {
@@ -248,6 +324,30 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<Checkpoint, CheckpointError> {
             actual: computed,
         });
     }
+    Ok(header)
+}
+
+/// Checked section lengths (`p_len`, `q_len` in floats) for a claimed
+/// geometry, or `None` when it is unusable: zero/oversized `k`, or a
+/// `rows · k · 4` overflowing the address space. Header fields are
+/// corruption-controlled and must never drive unchecked allocation
+/// arithmetic. Shared with [`crate::delta`].
+pub(crate) fn checked_section_lens(m: u32, n: u32, k: u64) -> Option<(usize, usize)> {
+    let section_len = |rows: u32| -> Option<usize> {
+        let bytes = (rows as u64).checked_mul(k)?.checked_mul(4)?;
+        usize::try_from(bytes).ok().map(|b| b / 4)
+    };
+    if k != 0 && k <= u32::MAX as u64 {
+        section_len(m).zip(section_len(n))
+    } else {
+        None
+    }
+}
+
+/// Reads a checkpoint from any source, verifying all three checksums.
+pub fn read_checkpoint<R: Read>(r: R) -> Result<Checkpoint, CheckpointError> {
+    let mut r = BufReader::new(r);
+    let header = read_verified_header(&mut r)?;
     let field_u32 = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().expect("4"));
     let field_u64 = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().expect("8"));
     let version = field_u32(4);
@@ -259,20 +359,10 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<Checkpoint, CheckpointError> {
         return Err(CheckpointError::ReservedNonZero);
     }
     // Checked geometry: zero k, oversized k, and any `rows · k · 4`
-    // that overflows the address space are all `BadGeometry` — header
-    // fields are attacker-/corruption-controlled and must never drive
-    // unchecked allocation arithmetic (the header checksum guards
-    // against *accidental* flips, not a bogus file written whole).
-    let section_len = |rows: u32| -> Option<usize> {
-        let bytes = (rows as u64).checked_mul(k)?.checked_mul(4)?;
-        usize::try_from(bytes).ok().map(|b| b / 4)
-    };
-    let lens = if k != 0 && k <= u32::MAX as u64 {
-        section_len(m).zip(section_len(n))
-    } else {
-        None
-    };
-    let Some((p_len, q_len)) = lens else {
+    // that overflows the address space are all `BadGeometry` — the
+    // header checksum guards against *accidental* flips, not a bogus
+    // file written whole.
+    let Some((p_len, q_len)) = checked_section_lens(m, n, k) else {
         return Err(CheckpointError::BadGeometry { m, n, k });
     };
     let meta = CheckpointMeta {
@@ -300,8 +390,11 @@ pub fn epoch_file_name(epoch: u64) -> String {
 /// A per-epoch checkpoint hook for
 /// `hsgd_core::trainer::run_training_with_hook`: returns a closure that
 /// writes `dir/ckpt_epoch_NNNNN.mfck` each time the trainer reports a
-/// completed epoch. I/O failures panic — a trainer asked to checkpoint
-/// onto a dead disk has nothing sensible to continue with.
+/// completed epoch — atomically, via `ckpt_epoch_NNNNN.mfck.tmp` +
+/// fsync + rename (see [`save`]), so a crash mid-epoch never leaves a
+/// half-written file a later load must reject. I/O failures panic — a
+/// trainer asked to checkpoint onto a dead disk has nothing sensible to
+/// continue with.
 pub fn epoch_hook(dir: PathBuf, seed: u64) -> impl FnMut(u64, &Model) {
     move |epoch, model| {
         let path = dir.join(epoch_file_name(epoch));
@@ -416,7 +509,7 @@ mod tests {
         buf.extend_from_slice(&[0u8; 256]); // far short of m·k·4
         assert!(matches!(
             read_checkpoint(&buf[..]),
-            Err(CheckpointError::Io(_))
+            Err(CheckpointError::Torn { section: "P" })
         ));
         // m·k·4 overflowing u64 entirely is BadGeometry up front.
         header[16..24].copy_from_slice(&(u32::MAX as u64).to_le_bytes()); // k
@@ -443,14 +536,39 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_an_io_error() {
+    fn truncation_is_typed_as_torn() {
         let model = Model::init(8, 8, 8, 2);
         let mut buf = Vec::new();
         write_checkpoint(&model, meta(), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(matches!(
             read_checkpoint(&buf[..]),
-            Err(CheckpointError::Io(_))
+            Err(CheckpointError::Torn { section: "Q" })
+        ));
+    }
+
+    #[test]
+    fn empty_and_header_only_files_are_torn_not_corrupt() {
+        // Recovery distinguishes "the write was interrupted" (expected
+        // crash debris — fall back to the previous record) from "bytes
+        // rotted in place" — so a zero-length or header-only file must
+        // come back as `Torn`, never a generic checksum failure.
+        assert!(matches!(
+            read_checkpoint(&[][..]),
+            Err(CheckpointError::Torn { section: "header" })
+        ));
+        let model = Model::init(4, 4, 4, 3);
+        let mut buf = Vec::new();
+        write_checkpoint(&model, meta(), &mut buf).unwrap();
+        // Truncated mid-header.
+        assert!(matches!(
+            read_checkpoint(&buf[..HEADER_LEN - 5]),
+            Err(CheckpointError::Torn { section: "header" })
+        ));
+        // Header + checksum only, payload never arrived.
+        assert!(matches!(
+            read_checkpoint(&buf[..HEADER_LEN + 8]),
+            Err(CheckpointError::Torn { section: "P" })
         ));
     }
 

@@ -1,0 +1,758 @@
+//! `MFCK` v2 **delta** records and crash recovery — the durable half of
+//! the online lifecycle.
+//!
+//! A continuously training model rewrites only the rows its new ratings
+//! touch; persisting the full factors every epoch would move the whole
+//! model to amortize a sliver of change. A v2 delta stores just the
+//! touched rows, as runs, against a named base epoch:
+//!
+//! ```text
+//! magic "MFCK" · version=2 · m · n · k · seed · epoch · base_epoch
+//! header checksum (XXH64 of the 48 header bytes)
+//! P-runs section: count · (start, len)… · row payloads… · XXH64
+//! Q-runs section: count · (start, len)… · row payloads… · XXH64
+//! ```
+//!
+//! The header layout is byte-for-byte the v1 layout (`docs/FORMAT.md`)
+//! with `version = 2` and the reserved u64 at offset 40 carrying
+//! `base_epoch` — legal under the format's versioning rules, since v1
+//! readers reject the version before interpreting reserved bytes.
+//! `m`/`n` are the geometry **after** the epoch (the model may have
+//! grown by fold-in); every grown row is by definition touched, so
+//! applying a delta to the smaller base leaves no uninitialized rows.
+//!
+//! [`recover`] is the other half: scan a directory of snapshots and
+//! deltas (plus whatever debris a crash left), classify every file —
+//! applied, torn tail, corrupt, orphaned temp — chain the longest valid
+//! `base + deltas` prefix, and report exactly what was salvaged.
+//! Torn files (truncated mid-record: the expected residue of a kill)
+//! are distinguished from corrupt ones (checksum mismatch on bytes that
+//! exist); both simply end the chain early, never load.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mf_sgd::Model;
+
+use crate::checkpoint::{
+    self, checked_section_lens, read_exact_or_torn, read_verified_header, Checkpoint,
+    CheckpointError, CheckpointMeta, HEADER_LEN, MAGIC,
+};
+use crate::hash::Xxh64;
+use crate::vfs::{RealFs, Vfs, TMP_SUFFIX};
+
+/// The format version of delta records. Full snapshots stay at
+/// [`checkpoint::VERSION`] (= 1); each reader accepts exactly its own
+/// version.
+pub const DELTA_VERSION: u32 = 2;
+
+/// I/O chunk size for streaming run payloads — matches the v1 reader.
+const CHUNK: usize = 64 * 1024;
+
+/// Provenance of a delta record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaMeta {
+    /// Master seed of the run (must match the base's seed).
+    pub seed: u64,
+    /// The epoch this delta advances the model **to**.
+    pub epoch: u64,
+    /// The epoch of the state this delta patches — the previous *acked*
+    /// record, which is not necessarily `epoch − 1` when intermediate
+    /// checkpoint writes failed (their touched rows roll forward into
+    /// the next successful delta).
+    pub base_epoch: u64,
+}
+
+/// One contiguous run of touched rows in a factor matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// First row of the run.
+    pub start: u32,
+    /// Row payloads, `len · k` floats row-major.
+    pub data: Vec<f32>,
+}
+
+/// A parsed delta record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// User rows **after** this epoch (≥ the base's `m`).
+    pub m: u32,
+    /// Item rows after this epoch.
+    pub n: u32,
+    /// Latent dimension (must match the base).
+    pub k: usize,
+    /// Seed, epoch, and base epoch from the header.
+    pub meta: DeltaMeta,
+    /// Touched runs of `P`, ascending and non-overlapping.
+    pub p_runs: Vec<Run>,
+    /// Touched runs of `Q`, ascending and non-overlapping.
+    pub q_runs: Vec<Run>,
+}
+
+/// The file name a delta is written under.
+pub fn delta_file_name(epoch: u64) -> String {
+    format!("delta_epoch_{epoch:05}.mfckd")
+}
+
+/// Compresses a sorted, deduplicated row-id list into `(start, len)`
+/// runs.
+///
+/// # Panics
+///
+/// Panics if `rows` is not strictly ascending.
+pub fn rows_to_runs(rows: &[u32]) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &r in rows {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == r => *len += 1,
+            Some((start, len)) => {
+                assert!(r > *start + *len - 1, "row ids must be strictly ascending");
+                runs.push((r, 1));
+            }
+            None => runs.push((r, 1)),
+        }
+    }
+    runs
+}
+
+/// Writes one checksummed run section: `count`, the run table, then the
+/// row payloads in run order, all hashed into a trailing XXH64.
+fn write_runs_section<'m, W: Write>(
+    w: &mut W,
+    k: usize,
+    rows: &[u32],
+    row: impl Fn(u32) -> &'m [f32],
+) -> io::Result<()> {
+    let runs = rows_to_runs(rows);
+    let mut hasher = Xxh64::new(0);
+    let mut emit = |w: &mut W, bytes: &[u8]| -> io::Result<()> {
+        hasher.update(bytes);
+        w.write_all(bytes)
+    };
+    emit(w, &(runs.len() as u32).to_le_bytes())?;
+    for &(start, len) in &runs {
+        emit(w, &start.to_le_bytes())?;
+        emit(w, &len.to_le_bytes())?;
+    }
+    let mut buf = vec![0u8; k * 4];
+    for &(start, len) in &runs {
+        for r in start..start + len {
+            for (slot, &x) in buf.chunks_exact_mut(4).zip(row(r)) {
+                slot.copy_from_slice(&x.to_le_bytes());
+            }
+            emit(w, &buf.clone())?;
+        }
+    }
+    w.write_all(&hasher.digest().to_le_bytes())
+}
+
+/// Writes a delta record: the `p_rows`/`q_rows` of `model` (sorted,
+/// deduplicated row ids) against base epoch `meta.base_epoch`.
+///
+/// # Errors
+///
+/// `InvalidInput` for a `k = 0` model, unsorted row lists, out-of-range
+/// rows, or `meta.epoch ≤ meta.base_epoch` — all would produce a file
+/// the reader rejects.
+pub fn write_delta<W: Write>(
+    model: &Model,
+    meta: DeltaMeta,
+    p_rows: &[u32],
+    q_rows: &[u32],
+    w: W,
+) -> io::Result<()> {
+    let invalid = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+    if model.k() == 0 {
+        return invalid("k = 0 model cannot be delta-checkpointed");
+    }
+    if meta.epoch <= meta.base_epoch {
+        return invalid("delta epoch must exceed its base epoch");
+    }
+    let sorted_in = |rows: &[u32], max: u32| {
+        rows.windows(2).all(|p| p[0] < p[1]) && rows.last().is_none_or(|&r| r < max)
+    };
+    if !sorted_in(p_rows, model.nrows()) || !sorted_in(q_rows, model.ncols()) {
+        return invalid("touched rows must be strictly ascending and in range");
+    }
+    let mut w = BufWriter::new(w);
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..8].copy_from_slice(&DELTA_VERSION.to_le_bytes());
+    header[8..12].copy_from_slice(&model.nrows().to_le_bytes());
+    header[12..16].copy_from_slice(&model.ncols().to_le_bytes());
+    header[16..24].copy_from_slice(&(model.k() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&meta.seed.to_le_bytes());
+    header[32..40].copy_from_slice(&meta.epoch.to_le_bytes());
+    header[40..48].copy_from_slice(&meta.base_epoch.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&crate::hash::xxh64(&header).to_le_bytes())?;
+    write_runs_section(&mut w, model.k(), p_rows, |r| model.p_row(r))?;
+    write_runs_section(&mut w, model.k(), q_rows, |r| model.q_row(r))?;
+    w.flush()
+}
+
+/// Reads one checksummed run section, validating the run table
+/// (ascending, non-overlapping, in `0..max_rows`) and the trailing
+/// checksum.
+fn read_runs_section<R: Read>(
+    r: &mut R,
+    k: usize,
+    max_rows: u32,
+    section: &'static str,
+) -> Result<Vec<Run>, CheckpointError> {
+    let mut hasher = Xxh64::new(0);
+    let mut b4 = [0u8; 4];
+    read_exact_or_torn(r, &mut b4, section)?;
+    hasher.update(&b4);
+    let count = u32::from_le_bytes(b4);
+    // Each run covers ≥ 1 distinct row, so the table can't be longer
+    // than the matrix — reject before trusting it for allocation.
+    if count > max_rows {
+        return Err(CheckpointError::BadRuns { section });
+    }
+    let mut table = Vec::with_capacity(count as usize);
+    let mut next_free = 0u64;
+    for _ in 0..count {
+        let mut b8 = [0u8; 8];
+        read_exact_or_torn(r, &mut b8, section)?;
+        hasher.update(&b8);
+        let start = u32::from_le_bytes(b8[0..4].try_into().expect("4"));
+        let len = u32::from_le_bytes(b8[4..8].try_into().expect("4"));
+        let end = start as u64 + len as u64;
+        if len == 0 || (start as u64) < next_free || end > max_rows as u64 {
+            return Err(CheckpointError::BadRuns { section });
+        }
+        next_free = end;
+        table.push((start, len));
+    }
+    let mut runs = Vec::with_capacity(table.len());
+    let mut buf = vec![0u8; CHUNK];
+    for (start, len) in table {
+        let mut data = Vec::with_capacity((len as usize * k).min(CHUNK / 4));
+        let mut remaining = len as usize * k * 4;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            let bytes = &mut buf[..take];
+            read_exact_or_torn(r, bytes, section)?;
+            hasher.update(bytes);
+            for quad in bytes.chunks_exact(4) {
+                data.push(f32::from_le_bytes(quad.try_into().expect("4 bytes")));
+            }
+            remaining -= take;
+        }
+        runs.push(Run { start, data });
+    }
+    let mut b8 = [0u8; 8];
+    read_exact_or_torn(r, &mut b8, section)?;
+    let expected = u64::from_le_bytes(b8);
+    let actual = hasher.digest();
+    if expected != actual {
+        return Err(CheckpointError::ChecksumMismatch {
+            section,
+            expected,
+            actual,
+        });
+    }
+    Ok(runs)
+}
+
+/// Reads a delta record from any source, verifying all three checksums
+/// and the run-table invariants.
+pub fn read_delta<R: Read>(r: R) -> Result<Delta, CheckpointError> {
+    let mut r = BufReader::new(r);
+    let header = read_verified_header(&mut r)?;
+    let field_u32 = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().expect("4"));
+    let field_u64 = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().expect("8"));
+    let version = field_u32(4);
+    if version != DELTA_VERSION {
+        return Err(CheckpointError::BadVersion { version });
+    }
+    let (m, n, k) = (field_u32(8), field_u32(12), field_u64(16));
+    if checked_section_lens(m, n, k).is_none() {
+        return Err(CheckpointError::BadGeometry { m, n, k });
+    }
+    let meta = DeltaMeta {
+        seed: field_u64(24),
+        epoch: field_u64(32),
+        base_epoch: field_u64(40),
+    };
+    if meta.epoch <= meta.base_epoch {
+        return Err(CheckpointError::BadGeometry { m, n, k });
+    }
+    let k = k as usize;
+    let p_runs = read_runs_section(&mut r, k, m, "P-runs")?;
+    let q_runs = read_runs_section(&mut r, k, n, "Q-runs")?;
+    Ok(Delta {
+        m,
+        n,
+        k,
+        meta,
+        p_runs,
+        q_runs,
+    })
+}
+
+impl Delta {
+    /// Number of rows this delta rewrites (P + Q).
+    pub fn touched_rows(&self) -> u64 {
+        let rows = |runs: &[Run]| {
+            runs.iter()
+                .map(|r| (r.data.len() / self.k) as u64)
+                .sum::<u64>()
+        };
+        rows(&self.p_runs) + rows(&self.q_runs)
+    }
+
+    /// Checks that the delta fits `base` without touching payloads:
+    /// the chain lines up (base epoch and seed), `k` matches, the
+    /// matrices don't shrink, and every grown row is covered by a run
+    /// (a gap would serve uninitialized zeros).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BaseMismatch`] when the chain doesn't line
+    /// up, [`CheckpointError::BadGeometry`] for an incompatible `k` or
+    /// a shrinking matrix, [`CheckpointError::BadRuns`] when a grown
+    /// row isn't covered.
+    pub fn can_apply(&self, base: &Checkpoint) -> Result<(), CheckpointError> {
+        if self.meta.base_epoch != base.meta.epoch || self.meta.seed != base.meta.seed {
+            return Err(CheckpointError::BaseMismatch {
+                delta_base: self.meta.base_epoch,
+                have_epoch: base.meta.epoch,
+            });
+        }
+        if self.k != base.model.k() || self.m < base.model.nrows() || self.n < base.model.ncols() {
+            return Err(CheckpointError::BadGeometry {
+                m: self.m,
+                n: self.n,
+                k: self.k as u64,
+            });
+        }
+        let covered = |runs: &[Run], grown_from: u32, rows: u32, section: &'static str| {
+            let mut covered_to = grown_from;
+            for run in runs {
+                let end = run.start + (run.data.len() / self.k) as u32;
+                if run.start <= covered_to {
+                    covered_to = covered_to.max(end);
+                }
+            }
+            if covered_to < rows {
+                Err(CheckpointError::BadRuns { section })
+            } else {
+                Ok(())
+            }
+        };
+        covered(&self.p_runs, base.model.nrows(), self.m, "P-runs")?;
+        covered(&self.q_runs, base.model.ncols(), self.n, "Q-runs")
+    }
+
+    /// Applies the delta to a base state, producing the checkpoint at
+    /// `self.meta.epoch`. The model may grow (`m`/`n` larger than the
+    /// base); [`Delta::can_apply`] validates everything first, so no
+    /// uninitialized factor can reach serving.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Delta::can_apply`]'s.
+    pub fn apply(&self, base: Checkpoint) -> Result<Checkpoint, CheckpointError> {
+        self.can_apply(&base)?;
+        let (_, _, k0, mut p, mut q) = base.model.into_parts();
+        let patch = |buf: &mut Vec<f32>, rows: u32, runs: &[Run]| {
+            buf.resize(rows as usize * k0, 0.0);
+            for run in runs {
+                let start = run.start as usize * k0;
+                buf[start..start + run.data.len()].copy_from_slice(&run.data);
+            }
+        };
+        patch(&mut p, self.m, &self.p_runs);
+        patch(&mut q, self.n, &self.q_runs);
+        Ok(Checkpoint {
+            model: Model::from_parts(self.m, self.n, k0, p, q),
+            meta: CheckpointMeta {
+                seed: self.meta.seed,
+                epoch: self.meta.epoch,
+            },
+        })
+    }
+}
+
+/// One line of the recovery report: what a file in the directory turned
+/// out to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileNote {
+    /// File name within the scanned directory.
+    pub name: String,
+    /// Human-readable classification ("applied", "torn tail …", …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for FileNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.detail)
+    }
+}
+
+/// The outcome of a successful [`recover`] scan.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The reconstructed state at the newest reachable epoch — every
+    /// byte of it came from checksum-verified records.
+    pub checkpoint: Checkpoint,
+    /// Epoch of the full snapshot the chain started from.
+    pub base_epoch: u64,
+    /// Deltas applied on top of the base snapshot.
+    pub deltas_applied: usize,
+    /// Per-file classification of everything found in the directory.
+    pub notes: Vec<FileNote>,
+}
+
+impl Recovery {
+    /// Epoch of the recovered state.
+    pub fn epoch(&self) -> u64 {
+        self.checkpoint.meta.epoch
+    }
+}
+
+/// Errors from [`recover`].
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The directory itself could not be scanned.
+    Io(io::Error),
+    /// No valid base snapshot survived — nothing to serve. The notes
+    /// say what was found and why each file was rejected.
+    NothingSalvageable {
+        /// Per-file classification of the rejected directory contents.
+        notes: Vec<FileNote>,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery scan failed: {e}"),
+            RecoverError::NothingSalvageable { notes } => {
+                write!(f, "no valid checkpoint chain found ({} files:", notes.len())?;
+                for n in notes {
+                    write!(f, "\n  {n}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Classifies a load failure for the report: torn tails are the
+/// expected debris of an interrupted write; everything else means the
+/// bytes themselves are wrong.
+fn classify(e: &CheckpointError) -> String {
+    match e {
+        CheckpointError::Torn { section } => {
+            format!("torn tail (ends mid-{section}) — interrupted write, skipped")
+        }
+        other => format!("corrupt ({other}) — skipped"),
+    }
+}
+
+/// Scans `dir` through `fs` and reconstructs the newest state reachable
+/// from intact records: the best valid full snapshot plus every delta
+/// that chains from it (`delta.base_epoch` = current epoch, repeatedly).
+///
+/// Guarantees, under any combination of torn tails, truncated files,
+/// and flipped bytes:
+///
+/// * **never loads a corrupt factor** — every record in the chain
+///   passed all its checksums; anything else is skipped with a note;
+/// * **truncates to the last valid prefix** — a torn or corrupt delta
+///   ends the chain at the record before it;
+/// * **reports exactly what was salvaged** — every file in the
+///   directory appears in [`Recovery::notes`], classified.
+///
+/// Orphaned `*.tmp` files (a writer died mid-publish) are noted and
+/// ignored; they are never loaded.
+pub fn recover_in(fs: &dyn Vfs, dir: &Path) -> Result<Recovery, RecoverError> {
+    let names = fs.list(dir).map_err(RecoverError::Io)?;
+    let mut notes = Vec::new();
+    let mut snapshots: Vec<(String, Option<Checkpoint>)> = Vec::new();
+    // base_epoch → (name, delta). One outgoing delta per acked epoch:
+    // a writer acks sequentially, so a collision means foreign files —
+    // keep the first (list order) and note the other.
+    let mut deltas: BTreeMap<u64, (String, Delta)> = BTreeMap::new();
+    for name in names {
+        let note = |detail: String| FileNote {
+            name: name.clone(),
+            detail,
+        };
+        if name.ends_with(TMP_SUFFIX) {
+            notes.push(note(
+                "orphaned temp from an interrupted write — ignored".to_string(),
+            ));
+        } else if name.ends_with(".mfck") {
+            match fs
+                .open(&dir.join(&name))
+                .map_err(CheckpointError::Io)
+                .and_then(checkpoint::read_checkpoint)
+            {
+                Ok(ck) => snapshots.push((name, Some(ck))),
+                Err(e) => notes.push(note(classify(&e))),
+            }
+        } else if name.ends_with(".mfckd") {
+            match fs
+                .open(&dir.join(&name))
+                .map_err(CheckpointError::Io)
+                .and_then(read_delta)
+            {
+                Ok(d) => {
+                    if let Some((prev, _)) = deltas.get(&d.meta.base_epoch) {
+                        notes.push(note(format!(
+                            "duplicate delta for base epoch {} (already have {prev}) — ignored",
+                            d.meta.base_epoch
+                        )));
+                    } else {
+                        deltas.insert(d.meta.base_epoch, (name, d));
+                    }
+                }
+                Err(e) => notes.push(note(classify(&e))),
+            }
+        } else {
+            notes.push(note("unrecognized file — ignored".to_string()));
+        }
+    }
+
+    // Chain length is a pure function of (snapshot epoch, delta map):
+    // follow base-epoch links without touching payloads, then
+    // materialize only the winning chain. Newest snapshot wins ties —
+    // fewer deltas to apply for the same final epoch.
+    snapshots.sort_by(|a, b| {
+        let e = |s: &(String, Option<Checkpoint>)| s.1.as_ref().map(|c| c.meta.epoch);
+        e(b).cmp(&e(a))
+    });
+    let reach = |start: u64| {
+        let mut e = start;
+        while let Some((_, d)) = deltas.get(&e) {
+            e = d.meta.epoch;
+        }
+        e
+    };
+    let mut best: Option<usize> = None;
+    for (i, (_, ck)) in snapshots.iter().enumerate() {
+        let start = ck.as_ref().expect("unconsumed").meta.epoch;
+        let candidate = reach(start);
+        if best.is_none_or(|b| {
+            candidate > reach(snapshots[b].1.as_ref().expect("unconsumed").meta.epoch)
+        }) {
+            best = Some(i);
+        }
+    }
+    let Some(best) = best else {
+        return Err(RecoverError::NothingSalvageable { notes });
+    };
+
+    let mut current = snapshots[best].1.take().expect("selected once");
+    let base_epoch = current.meta.epoch;
+    notes.push(FileNote {
+        name: snapshots[best].0.clone(),
+        detail: format!("base snapshot at epoch {base_epoch} — chain start"),
+    });
+    for (name, ck) in snapshots.iter().filter(|(_, c)| c.is_some()) {
+        notes.push(FileNote {
+            name: name.clone(),
+            detail: format!(
+                "valid snapshot at epoch {} — superseded, not loaded",
+                ck.as_ref().expect("filtered").meta.epoch
+            ),
+        });
+    }
+    let mut applied = 0usize;
+    while let Some((name, d)) = deltas.remove(&current.meta.epoch) {
+        // The epochs line up by construction, but a checksummed-yet-
+        // foreign file can still disagree on seed, geometry, or run
+        // coverage — validate before consuming the base so the chain
+        // ends at the last good state instead of serving a mongrel.
+        if let Err(e) = d.can_apply(&current) {
+            notes.push(FileNote {
+                name,
+                detail: format!("does not fit the recovered state ({e}) — chain ends here"),
+            });
+            break;
+        }
+        notes.push(FileNote {
+            name,
+            detail: format!(
+                "delta to epoch {} (base {}, {} rows) — applied",
+                d.meta.epoch,
+                d.meta.base_epoch,
+                d.touched_rows()
+            ),
+        });
+        current = d.apply(current).expect("pre-validated by can_apply");
+        applied += 1;
+    }
+    // Remaining deltas chain from epochs we never reached (their base
+    // record was lost or they belong to a dead branch).
+    for (base, (name, d)) in deltas {
+        notes.push(FileNote {
+            name,
+            detail: format!(
+                "delta to epoch {} unreachable (no valid record at its base epoch {base}) — skipped",
+                d.meta.epoch
+            ),
+        });
+    }
+    Ok(Recovery {
+        checkpoint: current,
+        base_epoch,
+        deltas_applied: applied,
+        notes,
+    })
+}
+
+/// [`recover_in`] over the real filesystem — the production entry
+/// point: `recover(dir)` after a crash yields the newest
+/// checksum-verified state and a per-file report.
+pub fn recover<P: AsRef<Path>>(dir: P) -> Result<Recovery, RecoverError> {
+    recover_in(&RealFs, dir.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_model() -> Model {
+        Model::init(6, 8, 4, 9)
+    }
+
+    fn meta(epoch: u64, base: u64) -> DeltaMeta {
+        DeltaMeta {
+            seed: 9,
+            epoch,
+            base_epoch: base,
+        }
+    }
+
+    #[test]
+    fn runs_compress_and_round_trip() {
+        assert_eq!(rows_to_runs(&[]), vec![]);
+        assert_eq!(rows_to_runs(&[3]), vec![(3, 1)]);
+        assert_eq!(
+            rows_to_runs(&[0, 1, 2, 5, 7, 8]),
+            vec![(0, 3), (5, 1), (7, 2)]
+        );
+    }
+
+    #[test]
+    fn delta_round_trip_is_bit_identical() {
+        let model = base_model();
+        let mut buf = Vec::new();
+        write_delta(&model, meta(5, 4), &[1, 2, 4], &[0, 7], &mut buf).unwrap();
+        let d = read_delta(&buf[..]).unwrap();
+        assert_eq!(d.meta, meta(5, 4));
+        assert_eq!((d.m, d.n, d.k), (6, 8, 4));
+        assert_eq!(d.p_runs.len(), 2); // [1,2] and [4]
+        assert_eq!(d.p_runs[0].start, 1);
+        assert_eq!(d.p_runs[0].data, [model.p_row(1), model.p_row(2)].concat());
+        assert_eq!(d.q_runs[1].data, model.q_row(7));
+        assert_eq!(d.touched_rows(), 5);
+    }
+
+    #[test]
+    fn apply_patches_only_touched_rows_and_grows() {
+        // Base at epoch 4; new state has one more user, rows 1 and 6
+        // (the grown one) touched in P, row 0 in Q.
+        let base = Checkpoint {
+            model: base_model(),
+            meta: CheckpointMeta { seed: 9, epoch: 4 },
+        };
+        let mut next = Model::from_parts(
+            7,
+            8,
+            4,
+            [base.model.p_raw(), &[9.0; 4][..]].concat(),
+            base.model.q_raw().to_vec(),
+        );
+        next.p_row_mut(1).fill(5.0);
+        next.q_row_mut(0).fill(-1.0);
+        let mut buf = Vec::new();
+        write_delta(&next, meta(5, 4), &[1, 6], &[0], &mut buf).unwrap();
+        let d = read_delta(&buf[..]).unwrap();
+        let out = d.apply(base.clone()).unwrap();
+        assert_eq!(out.meta.epoch, 5);
+        assert_eq!(out.model, next);
+
+        // Wrong base epoch refuses to chain.
+        let stale = Checkpoint {
+            meta: CheckpointMeta { seed: 9, epoch: 3 },
+            ..base.clone()
+        };
+        assert!(matches!(
+            d.apply(stale),
+            Err(CheckpointError::BaseMismatch { .. })
+        ));
+
+        // A grown row not covered by any run is rejected.
+        let mut buf = Vec::new();
+        write_delta(&next, meta(5, 4), &[1], &[0], &mut buf).unwrap();
+        let d = read_delta(&buf[..]).unwrap();
+        assert!(matches!(
+            d.apply(base),
+            Err(CheckpointError::BadRuns { section: "P-runs" })
+        ));
+    }
+
+    #[test]
+    fn v1_reader_rejects_deltas_and_vice_versa() {
+        let model = base_model();
+        let mut dbuf = Vec::new();
+        write_delta(&model, meta(2, 1), &[0], &[], &mut dbuf).unwrap();
+        assert!(matches!(
+            checkpoint::read_checkpoint(&dbuf[..]),
+            Err(CheckpointError::BadVersion { version: 2 })
+        ));
+        let mut cbuf = Vec::new();
+        checkpoint::write_checkpoint(&model, CheckpointMeta { seed: 9, epoch: 1 }, &mut cbuf)
+            .unwrap();
+        assert!(matches!(
+            read_delta(&cbuf[..]),
+            Err(CheckpointError::BadVersion { version: 1 })
+        ));
+    }
+
+    #[test]
+    fn torn_and_corrupt_deltas_are_distinguished() {
+        let model = base_model();
+        let mut buf = Vec::new();
+        write_delta(&model, meta(2, 1), &[0, 1], &[3], &mut buf).unwrap();
+        // Torn: any strict prefix.
+        assert!(matches!(
+            read_delta(&buf[..buf.len() - 2]),
+            Err(CheckpointError::Torn { .. })
+        ));
+        assert!(matches!(
+            read_delta(&buf[..20]),
+            Err(CheckpointError::Torn { section: "header" })
+        ));
+        // Corrupt: flip one payload byte.
+        let mut bad = buf.clone();
+        let at = HEADER_LEN + 8 + 4 + 8 + 6; // inside the first P run payload
+        bad[at] ^= 0x10;
+        assert!(matches!(
+            read_delta(&bad[..]),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_rejects_garbage_inputs() {
+        let model = base_model();
+        let kinds = [
+            write_delta(&model, meta(1, 1), &[0], &[], &mut Vec::new()), // epoch ≤ base
+            write_delta(&model, meta(2, 1), &[2, 1], &[], &mut Vec::new()), // unsorted
+            write_delta(&model, meta(2, 1), &[0], &[99], &mut Vec::new()), // out of range
+        ];
+        for r in kinds {
+            assert_eq!(r.unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        }
+    }
+}

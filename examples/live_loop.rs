@@ -1,0 +1,159 @@
+//! The crash-safe online lifecycle: bootstrap → live epochs publishing
+//! delta and snapshot records → a simulated crash that tears the tail
+//! record and leaves an orphan temp file → recovery with a per-file
+//! salvage report → resume → versioned-serving assertions.
+//!
+//! This is the loop the `mf-serve::live` module exists for: a single
+//! trainer ingests a rating stream, folds never-seen users and items in
+//! mid-flight, durably publishes each epoch (v2 row-run delta or full
+//! re-basing `MFCK` snapshot, byte formats in `docs/FORMAT.md`), and
+//! atomically swaps the served version — while readers keep whatever
+//! complete version they already hold.
+//!
+//! Run with: `cargo run --release --example live_loop`
+
+use std::sync::Arc;
+
+use hsgd_star::data::{ingest_stream, IngestConfig};
+use hsgd_star::serve::checkpoint::CheckpointMeta;
+use hsgd_star::serve::delta;
+use hsgd_star::serve::live::{LiveConfig, LiveTrainer};
+use hsgd_star::serve::RealFs;
+use hsgd_star::sgd::Model;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("hsgd_star_live_loop_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create live dir");
+
+    // 1. Bootstrap: a trained model becomes the durable base snapshot
+    //    (epoch 0) and the first served version. The loop refuses to
+    //    start unless the base is on disk — without it there is nothing
+    //    to recover to.
+    let (users, items, k, seed) = (400u32, 600u32, 16usize, 7u64);
+    let model = Model::init(users, items, k, seed);
+    let cfg = LiveConfig {
+        snapshot_every: 4,
+        ..Default::default()
+    };
+    let mut trainer = LiveTrainer::bootstrap(
+        Arc::new(RealFs),
+        dir.clone(),
+        model,
+        CheckpointMeta { seed, epoch: 0 },
+        cfg,
+    )
+    .expect("bootstrap base snapshot");
+    let live = trainer.live();
+    println!(
+        "bootstrapped {}×{} model, serving epoch {} from {}",
+        users,
+        items,
+        live.serving_epoch(),
+        dir.display()
+    );
+
+    // 2. Live epochs: replayable ingest stream (10% of events introduce
+    //    a brand-new user, 5% a new item), one durable record per epoch.
+    //    Epoch 4 re-bases as a full snapshot; the rest chain as deltas
+    //    of just the touched rows.
+    const PER_EPOCH: usize = 120;
+    let stream = ingest_stream(&IngestConfig::lifecycle(users, items, seed), 8 * PER_EPOCH);
+    let mut events = stream.into_iter();
+    println!();
+    for _ in 1..=6u64 {
+        for ev in events.by_ref().take(PER_EPOCH) {
+            trainer.ingest(ev.user, ev.item, ev.rating);
+        }
+        let rep = trainer.step();
+        assert!(rep.acked, "epoch {}: {:?}", rep.epoch, rep.ckpt_error);
+        println!(
+            "epoch {}: {:?} {} ({} bytes), folded {} users + {} items — serving epoch {}",
+            rep.epoch,
+            rep.kind,
+            rep.file,
+            rep.bytes,
+            rep.folded_users,
+            rep.folded_items,
+            live.serving_epoch()
+        );
+    }
+
+    // 3. The machine dies mid-write: epoch 6's delta is torn to a
+    //    100-byte prefix and an orphan temp file from a publish that
+    //    never reached its rename is left behind.
+    let torn = dir.join(delta::delta_file_name(6));
+    let bytes = std::fs::read(&torn).expect("read tail record");
+    std::fs::write(&torn, &bytes[..100]).expect("tear the tail record");
+    std::fs::write(dir.join("delta_epoch_00007.mfckd.tmp"), b"never renamed").expect("orphan temp");
+    drop(trainer); // the writer process is gone
+
+    // 4. Restart: recovery walks the directory, classifies every file
+    //    (checksums catch corruption; truncation reads as a torn tail),
+    //    and rebuilds the newest fully-verified state — here epoch 5,
+    //    the record before the torn one.
+    let recovery = delta::recover(&dir).expect("recover directory");
+    println!(
+        "\nrecovered epoch {} (base snapshot {}, {} deltas applied):",
+        recovery.epoch(),
+        recovery.base_epoch,
+        recovery.deltas_applied
+    );
+    for note in &recovery.notes {
+        println!("  {note}");
+    }
+    assert_eq!(recovery.epoch(), 5, "torn epoch-6 tail rolls back to 5");
+    assert_eq!(
+        recovery.base_epoch, 4,
+        "chain starts at the epoch-4 snapshot"
+    );
+
+    // 5. Resume: no write needed (the recovered state is already
+    //    durable). The re-run epoch 6 overwrites the torn debris with a
+    //    valid record and the chain is whole again.
+    let mut trainer = LiveTrainer::resume(Arc::new(RealFs), dir.clone(), recovery, cfg);
+    let live = trainer.live();
+    assert_eq!(live.serving_epoch(), 5);
+    for ev in events.by_ref().take(PER_EPOCH) {
+        trainer.ingest(ev.user, ev.item, ev.rating);
+    }
+    let rep = trainer.step();
+    assert!(rep.acked, "resumed epoch: {:?}", rep.ckpt_error);
+    assert_eq!(rep.epoch, 6);
+    println!(
+        "\nresumed: epoch {} re-published as {:?} {} — chain repaired",
+        rep.epoch, rep.kind, rep.file
+    );
+
+    // 6. Versioned serving: a reader's handle is a complete, immutable
+    //    version. It survives the next swap untouched while fresh
+    //    handles see the new epoch, row-for-row equal to the trainer.
+    let before = live.current();
+    for ev in events.take(PER_EPOCH) {
+        trainer.ingest(ev.user, ev.item, ev.rating);
+    }
+    assert!(trainer.step().acked);
+    let after = live.current();
+    assert_eq!(before.epoch(), 6, "old handle keeps serving its version");
+    assert_eq!(after.epoch(), 7, "fresh handle sees the swapped-in epoch");
+    for u in 0..trainer.model().nrows() {
+        assert_eq!(after.user_factor(u), trainer.model().p_row(u));
+    }
+    println!(
+        "versioned swap: old handle still at epoch {}, fresh handle at epoch {} \
+         ({} swaps total, reader lag p99 = {})",
+        before.epoch(),
+        after.epoch(),
+        live.swaps(),
+        live.lag_stats().p99()
+    );
+    // The directory recovers to the latest epoch once the chain is whole.
+    let final_rec = delta::recover(&dir).expect("final recover");
+    assert_eq!(final_rec.epoch(), 7);
+    println!(
+        "cold restart would serve epoch {} — no acked work lost",
+        final_rec.epoch()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::process::Command;
 
 /// The examples this workspace ships; keep in sync with `examples/`.
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "movielens_recommender",
     "hetero_scheduling",
@@ -21,6 +21,7 @@ const EXAMPLES: [&str; 7] = [
     "gpu_pipeline",
     "cost_calibration",
     "serve_topk",
+    "live_loop",
 ];
 
 #[test]
