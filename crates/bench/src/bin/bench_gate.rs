@@ -1,16 +1,22 @@
 //! `bench_gate` — the CI perf-regression gate.
 //!
-//! Re-measures the kernel, serving, serving-load, online-lifecycle,
-//! real-thread heterogeneous, and end-to-end hot paths in quick mode
-//! and compares them against the committed `BENCH_hotpath.json`: the
-//! build fails (exit 1) when monomorphized-SoA kernel GFLOP/s at any
-//! supported dimension, pooled per-query top-k queries/s, batched
-//! tile-sweep queries/s (at each committed admission batch size),
-//! lifecycle delta-publish or recovery MB/s (the crash-safe live
-//! loop's storage hot path), heterogeneous trainer ratings/s (per
-//! execution mode, at the committed worker mix), or FPSGD ratings/s
-//! (at the committed thread count and latent dimension) drops more
-//! than the tolerance below the committed value.
+//! Re-measures the kernel, explicit-SIMD kernel, serving,
+//! serving-load, quantized-serving, online-lifecycle, real-thread
+//! heterogeneous, and end-to-end hot paths in quick mode and compares
+//! them against the committed `BENCH_hotpath.json`: the build fails
+//! (exit 1) when monomorphized-SoA kernel GFLOP/s at any supported
+//! dimension, explicit-SIMD kernel GFLOP/s (only when the detected
+//! SIMD level matches the committed run's — numbers from different
+//! host classes are incomparable), pooled per-query top-k queries/s,
+//! batched tile-sweep queries/s (at each committed admission batch
+//! size), quantized-sweep queries/s per precision, lifecycle
+//! delta-publish or recovery MB/s (the crash-safe live loop's storage
+//! hot path), heterogeneous trainer ratings/s (per execution mode, at
+//! the committed worker mix), or FPSGD ratings/s (at the committed
+//! thread count and latent dimension) drops more than the tolerance
+//! below the committed value. Two quantized-store invariants gate
+//! unconditionally rather than by tolerance: int8 tiles must stay
+//! ≥ 2× smaller than f32 and int8 recall@10 must stay ≥ 0.99.
 //!
 //! Knobs (environment):
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
@@ -54,8 +60,8 @@ fn main() {
     let skip = std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1");
     let floor = 1.0 - tolerance;
     let storage_floor = 1.0 - storage_tolerance;
-    let mut failures = 0usize;
-    let mut check = |label: String, measured: f64, committed: f64, floor: f64| {
+    let failures = std::cell::Cell::new(0usize);
+    let check = |label: String, measured: f64, committed: f64, floor: f64| {
         let ratio = measured / committed;
         let verdict = if ratio >= floor { "ok" } else { "REGRESSED" };
         println!(
@@ -63,7 +69,7 @@ fn main() {
             ratio * 100.0
         );
         if ratio < floor {
-            failures += 1;
+            failures.set(failures.get() + 1);
         }
     };
 
@@ -85,6 +91,36 @@ fn main() {
                 soa_ref.unwrap_or(mono_ref),
                 floor,
             );
+        }
+    }
+
+    let (committed_level, committed_simd) = hotpath::parse_kernel_simd(&json);
+    if committed_simd.is_empty() {
+        // Baselines committed before the explicit SIMD layer carry no
+        // section; nothing to compare until the next full run.
+        println!("kernel_simd GFLOP/s: no committed baseline — skipped");
+    } else {
+        let live_level = mf_sgd::simd::detected().name();
+        if committed_level.as_deref() != Some(live_level) {
+            // A different host class (or an MF_SIMD clamp in the committed
+            // run) makes the numbers incomparable; don't fail CI on it.
+            println!(
+                "kernel_simd: committed level {:?} vs detected {live_level} — skipped",
+                committed_level.as_deref().unwrap_or("?")
+            );
+        } else {
+            let simd = hotpath::bench_kernel_simd(true, 42);
+            for (k, _, simd_ref) in &committed_simd {
+                match simd.rows.iter().find(|r| r.k == *k) {
+                    Some(r) => check(
+                        format!("kernel_simd k={k} GFLOP/s ({live_level})"),
+                        r.simd_gflops,
+                        *simd_ref,
+                        floor,
+                    ),
+                    None => println!("kernel_simd k={k}: not re-measured — skipped"),
+                }
+            }
         }
     }
 
@@ -121,6 +157,54 @@ fn main() {
                     floor,
                 ),
                 None => println!("serving_load batch={batch}: not re-measured — skipped"),
+            }
+        }
+    }
+
+    let committed_quant = hotpath::parse_serving_quantized(&json);
+    if committed_quant.is_empty() {
+        // Baselines committed before the quantized stores carry no
+        // section; nothing to compare until the next full run.
+        println!("serving_quantized queries/s: no committed baseline — skipped");
+    } else {
+        let quant = hotpath::bench_serving_quantized(true, 42);
+        let f32_bytes = quant
+            .rows
+            .iter()
+            .find(|r| r.precision == "f32")
+            .map(|r| r.factor_bytes);
+        for (precision, qps_ref, _, _) in &committed_quant {
+            match quant.rows.iter().find(|r| &r.precision == precision) {
+                Some(r) => {
+                    check(
+                        format!("serving_quantized {precision} queries/s"),
+                        r.sweep_qps,
+                        *qps_ref,
+                        floor,
+                    );
+                    // Hard invariants, not tolerance-gated: quantized
+                    // tiles must actually shrink the resident factors
+                    // (int8 ≥ 2×) and int8 recall@10 must hold its floor.
+                    if r.precision == "int8" {
+                        if let Some(full) = f32_bytes {
+                            if r.factor_bytes * 2 > full {
+                                println!(
+                                    "serving_quantized int8 bytes {} vs f32 {full}: not ≥2x smaller — REGRESSED",
+                                    r.factor_bytes
+                                );
+                                failures.set(failures.get() + 1);
+                            }
+                        }
+                        if r.recall10 < 0.99 {
+                            println!(
+                                "serving_quantized int8 recall@10 {:.4} below 0.99 — REGRESSED",
+                                r.recall10
+                            );
+                            failures.set(failures.get() + 1);
+                        }
+                    }
+                }
+                None => println!("serving_quantized {precision}: not re-measured — skipped"),
             }
         }
     }
@@ -188,6 +272,7 @@ fn main() {
         }
     }
 
+    let failures = failures.get();
     if failures > 0 {
         if skip {
             println!(

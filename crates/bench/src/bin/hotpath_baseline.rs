@@ -1,26 +1,32 @@
 //! `hotpath_baseline` — the recorded performance baseline for the hot-path
 //! layers every trainer funnels through (see [`mf_bench::hotpath`]).
 //!
-//! Eight sections, each printed side by side against the path it
+//! Ten sections, each printed side by side against the path it
 //! replaced, and all written to `BENCH_hotpath.json` so the repo's perf
 //! trajectory has a measured point to compare future PRs against:
 //!
 //! 1. **Kernel** — SGD update GFLOP/s: scalar reference vs monomorphized
 //!    AoS vs monomorphized SoA (the block layout trainers now use).
-//! 2. **Scheduler** — free-block acquire/release cost on small and large
+//! 2. **Kernel SIMD** — the explicit `mf_sgd::simd` layer at the
+//!    detected level (AVX2/AVX-512) vs the same SoA loop pinned to the
+//!    scalar oracle vs the autovectorized mono path.
+//! 3. **Scheduler** — free-block acquire/release cost on small and large
 //!    grids: the exhaustive scan vs [`mf_sparse::FreeBlockPool`] (linear
 //!    scan below the threshold, two-level heap above).
-//! 3. **Ingest** — the `O(nnz)` preprocessing passes: text parse, seeded
+//! 4. **Ingest** — the `O(nnz)` preprocessing passes: text parse, seeded
 //!    shuffle, user-major grid build, CSR build; serial vs pooled.
-//! 4. **Eval** — the RMSE reduction, serial vs pooled.
-//! 5. **Serving** — per-query top-k queries/s against the tiled
+//! 5. **Eval** — the RMSE reduction, serial vs pooled.
+//! 6. **Serving** — per-query top-k queries/s against the tiled
 //!    `mf-serve::FactorStore`: serial vs pooled vs warm result cache.
-//! 6. **Serving load** — the batched tile sweep under Zipf traffic:
+//! 7. **Serving load** — the batched tile sweep under Zipf traffic:
 //!    saturated queries/s plus p50/p99 latency per admission batch size.
-//! 7. **Lifecycle** — the crash-safe `mf-serve::live` loop: delta and
+//! 8. **Serving quantized** — the same batched sweep with item tiles
+//!    stored as f32 vs f16 vs int8: queries/s, resident factor bytes,
+//!    and recall@10 against the f32 answers.
+//! 9. **Lifecycle** — the crash-safe `mf-serve::live` loop: delta and
 //!    snapshot publish MB/s, directory recovery, versioned-swap latency,
 //!    and reader-observed epoch lag.
-//! 8. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
+//! 10. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
 //!
 //! Run with `--quick` for a CI smoke pass; the committed
 //! `BENCH_hotpath.json` comes from a full run:
@@ -52,6 +58,34 @@ fn main() {
                     format!("{:.3}", r.mono_gflops),
                     format!("{:.3}", r.soa_gflops),
                     format!("{:.2}x", r.soa_gflops / r.scalar_gflops),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    print_table(
+        &format!(
+            "hot path · explicit SIMD kernel (level={}, scalar oracle vs mono vs SIMD SoA)",
+            report.kernel_simd.level
+        ),
+        &[
+            "k",
+            "scalar GFLOP/s",
+            "mono GFLOP/s",
+            "SIMD GFLOP/s",
+            "SIMD/mono",
+        ],
+        &report
+            .kernel_simd
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    format!("{:.3}", r.scalar_gflops),
+                    format!("{:.3}", r.mono_gflops),
+                    format!("{:.3}", r.simd_gflops),
+                    format!("{:.2}x", r.simd_gflops / r.mono_gflops),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -158,6 +192,26 @@ fn main() {
                     format!("{:.0}", p.p99_us),
                     format!("{:.1}", p.mean_batch),
                     format!("{:.3}", p.unique_frac),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let sq = &report.serving_quantized;
+    print_table(
+        &format!(
+            "hot path · quantized batched sweep (users={}, items={}, k={}, queries={})",
+            sq.users, sq.items, sq.k, sq.queries
+        ),
+        &["precision", "sweep q/s", "factor MB", "recall@10"],
+        &sq.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.precision.clone(),
+                    format!("{:.0}", r.sweep_qps),
+                    format!("{:.2}", r.factor_bytes as f64 / 1e6),
+                    format!("{:.4}", r.recall10),
                 ]
             })
             .collect::<Vec<_>>(),

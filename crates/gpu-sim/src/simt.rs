@@ -64,6 +64,62 @@ pub fn f16_round(x: f32) -> f32 {
     f32::from_bits(sign)
 }
 
+/// Encodes an `f32` as IEEE 754 binary16 bits, with exactly
+/// [`f16_round`]'s semantics: round-to-nearest-even, overflow saturates
+/// to ±infinity, subnormals are kept. NaN becomes the canonical quiet
+/// NaN (`0x7e00`, sign preserved). For every `x`,
+/// `f16_from_bits(f16_bits(x)).to_bits() == f16_round(x).to_bits()`
+/// (except NaN payloads, which are canonicalized).
+pub fn f16_bits(x: f32) -> u16 {
+    // Round first; the result is exactly representable in binary16, so
+    // the extraction below is a pure re-encoding with no further error.
+    let r = f16_round(x);
+    let bits = r.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Infinity or NaN.
+        return if man == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
+    }
+    if r == 0.0 {
+        return sign;
+    }
+    let unbiased = exp - 127;
+    if unbiased >= -14 {
+        // Normal in binary16: 5-bit exponent, top 10 mantissa bits.
+        let e = (unbiased + 15) as u16;
+        sign | (e << 10) | ((man >> 13) as u16)
+    } else {
+        // Subnormal: the value is an exact multiple of 2^-24 after
+        // f16_round, so scaling by 2^24 yields the integer significand.
+        let mag = f32::from_bits(bits & 0x7fff_ffff);
+        sign | (mag * 16_777_216.0) as u16
+    }
+}
+
+/// Decodes IEEE 754 binary16 bits into the exactly-equal `f32` value
+/// (binary16 ⊂ binary32, so this conversion is lossless).
+pub fn f16_from_bits(bits: u16) -> f32 {
+    let sign = ((bits as u32) & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let man = (bits & 0x3ff) as u32;
+    if exp == 0x1f {
+        // Infinity / NaN.
+        return f32::from_bits(sign | 0x7f80_0000 | (man << 13));
+    }
+    if exp == 0 {
+        // Zero or subnormal: value is man · 2^-24.
+        let mag = man as f32 * (-24f32).exp2();
+        return if sign != 0 { -mag } else { mag };
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (man << 13))
+}
+
 /// The simulated kernel: execution geometry plus the precision mode.
 #[derive(Debug, Clone, Copy)]
 pub struct SimtKernel {

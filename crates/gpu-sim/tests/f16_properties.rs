@@ -3,8 +3,41 @@
 //! the rounding error — the invariants that keep half-precision training
 //! numerically sane.
 
-use gpu_sim::simt::f16_round;
+use gpu_sim::simt::{f16_bits, f16_from_bits, f16_round};
 use proptest::prelude::*;
+
+/// Every one of the 65 536 binary16 bit patterns must survive a
+/// decode → encode round trip (NaNs canonicalize to `0x7e00` with the
+/// sign preserved — payloads are not round-tripped).
+#[test]
+fn all_bit_patterns_round_trip() {
+    for bits in 0..=u16::MAX {
+        let v = f16_from_bits(bits);
+        let back = f16_bits(v);
+        let exp = (bits >> 10) & 0x1f;
+        let man = bits & 0x3ff;
+        if exp == 0x1f && man != 0 {
+            assert!(v.is_nan(), "{bits:#06x} should decode to NaN");
+            assert_eq!(back, (bits & 0x8000) | 0x7e00, "NaN canonical form");
+        } else {
+            assert_eq!(back, bits, "round trip failed for {bits:#06x} (v={v})");
+        }
+    }
+}
+
+/// Decoded binary16 values are fixed points of `f16_round`, so storing
+/// factors as u16 bits is bitwise-equivalent to storing `f16_round(x)`
+/// as f32 — the contract `mf-serve`'s f16 store relies on.
+#[test]
+fn decode_is_f16_round_fixed_point() {
+    for bits in 0..=u16::MAX {
+        let v = f16_from_bits(bits);
+        if v.is_nan() {
+            continue;
+        }
+        assert_eq!(f16_round(v).to_bits(), v.to_bits(), "bits={bits:#06x}");
+    }
+}
 
 proptest! {
     #[test]
@@ -35,12 +68,22 @@ proptest! {
     }
 
     #[test]
+    fn encode_matches_round(x in -70000.0f32..70000.0) {
+        // Bit-storing a factor (encode then decode) must equal rounding
+        // it in place — bitwise.
+        prop_assert_eq!(
+            f16_from_bits(f16_bits(x)).to_bits(),
+            f16_round(x).to_bits()
+        );
+    }
+
+    #[test]
     fn result_is_exactly_representable(x in -60000.0f32..60000.0) {
         // Every output must have at most 10 fraction bits (normal) or be a
         // multiple of 2^-24 (subnormal) — checked via idempotence plus a
         // scaled-integer test for the subnormal range.
         let r = f16_round(x);
-        if r != 0.0 && r.abs() < 6.103515625e-5 {
+        if r != 0.0 && r.abs() < 2f32.powi(-14) {
             let q = r / (2f32).powi(-24);
             prop_assert_eq!(q.fract(), 0.0, "subnormal {} not on grid", r);
         }

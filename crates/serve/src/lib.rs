@@ -71,5 +71,5 @@ pub use delta::{Delta, DeltaMeta, RecoverError, Recovery};
 pub use foldin::{FoldIn, FoldInConfig};
 pub use live::{LiveConfig, LiveStore, LiveTrainer};
 pub use sched::{BatchPolicy, Batcher, LoadReport};
-pub use store::{FactorStore, Query, QueryUser, TopK};
+pub use store::{FactorStore, Precision, Query, QueryUser, TopK};
 pub use vfs::{RealFs, Vfs};

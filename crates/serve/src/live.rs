@@ -159,6 +159,11 @@ pub struct LiveConfig {
     /// snapshot reaches this many epochs (≥ 1; 1 = snapshot always,
     /// never a delta).
     pub snapshot_every: u64,
+    /// At-rest item-factor precision of every [`FactorStore`] the loop
+    /// publishes. Training and checkpoints stay full f32 — only the
+    /// serving tiles are quantized, so a restart (or a precision
+    /// change) rebuilds them from the exact factors.
+    pub precision: crate::store::Precision,
 }
 
 impl Default for LiveConfig {
@@ -169,6 +174,7 @@ impl Default for LiveConfig {
             passes: 2,
             foldin: FoldInConfig::default(),
             snapshot_every: 8,
+            precision: crate::store::Precision::F32,
         }
     }
 }
@@ -250,7 +256,11 @@ impl LiveTrainer {
         fs.publish(&dir, &name, &mut |w| {
             checkpoint::write_checkpoint(&model, meta, w)
         })?;
-        let live = LiveStore::new(FactorStore::new(model.clone(), meta.epoch));
+        let live = LiveStore::new(FactorStore::with_precision(
+            model.clone(),
+            meta.epoch,
+            cfg.precision,
+        ));
         Ok(LiveTrainer {
             fs,
             dir,
@@ -279,7 +289,11 @@ impl LiveTrainer {
     ) -> LiveTrainer {
         assert!(cfg.snapshot_every >= 1, "snapshot_every must be ≥ 1");
         let ck = recovery.checkpoint;
-        let live = LiveStore::new(FactorStore::from_checkpoint(ck.clone()));
+        let live = LiveStore::new(FactorStore::with_precision(
+            ck.model.clone(),
+            ck.meta.epoch,
+            cfg.precision,
+        ));
         LiveTrainer {
             fs,
             dir,
@@ -494,8 +508,11 @@ impl LiveTrainer {
             Err(e) => (false, Some(e)),
         };
 
-        self.live
-            .publish(FactorStore::new(self.model.clone(), self.epoch));
+        self.live.publish(FactorStore::with_precision(
+            self.model.clone(),
+            self.epoch,
+            self.cfg.precision,
+        ));
         EpochReport {
             epoch: self.epoch,
             ingested: batch.len(),

@@ -80,9 +80,19 @@ pub fn dot(p: &[f32], q: &[f32]) -> f32 {
     dispatch_k!(p.len(), dot_mono_slices(p, q), dot_scalar(p, q))
 }
 
-/// Slice-view adapter over [`dot_mono`] for the dispatch macro.
+/// Monomorphized dot front door: routes through the SIMD dispatch
+/// ladder. Bit-identical at every [`crate::simd::SimdLevel`] — the SIMD
+/// dot is association-pinned (see the `simd` module docs) — so callers
+/// observe one result regardless of host or `MF_SIMD`.
 #[inline(always)]
 fn dot_mono_slices<const K: usize>(p: &[f32], q: &[f32]) -> f32 {
+    crate::simd::dot_level::<K>(crate::simd::level(), p, q)
+}
+
+/// Slice-view adapter over [`dot_mono`] — the scalar-level body behind
+/// the SIMD dispatch, and the oracle it is tested against.
+#[inline(always)]
+pub(crate) fn dot_mono_slices_scalar<const K: usize>(p: &[f32], q: &[f32]) -> f32 {
     dot_mono::<K>(
         p.try_into().expect("dispatch guarantees length K"),
         q.try_into().expect("dispatch guarantees length K"),
@@ -147,9 +157,25 @@ pub fn sgd_step(
     debug_assert_eq!(p.len(), q.len());
     dispatch_k!(
         p.len(),
-        sgd_step_mono(p, q, r, gamma, lambda_p, lambda_q),
+        sgd_step_mono_dispatch(p, q, r, gamma, lambda_p, lambda_q),
         sgd_step_scalar(p, q, r, gamma, lambda_p, lambda_q)
     )
+}
+
+/// Monomorphized step front door: routes through the SIMD dispatch
+/// ladder (`MF_SIMD`). The update is fused (FMA) on SIMD levels —
+/// ulp-bounded against the scalar-level oracle, never bit-divergent in
+/// the error term (the dot is association-pinned).
+#[inline(always)]
+fn sgd_step_mono_dispatch<const K: usize>(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    crate::simd::sgd_step_level::<K>(crate::simd::level(), p, q, r, gamma, lambda_p, lambda_q)
 }
 
 /// The scalar reference update — any `k`, exact-length `zip` loops.
@@ -177,9 +203,11 @@ pub fn sgd_step_scalar(
 }
 
 /// Monomorphized fused update over `&[f32; K]` views: compile-time trip
-/// counts, no bounds checks, fully unrollable by LLVM.
+/// counts, no bounds checks, fully unrollable by LLVM. This is the
+/// scalar-level body behind the SIMD dispatch — the oracle the fused
+/// kernels are pinned against.
 #[inline(always)]
-fn sgd_step_mono<const K: usize>(
+pub(crate) fn sgd_step_mono<const K: usize>(
     p: &mut [f32],
     q: &mut [f32],
     r: f32,
@@ -219,6 +247,34 @@ fn sgd_step_mono<const K: usize>(
 #[inline]
 pub fn sgd_step_fixed_q(p: &mut [f32], q: &[f32], r: f32, gamma: f32, lambda_p: f32) -> f32 {
     debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(
+        p.len(),
+        sgd_step_fixed_q_mono(p, q, r, gamma, lambda_p),
+        sgd_step_fixed_q_ref(p, q, r, gamma, lambda_p)
+    )
+}
+
+#[inline(always)]
+fn sgd_step_fixed_q_mono<const K: usize>(
+    p: &mut [f32],
+    q: &[f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+) -> f32 {
+    crate::simd::sgd_step_fixed_q_level::<K>(crate::simd::level(), p, q, r, gamma, lambda_p)
+}
+
+/// The portable fixed-`Q` body — the scalar-level path behind the SIMD
+/// dispatch, and the fallback for dimensions outside [`MONO_DIMS`].
+#[inline]
+pub(crate) fn sgd_step_fixed_q_ref(
+    p: &mut [f32],
+    q: &[f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+) -> f32 {
     let e = r - dot(p, q);
     let ge = gamma * e;
     let glp = gamma * lambda_p;
@@ -236,6 +292,33 @@ pub fn sgd_step_fixed_q(p: &mut [f32], q: &[f32], r: f32, gamma: f32, lambda_p: 
 #[inline]
 pub fn sgd_step_fixed_p(p: &[f32], q: &mut [f32], r: f32, gamma: f32, lambda_q: f32) -> f32 {
     debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(
+        p.len(),
+        sgd_step_fixed_p_mono(p, q, r, gamma, lambda_q),
+        sgd_step_fixed_p_ref(p, q, r, gamma, lambda_q)
+    )
+}
+
+#[inline(always)]
+fn sgd_step_fixed_p_mono<const K: usize>(
+    p: &[f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_q: f32,
+) -> f32 {
+    crate::simd::sgd_step_fixed_p_level::<K>(crate::simd::level(), p, q, r, gamma, lambda_q)
+}
+
+/// The portable fixed-`P` body (the [`sgd_step_fixed_q_ref`] mirror).
+#[inline]
+pub(crate) fn sgd_step_fixed_p_ref(
+    p: &[f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_q: f32,
+) -> f32 {
     let e = r - dot(p, q);
     let ge = gamma * e;
     let glq = gamma * lambda_q;
@@ -302,11 +385,41 @@ fn sgd_block_mono<const K: usize>(
     lambda_p: f32,
     lambda_q: f32,
 ) -> f64 {
+    // Hoist the SIMD dispatch out of the rating loop: one level probe
+    // per block. The scalar level keeps the directly-inlined mono step
+    // (no fn-pointer indirection on the oracle path).
+    let lvl = crate::simd::level();
+    if lvl == crate::simd::SimdLevel::Scalar {
+        return sgd_block_mono_with::<K, _>(
+            p,
+            q,
+            block,
+            gamma,
+            lambda_p,
+            lambda_q,
+            sgd_step_mono::<K>,
+        );
+    }
+    let step = crate::simd::step_fn::<K>(lvl);
+    sgd_block_mono_with::<K, _>(p, q, block, gamma, lambda_p, lambda_q, step)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn sgd_block_mono_with<const K: usize, F: Fn(&mut [f32], &mut [f32], f32, f32, f32, f32) -> f32>(
+    p: &mut [f32],
+    q: &mut [f32],
+    block: &[Rating],
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+    step: F,
+) -> f64 {
     let mut sq_err = 0f64;
     for e in block {
         let pu = &mut p[e.u as usize * K..][..K];
         let qv = &mut q[e.v as usize * K..][..K];
-        let err = sgd_step_mono::<K>(pu, qv, e.r, gamma, lambda_p, lambda_q);
+        let err = step(pu, qv, e.r, gamma, lambda_p, lambda_q);
         sq_err += (err as f64) * (err as f64);
     }
     sq_err
@@ -398,7 +511,9 @@ pub unsafe fn sgd_block_raw_soa(
 }
 
 /// Monomorphized SoA raw-pointer block loop (inherits the
-/// [`sgd_block_raw_soa`] safety contract).
+/// [`sgd_block_raw_soa`] safety contract). The SIMD dispatch is hoisted
+/// to one probe per block; the scalar level keeps the directly-inlined
+/// mono step.
 #[inline(always)]
 unsafe fn sgd_block_raw_soa_mono<const K: usize>(
     p: *mut f32,
@@ -408,16 +523,82 @@ unsafe fn sgd_block_raw_soa_mono<const K: usize>(
     lambda_p: f32,
     lambda_q: f32,
 ) -> f64 {
+    let lvl = crate::simd::level();
+    if lvl == crate::simd::SimdLevel::Scalar {
+        return unsafe {
+            sgd_block_raw_soa_with(
+                p,
+                q,
+                K,
+                block,
+                gamma,
+                lambda_p,
+                lambda_q,
+                sgd_step_mono::<K>,
+            )
+        };
+    }
+    let step = crate::simd::step_fn::<K>(lvl);
+    unsafe { sgd_block_raw_soa_with(p, q, K, block, gamma, lambda_p, lambda_q, step) }
+}
+
+/// [`sgd_block_soa`] pinned to a SIMD dispatch level (clamped to the
+/// host) — the bench/test surface that lets one process measure every
+/// reachable level side by side without re-exec'ing under different
+/// `MF_SIMD` values.
+#[allow(clippy::too_many_arguments)]
+pub fn sgd_block_soa_at(
+    level: crate::simd::SimdLevel,
+    p: &mut [f32],
+    q: &mut [f32],
+    k: usize,
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    // SAFETY: `p`/`q` are exclusive borrows covering their buffers (as
+    // in `sgd_block_soa`).
+    dispatch_k!(
+        k,
+        sgd_block_raw_soa_at_mono(level, p, q, block, gamma, lambda_p, lambda_q),
+        unsafe {
+            sgd_block_raw_soa_with(
+                p.as_mut_ptr(),
+                q.as_mut_ptr(),
+                k,
+                block,
+                gamma,
+                lambda_p,
+                lambda_q,
+                sgd_step_scalar,
+            )
+        }
+    )
+}
+
+#[inline(always)]
+fn sgd_block_raw_soa_at_mono<const K: usize>(
+    level: crate::simd::SimdLevel,
+    p: &mut [f32],
+    q: &mut [f32],
+    block: BlockSlices<'_>,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f64 {
+    let step = crate::simd::step_fn::<K>(level);
+    // SAFETY: exclusive borrows cover the factor buffers.
     unsafe {
         sgd_block_raw_soa_with(
-            p,
-            q,
+            p.as_mut_ptr(),
+            q.as_mut_ptr(),
             K,
             block,
             gamma,
             lambda_p,
             lambda_q,
-            sgd_step_mono::<K>,
+            step,
         )
     }
 }
@@ -474,6 +655,13 @@ unsafe fn sgd_block_raw_soa_with(
     // monomorphization constant on the mono path, so the branch folds
     // away.
     if k * std::mem::size_of::<f32>() >= 64 {
+        // Rows span multiple cache lines past k = 16; prefetching only
+        // the first line left the remaining lines to demand misses —
+        // measurably inverting the SoA-vs-AoS advantage at k = 64
+        // (4-line rows) in the committed kernel table. Cover the whole
+        // row up to 4 lines; `k` is a monomorphization constant on the
+        // mono path, so the line count folds into straight-line code.
+        let lines = (k * std::mem::size_of::<f32>() / 64).clamp(1, 4);
         for i in 0..n {
             if i + SOA_PREFETCH_AHEAD < n {
                 // SAFETY: `i + SOA_PREFETCH_AHEAD < n` and the three
@@ -484,8 +672,10 @@ unsafe fn sgd_block_raw_soa_with(
                         *cols.get_unchecked(i + SOA_PREFETCH_AHEAD) as usize,
                     )
                 };
-                prefetch_read_f32(p.wrapping_add(u2 * k) as *const f32);
-                prefetch_read_f32(q.wrapping_add(v2 * k) as *const f32);
+                for l in 0..lines {
+                    prefetch_read_f32(p.wrapping_add(u2 * k + l * 16) as *const f32);
+                    prefetch_read_f32(q.wrapping_add(v2 * k + l * 16) as *const f32);
+                }
             }
             // SAFETY: `i < n`; factor rows are in bounds and exclusively
             // ours (caller contract).
@@ -553,18 +743,23 @@ unsafe fn sgd_block_raw_mono<const K: usize>(
     lambda_p: f32,
     lambda_q: f32,
 ) -> f64 {
-    unsafe {
-        sgd_block_raw_with(
-            p,
-            q,
-            K,
-            block,
-            gamma,
-            lambda_p,
-            lambda_q,
-            sgd_step_mono::<K>,
-        )
+    let lvl = crate::simd::level();
+    if lvl == crate::simd::SimdLevel::Scalar {
+        return unsafe {
+            sgd_block_raw_with(
+                p,
+                q,
+                K,
+                block,
+                gamma,
+                lambda_p,
+                lambda_q,
+                sgd_step_mono::<K>,
+            )
+        };
     }
+    let step = crate::simd::step_fn::<K>(lvl);
+    unsafe { sgd_block_raw_with(p, q, K, block, gamma, lambda_p, lambda_q, step) }
 }
 
 /// Shared raw-pointer block loop, parameterized over the per-rating step.

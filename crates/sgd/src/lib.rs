@@ -7,6 +7,10 @@
 //! * [`kernel`] — the inner SGD update (Eq. 4–6), written so LLVM can
 //!   vectorize it; this exact routine runs on CPU workers, inside the
 //!   FPSGD thread pool, and inside the simulated GPU's SIMT lanes.
+//! * [`simd`] — explicit AVX2+FMA / AVX-512 builds of the hot kernels
+//!   behind one runtime-detected, `MF_SIMD`-overridable dispatch
+//!   ladder, with the portable kernels kept as the scalar level (and
+//!   the test oracle).
 //! * [`HyperParams`] / [`LearningRate`] — `k`, `λ_P`, `λ_Q`, `γ` and the
 //!   learning-rate schedules of Chin et al. (PAKDD'15), the paper's \[43\].
 //! * [`eval`] — RMSE / MAE / regularized loss (Eq. 2).
@@ -29,6 +33,7 @@ pub mod kernel;
 pub mod model;
 pub mod sequential;
 pub mod shared;
+pub mod simd;
 pub mod sweep;
 
 pub use hyper::{HyperParams, LearningRate};

@@ -1,0 +1,726 @@
+//! Explicit x86-64 SIMD kernels behind one runtime dispatch ladder.
+//!
+//! The workspace builds for baseline x86-64 (SSE2), so the autovectorized
+//! monomorphized kernels in [`crate::kernel`] never see AVX registers or
+//! FMA no matter what the host has. This module adds hand-written
+//! `core::arch` kernels for the hot primitives — [`crate::kernel::dot`],
+//! [`crate::kernel::sgd_step`] (and its fixed-`Q`/fixed-`P` fold-in
+//! variants), and the serving panel kernel
+//! [`crate::sweep::dot_panel`] — compiled with `#[target_feature]` for
+//! AVX2+FMA and AVX-512F, selected once per process.
+//!
+//! # The dispatch ladder
+//!
+//! ```text
+//! MF_SIMD env (auto|avx512|avx2|scalar, default auto)
+//!        │ clamped to what is_x86_feature_detected! reports
+//!        ▼
+//! SimdLevel — cached in a OnceLock, one branch per kernel call
+//!        │
+//!        ├─ Avx512  zmm fused update; ymm dot (association-pinned)
+//!        ├─ Avx2    ymm fused update + ymm dot
+//!        └─ Scalar  the *unchanged* kernels of crate::kernel /
+//!                   crate::sweep — the oracle
+//! ```
+//!
+//! # The fallback-is-oracle contract
+//!
+//! `MF_SIMD=scalar` runs the exact code paths that existed before this
+//! module: the autovectorized monomorphized kernels and the portable
+//! panel body. They are not a "reference implementation" written for the
+//! occasion — they *are* the shipped scalar product, so every SIMD level
+//! is property-tested against the bits production would have produced
+//! (`crates/sgd/tests/simd_equivalence.rs`).
+//!
+//! Two different strictness tiers apply, and the split is deliberate:
+//!
+//! * **Dot products are bit-identical at every level.** The SIMD dot
+//!   keeps [`crate::kernel::LANES`] = 8 split accumulators in one `ymm`
+//!   register, seeds them with the first chunk's products, accumulates
+//!   with *separate* multiply and add instructions (FMA is never used in
+//!   a dot — contraction rounds differently), and realizes the exact
+//!   reduction tree `((a0+a4)+(a1+a5)) + ((a2+a6)+(a3+a7))` with
+//!   `vextractf128` + horizontal adds. Serving's bit-identity chain
+//!   (`Model::recommend` ≡ `FactorStore::serve_one` ≡ `sweep_batch`)
+//!   therefore survives every dispatch level untouched, and AVX-512
+//!   deliberately keeps the dot in `ymm` — widening the accumulator
+//!   block would change the association order.
+//! * **Updates are FMA-fused and ulp-bounded.** The training update
+//!   `p ← p + γe·q − γλ·p` is elementwise, so fusing it changes each
+//!   lane by at most a couple of ulps versus the scalar oracle (the
+//!   equivalence suite pins the bound). Fusion is per-element and
+//!   width-independent: the AVX2 and AVX-512 update paths produce the
+//!   *same* bits as each other, and the fixed-`Q`/fixed-`P` fold-in
+//!   steps share the same fused expression as the full step, preserving
+//!   the "fixed step moves `p` bitwise like the full step" contract the
+//!   fold-in tests assert.
+//!
+//! Functions with an `_at` suffix take an explicit [`SimdLevel`] so
+//! tests and benches can pin every level reachable on the host in one
+//! process; the plain entry points in [`crate::kernel`] and
+//! [`crate::sweep`] dispatch on [`level()`]. Levels are clamped to the
+//! detected feature set at every entry, so even a hand-constructed
+//! `SimdLevel` can never reach an instruction the host lacks.
+
+use crate::kernel::{self, dispatch_k, LANES};
+use crate::sweep::PANEL_W;
+
+/// One rung of the dispatch ladder, ordered by width (`Scalar` <
+/// `Avx2` < `Avx512`) so clamping to the detected tier is a `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// The pre-existing autovectorized kernels — the test oracle.
+    Scalar,
+    /// AVX2 + FMA: 8-wide f32, fused update, association-pinned dot.
+    Avx2,
+    /// AVX-512F (+AVX2+FMA): 16-wide fused update; the dot stays 8-wide
+    /// to preserve the accumulator association order.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// The `MF_SIMD` spelling of this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Parses an `MF_SIMD` value. `None` means "auto" (use the widest
+/// detected level); unrecognized values also fall back to auto rather
+/// than aborting a training run over a typo (the README documents the
+/// accepted spellings).
+pub(crate) fn parse_level(s: &str) -> Option<SimdLevel> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Some(SimdLevel::Scalar),
+        "avx2" => Some(SimdLevel::Avx2),
+        "avx512" | "avx512f" => Some(SimdLevel::Avx512),
+        _ => None,
+    }
+}
+
+/// The widest level the host supports, probed once per process.
+/// `Avx512` additionally requires AVX2+FMA (every AVX-512F part ships
+/// them, but the dispatcher's soundness must not rest on that folklore).
+pub fn detected() -> SimdLevel {
+    static DETECTED: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
+    *DETECTED.get_or_init(probe)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe() -> SimdLevel {
+    let avx2 =
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
+    if avx2 && std::arch::is_x86_feature_detected!("avx512f") {
+        SimdLevel::Avx512
+    } else if avx2 {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+/// The level the process dispatches on: `MF_SIMD` clamped to
+/// [`detected()`], cached like `MF_PAR_THREADS` is for the pool.
+pub fn level() -> SimdLevel {
+    static LEVEL: std::sync::OnceLock<SimdLevel> = std::sync::OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let requested = std::env::var("MF_SIMD").ok().and_then(|s| parse_level(&s));
+        effective(requested.unwrap_or_else(detected))
+    })
+}
+
+/// Every level reachable on this host, narrowest first — the iteration
+/// surface for the equivalence suite ("at every dispatch level
+/// reachable on the host").
+pub fn available_levels() -> &'static [SimdLevel] {
+    use SimdLevel::*;
+    match detected() {
+        Scalar => &[Scalar],
+        Avx2 => &[Scalar, Avx2],
+        Avx512 => &[Scalar, Avx2, Avx512],
+    }
+}
+
+/// Clamps a requested level to the detected feature set — the soundness
+/// gate every dispatcher below passes through.
+#[inline]
+fn effective(level: SimdLevel) -> SimdLevel {
+    level.min(detected())
+}
+
+/// The per-rating step signature the block loops are parameterized
+/// over (matches [`crate::kernel::sgd_step`] minus the dispatch).
+pub(crate) type StepFn = fn(&mut [f32], &mut [f32], f32, f32, f32, f32) -> f32;
+
+/// The monomorphized per-rating step for `level`, as a plain fn pointer
+/// the block loops hoist out of their rating loop. The scalar entry is
+/// the unchanged [`crate::kernel`] mono step.
+pub(crate) fn step_fn<const K: usize>(level: SimdLevel) -> StepFn {
+    match effective(level) {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => step_entry_avx512::<K>,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => step_entry_avx2::<K>,
+        _ => kernel::sgd_step_mono::<K>,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn step_entry_avx2<const K: usize>(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    // SAFETY: `step_fn`/`sgd_step_level` hand this entry out only after
+    // `effective` clamped the level to the detected feature set.
+    unsafe { x86::sgd_step_avx2::<K>(p, q, r, gamma, lambda_p, lambda_q) }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn step_entry_avx512<const K: usize>(
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    // SAFETY: as in `step_entry_avx2` — avx512f+avx2+fma were detected.
+    unsafe { x86::sgd_step_avx512::<K>(p, q, r, gamma, lambda_p, lambda_q) }
+}
+
+/// Monomorphized dot at `level` — bit-identical across levels by
+/// construction (see the module docs).
+#[inline]
+pub(crate) fn dot_level<const K: usize>(level: SimdLevel, p: &[f32], q: &[f32]) -> f32 {
+    match effective(level) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `effective` confirmed at least avx2+fma; the dot body
+        // uses AVX/SSE3 instructions only.
+        SimdLevel::Avx512 | SimdLevel::Avx2 => unsafe { x86::dot_avx2::<K>(p, q) },
+        _ => kernel::dot_mono_slices_scalar::<K>(p, q),
+    }
+}
+
+/// Monomorphized fused update at `level`.
+#[inline]
+pub(crate) fn sgd_step_level<const K: usize>(
+    level: SimdLevel,
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    match effective(level) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx512f+avx2+fma detected (clamped above).
+        SimdLevel::Avx512 => unsafe {
+            x86::sgd_step_avx512::<K>(p, q, r, gamma, lambda_p, lambda_q)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2+fma detected (clamped above).
+        SimdLevel::Avx2 => unsafe { x86::sgd_step_avx2::<K>(p, q, r, gamma, lambda_p, lambda_q) },
+        _ => kernel::sgd_step_mono::<K>(p, q, r, gamma, lambda_p, lambda_q),
+    }
+}
+
+/// Monomorphized fixed-`Q` fold-in step at `level`. Shares the fused
+/// `p` expression with [`sgd_step_level`], so the "moves `p` bitwise
+/// like the full step" contract holds at every level.
+#[inline]
+pub(crate) fn sgd_step_fixed_q_level<const K: usize>(
+    level: SimdLevel,
+    p: &mut [f32],
+    q: &[f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+) -> f32 {
+    match effective(level) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features detected (clamped above); avx512 reuses the
+        // ymm body — the fused update is width-independent.
+        SimdLevel::Avx512 | SimdLevel::Avx2 => unsafe {
+            x86::sgd_step_fixed_q_avx2::<K>(p, q, r, gamma, lambda_p)
+        },
+        _ => kernel::sgd_step_fixed_q_ref(p, q, r, gamma, lambda_p),
+    }
+}
+
+/// Monomorphized fixed-`P` fold-in step at `level` (the
+/// [`sgd_step_fixed_q_level`] mirror).
+#[inline]
+pub(crate) fn sgd_step_fixed_p_level<const K: usize>(
+    level: SimdLevel,
+    p: &[f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_q: f32,
+) -> f32 {
+    match effective(level) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `sgd_step_fixed_q_level`.
+        SimdLevel::Avx512 | SimdLevel::Avx2 => unsafe {
+            x86::sgd_step_fixed_p_avx2::<K>(p, q, r, gamma, lambda_q)
+        },
+        _ => kernel::sgd_step_fixed_p_ref(p, q, r, gamma, lambda_q),
+    }
+}
+
+/// Monomorphized panel dot at `level` — bit-identical across levels per
+/// query lane (vector adds are elementwise, so the per-query reduction
+/// tree is preserved at any width).
+#[inline]
+pub(crate) fn dot_panel_level<const K: usize>(
+    level: SimdLevel,
+    panel: &[f32],
+    rows: &[f32],
+    out: &mut [f32],
+) {
+    match effective(level) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx512f detected (clamped above).
+        SimdLevel::Avx512 => unsafe { x86::dot_panel_avx512::<K>(panel, rows, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: avx2 detected (clamped above).
+        SimdLevel::Avx2 => unsafe { x86::dot_panel_avx2::<K>(panel, rows, out) },
+        _ => crate::sweep::dot_panel_body::<K>(panel, rows, out),
+    }
+}
+
+/// [`crate::kernel::dot`] pinned to a dispatch level (clamped to the
+/// host). Dimensions without a monomorphized kernel take the scalar
+/// reference path at every level, exactly like the plain entry point.
+#[inline]
+pub fn dot_at(level: SimdLevel, p: &[f32], q: &[f32]) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(p.len(), dot_level(level, p, q), kernel::dot_scalar(p, q))
+}
+
+/// [`crate::kernel::sgd_step`] pinned to a dispatch level.
+#[inline]
+pub fn sgd_step_at(
+    level: SimdLevel,
+    p: &mut [f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+    lambda_q: f32,
+) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(
+        p.len(),
+        sgd_step_level(level, p, q, r, gamma, lambda_p, lambda_q),
+        kernel::sgd_step_scalar(p, q, r, gamma, lambda_p, lambda_q)
+    )
+}
+
+/// [`crate::kernel::sgd_step_fixed_q`] pinned to a dispatch level.
+#[inline]
+pub fn sgd_step_fixed_q_at(
+    level: SimdLevel,
+    p: &mut [f32],
+    q: &[f32],
+    r: f32,
+    gamma: f32,
+    lambda_p: f32,
+) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(
+        p.len(),
+        sgd_step_fixed_q_level(level, p, q, r, gamma, lambda_p),
+        kernel::sgd_step_fixed_q_ref(p, q, r, gamma, lambda_p)
+    )
+}
+
+/// [`crate::kernel::sgd_step_fixed_p`] pinned to a dispatch level.
+#[inline]
+pub fn sgd_step_fixed_p_at(
+    level: SimdLevel,
+    p: &[f32],
+    q: &mut [f32],
+    r: f32,
+    gamma: f32,
+    lambda_q: f32,
+) -> f32 {
+    debug_assert_eq!(p.len(), q.len());
+    dispatch_k!(
+        p.len(),
+        sgd_step_fixed_p_level(level, p, q, r, gamma, lambda_q),
+        kernel::sgd_step_fixed_p_ref(p, q, r, gamma, lambda_q)
+    )
+}
+
+/// The hand-written `core::arch` kernels. All callers go through the
+/// `effective` clamp, so a function here only ever runs after its
+/// features were detected. None of the dot bodies use FMA — see the
+/// module docs for why contraction is reserved for the updates.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{LANES, PANEL_W};
+    use core::arch::x86_64::*;
+
+    /// The association-pinned dot on one `ymm` accumulator block:
+    /// exactly [`crate::kernel`]'s `dot_mono` arithmetic — seed with
+    /// chunk 0's products, mul+add per chunk (never FMA), then the
+    /// fixed reduction tree. `vextractf128` + `haddps` realize
+    /// `((a0+a4)+(a1+a5)) + ((a2+a6)+(a3+a7))` literally: the 128-bit
+    /// halves add to `[a0+a4, a1+a5, a2+a6, a3+a7]`, one horizontal
+    /// add pairs them, one more add finishes the root.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have AVX (+SSE3) enabled and `p`/`q` valid for `K`
+    /// reads.
+    #[inline(always)]
+    unsafe fn dot_body_ymm<const K: usize>(p: *const f32, q: *const f32) -> f32 {
+        const { assert!(K.is_multiple_of(LANES) && K > 0) };
+        unsafe {
+            let mut acc = _mm256_mul_ps(_mm256_loadu_ps(p), _mm256_loadu_ps(q));
+            let mut i = LANES;
+            while i < K {
+                let prod = _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), _mm256_loadu_ps(q.add(i)));
+                acc = _mm256_add_ps(acc, prod);
+                i += LANES;
+            }
+            let lo = _mm256_castps256_ps128(acc);
+            let hi = _mm256_extractf128_ps(acc, 1);
+            let s = _mm_add_ps(lo, hi);
+            let h = _mm_hadd_ps(s, s);
+            _mm_cvtss_f32(_mm_add_ss(h, _mm_movehdup_ps(h)))
+        }
+    }
+
+    /// [`crate::kernel::dot`]'s AVX build (bit-identical to the scalar
+    /// level — the dot never widens past `ymm` or fuses).
+    #[target_feature(enable = "avx2")]
+    pub(super) fn dot_avx2<const K: usize>(p: &[f32], q: &[f32]) -> f32 {
+        debug_assert!(p.len() == K && q.len() == K);
+        // SAFETY: both slices hold K floats; avx2 ⊃ avx+sse3.
+        unsafe { dot_body_ymm::<K>(p.as_ptr(), q.as_ptr()) }
+    }
+
+    /// The fused `ymm` update pass shared by the full and fixed steps:
+    /// `p ← fma(γe, q, fnma(γλ_P, p, p))` per 8 lanes, `q` mirrored
+    /// with the pre-update `p` (Algorithm 1's ordering).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have AVX2+FMA enabled and `p`/`q` valid for `K`
+    /// read-writes.
+    #[inline(always)]
+    unsafe fn update_body_ymm<const K: usize>(
+        p: *mut f32,
+        q: *mut f32,
+        ge: f32,
+        glp: f32,
+        glq: f32,
+    ) {
+        unsafe {
+            let vge = _mm256_set1_ps(ge);
+            let vglp = _mm256_set1_ps(glp);
+            let vglq = _mm256_set1_ps(glq);
+            let mut i = 0;
+            while i < K {
+                let pv = _mm256_loadu_ps(p.add(i));
+                let qv = _mm256_loadu_ps(q.add(i));
+                let pnew = _mm256_fmadd_ps(vge, qv, _mm256_fnmadd_ps(vglp, pv, pv));
+                let qnew = _mm256_fmadd_ps(vge, pv, _mm256_fnmadd_ps(vglq, qv, qv));
+                _mm256_storeu_ps(p.add(i), pnew);
+                _mm256_storeu_ps(q.add(i), qnew);
+                i += 8;
+            }
+        }
+    }
+
+    /// [`crate::kernel::sgd_step`] at the AVX2 level: scalar-identical
+    /// error (the dot is association-pinned), fused ulp-bounded update.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn sgd_step_avx2<const K: usize>(
+        p: &mut [f32],
+        q: &mut [f32],
+        r: f32,
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f32 {
+        debug_assert!(p.len() == K && q.len() == K);
+        // SAFETY: slices hold K floats; avx2+fma active.
+        let e = r - unsafe { dot_body_ymm::<K>(p.as_ptr(), q.as_ptr()) };
+        // SAFETY: as above — and `p`/`q` are distinct `&mut`s.
+        unsafe {
+            update_body_ymm::<K>(
+                p.as_mut_ptr(),
+                q.as_mut_ptr(),
+                gamma * e,
+                gamma * lambda_p,
+                gamma * lambda_q,
+            )
+        };
+        e
+    }
+
+    /// [`crate::kernel::sgd_step`] at the AVX-512 level: the dot stays
+    /// in `ymm` (association order), the elementwise update widens to
+    /// `zmm` for k ≥ 16 — same bits as the AVX2 update, half the
+    /// iterations.
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub(super) fn sgd_step_avx512<const K: usize>(
+        p: &mut [f32],
+        q: &mut [f32],
+        r: f32,
+        gamma: f32,
+        lambda_p: f32,
+        lambda_q: f32,
+    ) -> f32 {
+        debug_assert!(p.len() == K && q.len() == K);
+        // SAFETY: slices hold K floats; required features active.
+        let e = r - unsafe { dot_body_ymm::<K>(p.as_ptr(), q.as_ptr()) };
+        let ge = gamma * e;
+        let glp = gamma * lambda_p;
+        let glq = gamma * lambda_q;
+        if K < 16 {
+            // SAFETY: as above; ymm path for the one sub-zmm dimension.
+            unsafe { update_body_ymm::<K>(p.as_mut_ptr(), q.as_mut_ptr(), ge, glp, glq) };
+            return e;
+        }
+        // SAFETY: K ≥ 16 and K % 16 == 0 for every MONO_DIMS entry
+        // ≥ 16; rows are valid for K read-writes.
+        unsafe {
+            let pp = p.as_mut_ptr();
+            let qq = q.as_mut_ptr();
+            let vge = _mm512_set1_ps(ge);
+            let vglp = _mm512_set1_ps(glp);
+            let vglq = _mm512_set1_ps(glq);
+            let mut i = 0;
+            while i < K {
+                let pv = _mm512_loadu_ps(pp.add(i));
+                let qv = _mm512_loadu_ps(qq.add(i));
+                let pnew = _mm512_fmadd_ps(vge, qv, _mm512_fnmadd_ps(vglp, pv, pv));
+                let qnew = _mm512_fmadd_ps(vge, pv, _mm512_fnmadd_ps(vglq, qv, qv));
+                _mm512_storeu_ps(pp.add(i), pnew);
+                _mm512_storeu_ps(qq.add(i), qnew);
+                i += 16;
+            }
+        }
+        e
+    }
+
+    /// Fixed-`Q` fold-in step: same dot, and the *same fused `p`
+    /// expression* as the full step's update pass, so `p` moves
+    /// bitwise identically.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn sgd_step_fixed_q_avx2<const K: usize>(
+        p: &mut [f32],
+        q: &[f32],
+        r: f32,
+        gamma: f32,
+        lambda_p: f32,
+    ) -> f32 {
+        debug_assert!(p.len() == K && q.len() == K);
+        // SAFETY: slices hold K floats; avx2+fma active.
+        unsafe {
+            let e = r - dot_body_ymm::<K>(p.as_ptr(), q.as_ptr());
+            let vge = _mm256_set1_ps(gamma * e);
+            let vglp = _mm256_set1_ps(gamma * lambda_p);
+            let pp = p.as_mut_ptr();
+            let qq = q.as_ptr();
+            let mut i = 0;
+            while i < K {
+                let pv = _mm256_loadu_ps(pp.add(i));
+                let qv = _mm256_loadu_ps(qq.add(i));
+                _mm256_storeu_ps(
+                    pp.add(i),
+                    _mm256_fmadd_ps(vge, qv, _mm256_fnmadd_ps(vglp, pv, pv)),
+                );
+                i += 8;
+            }
+            e
+        }
+    }
+
+    /// Fixed-`P` fold-in step (the [`sgd_step_fixed_q_avx2`] mirror).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn sgd_step_fixed_p_avx2<const K: usize>(
+        p: &[f32],
+        q: &mut [f32],
+        r: f32,
+        gamma: f32,
+        lambda_q: f32,
+    ) -> f32 {
+        debug_assert!(p.len() == K && q.len() == K);
+        // SAFETY: slices hold K floats; avx2+fma active.
+        unsafe {
+            let e = r - dot_body_ymm::<K>(p.as_ptr(), q.as_ptr());
+            let vge = _mm256_set1_ps(gamma * e);
+            let vglq = _mm256_set1_ps(gamma * lambda_q);
+            let pp = p.as_ptr();
+            let qq = q.as_mut_ptr();
+            let mut i = 0;
+            while i < K {
+                let pv = _mm256_loadu_ps(pp.add(i));
+                let qv = _mm256_loadu_ps(qq.add(i));
+                _mm256_storeu_ps(
+                    qq.add(i),
+                    _mm256_fmadd_ps(vge, pv, _mm256_fnmadd_ps(vglq, qv, qv)),
+                );
+                i += 8;
+            }
+            e
+        }
+    }
+
+    /// The serving panel kernel at AVX2: two 8-query `ymm` halves, 8
+    /// accumulator registers per half, and the per-query reduction tree
+    /// as three rounds of elementwise vector adds — per query lane the
+    /// arithmetic is exactly `dot_body_ymm`'s, so the output bits match
+    /// [`crate::kernel::dot`] at every level.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn dot_panel_avx2<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
+        const { assert!(K.is_multiple_of(LANES) && K > 0) };
+        debug_assert_eq!(panel.len(), K * PANEL_W);
+        debug_assert_eq!(out.len() / PANEL_W * K, rows.len());
+        let n = out.len() / PANEL_W;
+        // SAFETY: lengths checked by the public `dot_panel` front door;
+        // avx2 active.
+        unsafe {
+            let pp = panel.as_ptr();
+            for i in 0..n {
+                let row = rows.as_ptr().add(i * K);
+                let o = out.as_mut_ptr().add(i * PANEL_W);
+                for half in 0..2 {
+                    let base = pp.add(half * 8);
+                    let mut acc = [_mm256_setzero_ps(); LANES];
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        let b = _mm256_set1_ps(*row.add(l));
+                        *a = _mm256_mul_ps(_mm256_loadu_ps(base.add(l * PANEL_W)), b);
+                    }
+                    let mut j = LANES;
+                    while j < K {
+                        for (l, a) in acc.iter_mut().enumerate() {
+                            let b = _mm256_set1_ps(*row.add(j + l));
+                            let prod =
+                                _mm256_mul_ps(_mm256_loadu_ps(base.add((j + l) * PANEL_W)), b);
+                            *a = _mm256_add_ps(*a, prod);
+                        }
+                        j += LANES;
+                    }
+                    let t0 = _mm256_add_ps(acc[0], acc[4]);
+                    let t1 = _mm256_add_ps(acc[1], acc[5]);
+                    let t2 = _mm256_add_ps(acc[2], acc[6]);
+                    let t3 = _mm256_add_ps(acc[3], acc[7]);
+                    let res = _mm256_add_ps(_mm256_add_ps(t0, t1), _mm256_add_ps(t2, t3));
+                    _mm256_storeu_ps(o.add(half * 8), res);
+                }
+            }
+        }
+    }
+
+    /// The serving panel kernel at AVX-512: [`PANEL_W`] = 16 queries in
+    /// one `zmm`, so the whole `LANES × PANEL_W` accumulator block is 8
+    /// registers and the reduction tree is elementwise `zmm` adds —
+    /// still the exact per-query association order.
+    #[target_feature(enable = "avx512f")]
+    pub(super) fn dot_panel_avx512<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
+        const { assert!(K.is_multiple_of(LANES) && K > 0) };
+        debug_assert_eq!(panel.len(), K * PANEL_W);
+        debug_assert_eq!(out.len() / PANEL_W * K, rows.len());
+        let n = out.len() / PANEL_W;
+        // SAFETY: lengths checked by the public `dot_panel` front door;
+        // avx512f active.
+        unsafe {
+            let pp = panel.as_ptr();
+            for i in 0..n {
+                let row = rows.as_ptr().add(i * K);
+                let o = out.as_mut_ptr().add(i * PANEL_W);
+                let mut acc = [_mm512_setzero_ps(); LANES];
+                for (l, a) in acc.iter_mut().enumerate() {
+                    let b = _mm512_set1_ps(*row.add(l));
+                    *a = _mm512_mul_ps(_mm512_loadu_ps(pp.add(l * PANEL_W)), b);
+                }
+                let mut j = LANES;
+                while j < K {
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        let b = _mm512_set1_ps(*row.add(j + l));
+                        let prod = _mm512_mul_ps(_mm512_loadu_ps(pp.add((j + l) * PANEL_W)), b);
+                        *a = _mm512_add_ps(*a, prod);
+                    }
+                    j += LANES;
+                }
+                let t0 = _mm512_add_ps(acc[0], acc[4]);
+                let t1 = _mm512_add_ps(acc[1], acc[5]);
+                let t2 = _mm512_add_ps(acc[2], acc[6]);
+                let t3 = _mm512_add_ps(acc[3], acc[7]);
+                let res = _mm512_add_ps(_mm512_add_ps(t0, t1), _mm512_add_ps(t2, t3));
+                _mm512_storeu_ps(o, res);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_values_parse() {
+        assert_eq!(parse_level("scalar"), Some(SimdLevel::Scalar));
+        assert_eq!(parse_level("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(parse_level(" avx512 "), Some(SimdLevel::Avx512));
+        assert_eq!(parse_level("avx512f"), Some(SimdLevel::Avx512));
+        assert_eq!(parse_level("auto"), None);
+        assert_eq!(parse_level("wat"), None);
+    }
+
+    #[test]
+    fn levels_clamp_to_detected() {
+        // Whatever the host, a wider-than-detected request must clamp.
+        assert_eq!(
+            effective(SimdLevel::Avx512).min(detected()),
+            effective(SimdLevel::Avx512)
+        );
+        assert_eq!(effective(SimdLevel::Scalar), SimdLevel::Scalar);
+        assert!(level() <= detected());
+    }
+
+    #[test]
+    fn available_levels_start_at_scalar_and_end_at_detected() {
+        let levels = available_levels();
+        assert_eq!(levels.first(), Some(&SimdLevel::Scalar));
+        assert_eq!(levels.last(), Some(&detected()));
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn every_level_dots_bit_identically() {
+        for &k in &kernel::MONO_DIMS {
+            let p: Vec<f32> = (0..k).map(|i| 0.3 - 0.007 * i as f32).collect();
+            let q: Vec<f32> = (0..k).map(|i| -0.2 + 0.011 * i as f32).collect();
+            let oracle = dot_at(SimdLevel::Scalar, &p, &q);
+            for &lvl in available_levels() {
+                assert_eq!(
+                    dot_at(lvl, &p, &q).to_bits(),
+                    oracle.to_bits(),
+                    "k={k} level={}",
+                    lvl.name()
+                );
+            }
+        }
+    }
+}

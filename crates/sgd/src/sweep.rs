@@ -23,14 +23,16 @@
 //!   dimensions without a monomorphized kernel the fallback reproduces
 //!   `dot_scalar`'s sequential left-to-right sum per query.
 //! * **Runtime ISA dispatch.** The workspace builds for baseline x86-64
-//!   (SSE2). A batched sweep is compute-bound, so the panel kernel is
-//!   compiled three times — AVX-512F, AVX2, and baseline — behind a
-//!   one-time `is_x86_feature_detected!` probe. The wider builds change
-//!   *throughput only*: every path performs the same scalar IEEE
-//!   multiplies and adds in the same order, so the bits never depend on
-//!   the machine. (`fma` is deliberately **not** enabled: fused
-//!   multiply-add contracts `a*b + c` into one differently-rounded op,
-//!   which would break bit-identity with the training kernel.)
+//!   (SSE2). A batched sweep is compute-bound, so the panel kernel runs
+//!   on the [`crate::simd`] dispatch ladder — explicit AVX-512F / AVX2
+//!   intrinsic kernels behind a one-time `is_x86_feature_detected!`
+//!   probe (`MF_SIMD`-overridable), with `dot_panel_body` as the
+//!   portable level. The wider kernels change *throughput only*: every
+//!   level performs the same scalar IEEE multiplies and adds in the
+//!   same order, so the bits never depend on the machine. (`fma` is
+//!   deliberately **never used** in a dot: fused multiply-add contracts
+//!   `a*b + c` into one differently-rounded op, which would break
+//!   bit-identity with the training kernel.)
 //!
 //! The panel layout is column-major — `panel[j * PANEL_W + w]` holds
 //! coordinate `j` of query `w` — so the inner loop broadcasts one item
@@ -90,6 +92,24 @@ pub fn pack_panel(queries: &[&[f32]], k: usize, panel: &mut Vec<f32>) {
 ///
 /// Panics if the slice lengths are inconsistent or `k == 0`.
 pub fn dot_panel(panel: &[f32], k: usize, rows: &[f32], out: &mut [f32]) {
+    dot_panel_at(crate::simd::level(), panel, k, rows, out)
+}
+
+/// [`dot_panel`] pinned to a SIMD dispatch level (clamped to the host)
+/// — the test surface for exercising every reachable level in one
+/// process. All levels produce the same bits per query lane; only
+/// throughput differs.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`dot_panel`].
+pub fn dot_panel_at(
+    level: crate::simd::SimdLevel,
+    panel: &[f32],
+    k: usize,
+    rows: &[f32],
+    out: &mut [f32],
+) {
     assert!(k > 0, "k must be positive");
     assert_eq!(panel.len(), k * PANEL_W, "panel must be k × PANEL_W");
     assert!(rows.len().is_multiple_of(k), "rows must be n × k");
@@ -97,30 +117,26 @@ pub fn dot_panel(panel: &[f32], k: usize, rows: &[f32], out: &mut [f32]) {
     assert_eq!(out.len(), n * PANEL_W, "out must be n × PANEL_W");
     dispatch_k!(
         k,
-        dot_panel_isa(panel, rows, out),
+        dot_panel_level_k(level, panel, rows, out),
         dot_panel_any(panel, k, rows, out)
     )
 }
 
-/// Monomorphized front door: picks the widest ISA variant the CPU
-/// supports (probed once per process).
-#[inline]
-fn dot_panel_isa<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
-    match isa() {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: `isa()` returned this variant only after
-        // `is_x86_feature_detected!` confirmed the feature at runtime.
-        Isa::Avx512 => unsafe { x86::dot_panel_avx512::<K>(panel, rows, out) },
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: as above — avx2 was detected at runtime.
-        Isa::Avx2 => unsafe { x86::dot_panel_avx2::<K>(panel, rows, out) },
-        Isa::Baseline => dot_panel_body::<K>(panel, rows, out),
-    }
+/// Monomorphized adapter over [`crate::simd::dot_panel_level`] for the
+/// dispatch macro.
+#[inline(always)]
+fn dot_panel_level_k<const K: usize>(
+    level: crate::simd::SimdLevel,
+    panel: &[f32],
+    rows: &[f32],
+    out: &mut [f32],
+) {
+    crate::simd::dot_panel_level::<K>(level, panel, rows, out)
 }
 
-/// The shared kernel body. Compiled once per (dimension, ISA) pair via
-/// the `#[target_feature]` wrappers in [`x86`]; `#[inline(always)]` so
-/// each wrapper's feature set applies to the inlined loop.
+/// The portable kernel body — the scalar level of the SIMD dispatch in
+/// [`crate::simd::dot_panel_level`], and the oracle the explicit
+/// AVX2/AVX-512 panel kernels are pinned against.
 ///
 /// Per query `w` this performs *exactly* `dot_mono`'s arithmetic:
 /// `acc[l]` is seeded with chunk-0 products and accumulates chunk by
@@ -128,7 +144,7 @@ fn dot_panel_isa<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
 /// iteration is restructured so each scalar of `acc` lives in a vector
 /// register shared with 15 other queries.
 #[inline(always)]
-fn dot_panel_body<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
+pub(crate) fn dot_panel_body<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
     const { assert!(K.is_multiple_of(LANES) && K > 0) };
     let n = out.len() / PANEL_W;
     for i in 0..n {
@@ -259,47 +275,27 @@ impl Isa {
     }
 }
 
-/// The vector tier serving sweeps run on — detected once per process.
+/// The vector tier serving sweeps run on — the [`crate::simd`] dispatch
+/// level (detected once per process, `MF_SIMD`-overridable) mapped onto
+/// the serving-facing tier names.
 pub fn isa() -> Isa {
-    static TIER: std::sync::OnceLock<Isa> = std::sync::OnceLock::new();
-    *TIER.get_or_init(detect)
-}
-
-#[cfg(target_arch = "x86_64")]
-fn detect() -> Isa {
-    if std::arch::is_x86_feature_detected!("avx512f") {
-        Isa::Avx512
-    } else if std::arch::is_x86_feature_detected!("avx2") {
-        Isa::Avx2
-    } else {
-        Isa::Baseline
+    match crate::simd::level() {
+        crate::simd::SimdLevel::Avx512 => Isa::Avx512,
+        crate::simd::SimdLevel::Avx2 => Isa::Avx2,
+        crate::simd::SimdLevel::Scalar => Isa::Baseline,
     }
 }
 
-#[cfg(not(target_arch = "x86_64"))]
-fn detect() -> Isa {
-    Isa::Baseline
-}
-
-/// The `#[target_feature]` re-compilations of the kernel bodies. Safe
-/// fns: the feature contract is discharged by `isa()`'s runtime probe
-/// at the (unsafe) call sites. Note none of these enable `fma` — see
-/// the module docs for why contraction is off the table.
+/// The `#[target_feature]` re-compilations of the integer-max body.
+/// Safe fns: the feature contract is discharged by `isa()`'s runtime
+/// probe (via [`crate::simd::level`], which clamps to detection) at the
+/// (unsafe) call sites. The dot-panel SIMD variants live in
+/// [`crate::simd`] as explicit-intrinsic kernels; the dword max
+/// autovectorizes perfectly, so multi-versioning the portable body is
+/// all it needs.
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use super::*;
-
-    /// [`dot_panel_body`] compiled for AVX-512F.
-    #[target_feature(enable = "avx512f")]
-    pub fn dot_panel_avx512<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
-        dot_panel_body::<K>(panel, rows, out)
-    }
-
-    /// [`dot_panel_body`] compiled for AVX2.
-    #[target_feature(enable = "avx2")]
-    pub fn dot_panel_avx2<const K: usize>(panel: &[f32], rows: &[f32], out: &mut [f32]) {
-        dot_panel_body::<K>(panel, rows, out)
-    }
 
     /// [`panel_max_keys_body`] compiled for AVX-512F (dword max needs
     /// avx512f only).
