@@ -12,11 +12,15 @@
 //! size), quantized-sweep queries/s per precision, lifecycle
 //! delta-publish or recovery MB/s (the crash-safe live loop's storage
 //! hot path), heterogeneous trainer ratings/s (per execution mode, at
-//! the committed worker mix), or FPSGD ratings/s (at the committed
-//! thread count and latent dimension) drops more than the tolerance
-//! below the committed value. Two quantized-store invariants gate
-//! unconditionally rather than by tolerance: int8 tiles must stay
-//! ≥ 2× smaller than f32 and int8 recall@10 must stay ≥ 0.99.
+//! the committed worker mix), out-of-core ratings/s (per cache budget,
+//! under the storage tolerance — spill rides the disk), or FPSGD
+//! ratings/s (at the committed thread count and latent dimension)
+//! drops more than the tolerance below the committed value. Three
+//! invariants gate unconditionally rather than by tolerance: int8
+//! tiles must stay ≥ 2× smaller than f32, int8 recall@10 must stay
+//! ≥ 0.99, and spill-backed training at a cache budget of half the
+//! partition's bytes must keep ≥ 0.5× the in-RAM rate measured in the
+//! same process.
 //!
 //! Knobs (environment):
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional drop (default `0.20`).
@@ -253,6 +257,51 @@ fn main() {
                 ),
                 None => println!("hetero {label}: not re-measured — skipped"),
             }
+        }
+    }
+
+    match hotpath::parse_out_of_core(&json) {
+        Some((workers, _, committed_rows)) => {
+            // Spill throughput rides the host's disk and page cache, so
+            // the committed-value comparison uses the wide storage
+            // tolerance. The hard invariant below is the real gate: at
+            // half the partition's bytes the spill run must keep at
+            // least half the in-RAM rate *measured in the same process*,
+            // which no host-speed difference can excuse.
+            let oc = hotpath::bench_out_of_core_with(true, 42, workers);
+            for (pct, rate_ref) in &committed_rows {
+                match oc.rows.iter().find(|r| r.budget_pct == *pct) {
+                    Some(r) => check(
+                        format!("out_of_core budget={pct}% ratings/s"),
+                        r.ratings_per_s,
+                        *rate_ref,
+                        storage_floor,
+                    ),
+                    None => println!("out_of_core budget={pct}%: not re-measured — skipped"),
+                }
+            }
+            if let Some(half) = oc.rows.iter().find(|r| r.budget_pct == 50) {
+                let ratio = half.ratings_per_s / oc.in_ram_ratings_per_s;
+                if ratio < 0.5 {
+                    println!(
+                        "out_of_core spill@50% at {:.0}% of the in-RAM rate: below the 50% floor — REGRESSED",
+                        ratio * 100.0
+                    );
+                    failures.set(failures.get() + 1);
+                } else {
+                    println!(
+                        "out_of_core spill@50% holds {:.0}% of the in-RAM rate (hit rate {:.2}, IO overlap {:.2}) — ok",
+                        ratio * 100.0,
+                        half.hit_rate,
+                        half.io_overlap
+                    );
+                }
+            }
+        }
+        None => {
+            // Baselines committed before the spill layer carry no
+            // section; nothing to compare until the next full run.
+            println!("out_of_core ratings/s: no committed baseline — skipped");
         }
     }
 

@@ -1,7 +1,7 @@
 //! `hotpath_baseline` — the recorded performance baseline for the hot-path
 //! layers every trainer funnels through (see [`mf_bench::hotpath`]).
 //!
-//! Ten sections, each printed side by side against the path it
+//! Eleven sections, each printed side by side against the path it
 //! replaced, and all written to `BENCH_hotpath.json` so the repo's perf
 //! trajectory has a measured point to compare future PRs against:
 //!
@@ -26,7 +26,10 @@
 //! 9. **Lifecycle** — the crash-safe `mf-serve::live` loop: delta and
 //!    snapshot publish MB/s, directory recovery, versioned-swap latency,
 //!    and reader-observed epoch lag.
-//! 10. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
+//! 10. **Out-of-core** — spill-backed training (block arena, LRU cache,
+//!     prefetch thread) vs the identical run fully in RAM, at cache
+//!     budgets of 100/50/25% of the partition's wire bytes.
+//! 11. **End-to-end** — FPSGD (real threads) ratings/s plus final RMSE.
 //!
 //! Run with `--quick` for a CI smoke pass; the committed
 //! `BENCH_hotpath.json` comes from a full run:
@@ -276,6 +279,37 @@ fn main() {
                     format!("{:.3}M", h.ratings_per_s / 1e6),
                     format!("{:.0}%", h.gpu_share * 100.0),
                     format!("{:.4}", h.rmse),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let oc = &report.out_of_core;
+    print_table(
+        &format!(
+            "hot path · out-of-core training (spill arena + LRU cache, nnz={}, threads={}, in-RAM {:.3}M ratings/s)",
+            oc.nnz,
+            oc.threads,
+            oc.in_ram_ratings_per_s / 1e6
+        ),
+        &[
+            "budget %",
+            "budget MB",
+            "ratings/s",
+            "vs in-RAM",
+            "hit rate",
+            "IO overlap",
+        ],
+        &oc.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.budget_pct.to_string(),
+                    format!("{:.2}", r.budget_bytes as f64 / 1e6),
+                    format!("{:.3}M", r.ratings_per_s / 1e6),
+                    format!("{:.0}%", r.ratings_per_s / oc.in_ram_ratings_per_s * 100.0),
+                    format!("{:.3}", r.hit_rate),
+                    format!("{:.3}", r.io_overlap),
                 ]
             })
             .collect::<Vec<_>>(),

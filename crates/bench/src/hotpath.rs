@@ -242,6 +242,40 @@ pub struct HeteroRow {
     pub rmse: f64,
 }
 
+/// One cache-budget point of the out-of-core section.
+pub struct OutOfCoreRow {
+    /// Cache budget as a percentage of the partition's wire bytes.
+    pub budget_pct: u32,
+    /// The resulting byte budget.
+    pub budget_bytes: u64,
+    /// Rating updates per second (wall clock, training only — the
+    /// one-time arena write is outside the measured region).
+    pub ratings_per_s: f64,
+    /// Fraction of block accesses served from the cache.
+    pub hit_rate: f64,
+    /// Fraction of arena-read time hidden behind compute:
+    /// `1 − (wall_spill − wall_in_ram) / io_busy`, clamped to [0, 1].
+    /// 1.0 means the prefetcher hid every read; 0.0 means every read
+    /// stalled the workers.
+    pub io_overlap: f64,
+}
+
+/// Out-of-core section: spill-backed training (block arena, LRU cache,
+/// prefetch thread) against the identical run fully in RAM, at cache
+/// budgets of 100/50/25% of the partition's wire bytes. Training is
+/// bit-identical across all four runs (`tests/spill_identity.rs`), so
+/// the rows measure pure IO overhead.
+pub struct OutOfCoreBench {
+    /// Training ratings.
+    pub nnz: usize,
+    /// CPU worker threads.
+    pub threads: usize,
+    /// The fully resident baseline's rating updates per second.
+    pub in_ram_ratings_per_s: f64,
+    /// One row per budget, largest first.
+    pub rows: Vec<OutOfCoreRow>,
+}
+
 /// Evaluation-reduction throughput (millions of test entries per second).
 pub struct EvalBench {
     /// Entries in the test set.
@@ -316,6 +350,8 @@ pub struct HotpathReport {
     pub lifecycle: LifecycleBench,
     /// Real-thread heterogeneous trainer section.
     pub hetero: Vec<HeteroRow>,
+    /// Out-of-core (spill-backed) training section.
+    pub out_of_core: OutOfCoreBench,
     /// End-to-end section.
     pub fpsgd: E2e,
 }
@@ -348,6 +384,7 @@ pub fn run(args: &BenchArgs) -> HotpathReport {
         serving_quantized: bench_serving_quantized(quick, args.seed),
         lifecycle: bench_lifecycle(quick, args.seed),
         hetero: bench_hetero(quick, args.seed),
+        out_of_core: bench_out_of_core(quick, args.seed),
         fpsgd: bench_fpsgd(quick, args),
     }
 }
@@ -1140,6 +1177,159 @@ pub fn bench_hetero_with(quick: bool, seed: u64, cpu_workers: usize) -> Vec<Hete
     rows
 }
 
+/// The cache budgets the out-of-core section (and the gate) measure at,
+/// as percentages of the partition's wire bytes.
+pub const OOC_BUDGET_PCTS: [u32; 3] = [100, 50, 25];
+
+/// Out-of-core section on the auto-sized worker count.
+pub fn bench_out_of_core(quick: bool, seed: u64) -> OutOfCoreBench {
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
+    bench_out_of_core_with(quick, seed, workers)
+}
+
+/// Out-of-core section with a pinned CPU worker count — the gate uses
+/// this to mirror the committed run's worker mix.
+///
+/// One in-RAM `run_training_real` baseline, then `train_out_of_core_real`
+/// (same scheduler, same exclusive mode, bit-identical factors) at each
+/// budget in [`OOC_BUDGET_PCTS`]. Per row:
+///
+/// * **ratings/s** — update count over the training wall clock (the
+///   one-time arena write happens before the measured region);
+/// * **hit rate** — from the block cache's end-of-run counters;
+/// * **IO overlap** — how much of the cache's cumulative arena-read
+///   time (`SpillCounters::load_secs`) was hidden behind compute:
+///   `1 − (wall_spill − wall_in_ram) / io_busy`, clamped to [0, 1].
+///
+/// The quick dataset is smaller (cache-friendlier, shorter reads), so
+/// quick ≥ full on the same disk — the conservative direction for the
+/// gate, mirroring the other sections.
+pub fn bench_out_of_core_with(quick: bool, seed: u64, cpu_workers: usize) -> OutOfCoreBench {
+    use hsgd_core::layout::uniform_layout;
+    use hsgd_core::runtime::{run_training_real, ExecMode};
+    use hsgd_core::scheduler::UniformScheduler;
+    use hsgd_core::{train_out_of_core_real, CostModelKind, CpuSpec, DevicePool, HeteroConfig};
+    use mf_sparse::RealFs;
+    use std::sync::Arc;
+
+    let ds = generate(&if quick {
+        GeneratorConfig {
+            num_users: 1_000,
+            num_items: 600,
+            num_train: 60_000,
+            num_test: 6_000,
+            ..GeneratorConfig::spill_scale("ooc", seed)
+        }
+    } else {
+        GeneratorConfig::spill_scale("ooc", seed)
+    });
+    let iterations = if quick { 3 } else { 6 };
+    let runs = if quick { 2 } else { 3 };
+    let cfg = HeteroConfig {
+        hyper: HyperParams {
+            k: 16,
+            lambda_p: 0.05,
+            lambda_q: 0.05,
+            gamma: 0.01,
+            schedule: LearningRate::Fixed,
+        },
+        nc: cpu_workers,
+        ng: 0,
+        gpu: gpu_sim::GpuSpec::quadro_p4000().scaled_down(100.0),
+        cpu: CpuSpec::default().scaled_down(100.0),
+        iterations,
+        seed,
+        dynamic_scheduling: true,
+        cost_model: CostModelKind::Tailored,
+        probe_interval_secs: None,
+        target_rmse: None,
+    };
+    let (train, test) = (&ds.train, &ds.test);
+    let spec = uniform_layout(train, 8, 6);
+    let pool = || DevicePool {
+        cpu_workers: cfg.nc,
+        gpus: vec![],
+        gpu_start: vec![],
+    };
+    let updates = train.nnz() as f64 * iterations as f64;
+
+    let mut in_ram_rate = 0.0f64;
+    let mut in_ram_wall = f64::INFINITY;
+    for _ in 0..runs {
+        let out = run_training_real(
+            train,
+            test,
+            UniformScheduler::new(spec.clone(), cfg.iterations, true),
+            pool(),
+            &cfg,
+            ExecMode::Exclusive,
+            None,
+            "ooc/in-ram",
+        );
+        let wall = out.report.virtual_secs;
+        let rate = updates / wall;
+        if rate > in_ram_rate {
+            in_ram_rate = rate;
+            in_ram_wall = wall;
+        }
+    }
+
+    let total = train.nnz() * Rating::WIRE_BYTES;
+    let mut rows = Vec::new();
+    for pct in OOC_BUDGET_PCTS {
+        let budget = (total * pct as usize / 100).max(1);
+        let mut best: Option<OutOfCoreRow> = None;
+        for r in 0..runs {
+            let dir = std::env::temp_dir().join(format!(
+                "mf_bench_ooc_{}_{seed}_{pct}_{r}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+            let out = train_out_of_core_real(
+                train,
+                test,
+                UniformScheduler::new(spec.clone(), cfg.iterations, true),
+                pool(),
+                &cfg,
+                ExecMode::Exclusive,
+                Arc::new(RealFs),
+                &dir,
+                budget,
+                None,
+                "ooc/spill",
+            )
+            .unwrap_or_else(|e| panic!("out-of-core bench run at {pct}%: {e}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let wall = out.report.virtual_secs;
+            let spill = out.report.spill.expect("spilled run reports counters");
+            let io_busy = spill.load_secs;
+            let io_overlap = if io_busy > 0.0 {
+                (1.0 - (wall - in_ram_wall).max(0.0) / io_busy).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let rate = updates / wall;
+            if best.as_ref().is_none_or(|b| rate > b.ratings_per_s) {
+                best = Some(OutOfCoreRow {
+                    budget_pct: pct,
+                    budget_bytes: budget as u64,
+                    ratings_per_s: rate,
+                    hit_rate: spill.hit_rate(),
+                    io_overlap,
+                });
+            }
+        }
+        rows.push(best.expect("at least one run per budget"));
+    }
+    OutOfCoreBench {
+        nnz: train.nnz(),
+        threads: cpu_workers,
+        in_ram_ratings_per_s: in_ram_rate,
+        rows,
+    }
+}
+
 /// End-to-end FPSGD on the auto-sized thread count.
 pub fn bench_fpsgd(quick: bool, args: &BenchArgs) -> E2e {
     // Auto-size to the host unless the user pinned --nc explicitly.
@@ -1524,6 +1714,21 @@ pub fn to_json(r: &HotpathReport) -> String {
         );
     }
     let _ = writeln!(s, "  ],");
+    let oc = &r.out_of_core;
+    let _ = writeln!(
+        s,
+        "  \"out_of_core\": {{\"nnz\": {}, \"threads\": {}, \"in_ram_ratings_per_s\": {:.0}, \"rows\": [",
+        oc.nnz, oc.threads, oc.in_ram_ratings_per_s
+    );
+    for (i, row) in oc.rows.iter().enumerate() {
+        let comma = if i + 1 < oc.rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"budget_pct\": {}, \"budget_bytes\": {}, \"ratings_per_s\": {:.0}, \"hit_rate\": {:.4}, \"io_overlap\": {:.4}}}{comma}",
+            row.budget_pct, row.budget_bytes, row.ratings_per_s, row.hit_rate, row.io_overlap
+        );
+    }
+    let _ = writeln!(s, "  ]}},");
     let e = &r.fpsgd;
     let _ = writeln!(
         s,
@@ -1659,6 +1864,30 @@ pub fn parse_hetero(json: &str) -> Vec<(String, usize, f64)> {
             ))
         })
         .collect()
+}
+
+/// `(threads, in_ram_ratings_per_s)` plus `(budget_pct, ratings_per_s)`
+/// rows of a committed baseline's out-of-core section. Baselines written
+/// before the spill layer existed have none; those return `None` and the
+/// gate skips the check.
+#[allow(clippy::type_complexity)]
+pub fn parse_out_of_core(json: &str) -> Option<(usize, f64, Vec<(u32, f64)>)> {
+    let head = json
+        .lines()
+        .find(|l| l.contains("\"in_ram_ratings_per_s\""))?;
+    let threads = json_num(head, "threads")? as usize;
+    let in_ram = json_num(head, "in_ram_ratings_per_s")?;
+    let rows = json
+        .lines()
+        .filter(|l| l.contains("\"budget_pct\""))
+        .filter_map(|l| {
+            Some((
+                json_num(l, "budget_pct")? as u32,
+                json_num(l, "ratings_per_s")?,
+            ))
+        })
+        .collect();
+    Some((threads, in_ram, rows))
 }
 
 /// `(threads, k, ratings_per_s)` of a committed baseline's end-to-end
@@ -1807,6 +2036,27 @@ mod tests {
                 gpu_share: 0.625,
                 rmse: 0.5,
             }],
+            out_of_core: OutOfCoreBench {
+                nnz: 1000,
+                threads: 2,
+                in_ram_ratings_per_s: 2_000_000.0,
+                rows: vec![
+                    OutOfCoreRow {
+                        budget_pct: 100,
+                        budget_bytes: 12000,
+                        ratings_per_s: 1_900_000.0,
+                        hit_rate: 0.97,
+                        io_overlap: 1.0,
+                    },
+                    OutOfCoreRow {
+                        budget_pct: 50,
+                        budget_bytes: 6000,
+                        ratings_per_s: 1_500_000.0,
+                        hit_rate: 0.61,
+                        io_overlap: 0.75,
+                    },
+                ],
+            },
             fpsgd: E2e {
                 threads: 4,
                 k: 32,
@@ -1840,6 +2090,18 @@ mod tests {
             vec![("relaxed".to_string(), 2, 12345678.0)]
         );
         assert_eq!(parse_lifecycle(&json), Some((210.25, 351.75)));
+        assert_eq!(
+            parse_out_of_core(&json),
+            Some((2, 2_000_000.0, vec![(100, 1_900_000.0), (50, 1_500_000.0)]))
+        );
+    }
+
+    #[test]
+    fn parse_out_of_core_absent_is_none() {
+        assert_eq!(
+            parse_out_of_core("{\"hetero\": [{\"ratings_per_s\": 1}]}"),
+            None
+        );
     }
 
     #[test]

@@ -346,6 +346,48 @@ impl ProbeState {
 pub fn train_with_executor<S, H>(
     train: &SparseMatrix,
     test: &SparseMatrix,
+    scheduler: S,
+    pool: DevicePool,
+    cfg: &HeteroConfig,
+    alpha_planned: Option<f64>,
+    label: &str,
+    epoch_hook: H,
+    exec: &mut dyn Executor,
+) -> TrainOutcome
+where
+    S: BlockScheduler + Send,
+    H: FnMut(u64, &Model),
+{
+    // User-major within each block: consecutive updates reuse the same
+    // cache-resident `P` row (see `BlockOrder::UserMajor`).
+    let part =
+        GridPartition::build_with_order(train, scheduler.spec().clone(), BlockOrder::UserMajor);
+    train_with_executor_on(
+        &part,
+        train.mean_rating(),
+        test,
+        scheduler,
+        pool,
+        cfg,
+        alpha_planned,
+        label,
+        epoch_hook,
+        exec,
+    )
+}
+
+/// [`train_with_executor`] over a *prebuilt* partition — the entry point
+/// for out-of-core runs, whose spill-backed [`GridPartition`] is opened
+/// from an arena file rather than built from an in-RAM matrix (see
+/// [`crate::spill`]). `mean_rating` seeds the model's rating center
+/// (the full matrix may not be resident to compute it from). When the
+/// partition is spill-backed, `report.spill` carries the block cache's
+/// end-of-run counters.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_executor_on<S, H>(
+    part: &GridPartition,
+    mean_rating: f64,
+    test: &SparseMatrix,
     mut scheduler: S,
     pool: DevicePool,
     cfg: &HeteroConfig,
@@ -358,21 +400,17 @@ where
     S: BlockScheduler + Send,
     H: FnMut(u64, &Model),
 {
-    // User-major within each block: consecutive updates reuse the same
-    // cache-resident `P` row (see `BlockOrder::UserMajor`).
-    let part =
-        GridPartition::build_with_order(train, scheduler.spec().clone(), BlockOrder::UserMajor);
     let mut model = Model::init_for_ratings(
-        train.nrows(),
-        train.ncols(),
+        part.nrows(),
+        part.ncols(),
         cfg.hyper.k,
         cfg.seed,
-        train.mean_rating(),
+        mean_rating,
     );
 
     let outcome = exec.execute(ExecContext {
         scheduler: &mut scheduler,
-        part: &part,
+        part,
         model: &mut model,
         test,
         cfg,
@@ -403,6 +441,7 @@ where
         iterations: cfg.iterations,
         total_passes: scheduler.completed(),
         measured: outcome.measured,
+        spill: part.spill().map(|h| h.counters()),
     };
     TrainOutcome { model, report }
 }

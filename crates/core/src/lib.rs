@@ -33,6 +33,9 @@
 //! * [`runtime`] — the real-thread world: deterministic exclusive rounds
 //!   and free-running relaxed workers over `mf-par`-governed threads,
 //!   with measured-throughput feedback into the cost models.
+//! * [`spill`] — out-of-core training: spill-backed partitions behind a
+//!   byte-budgeted block cache, with disk modeled (and driven) as one
+//!   more asynchronous device whose reads overlap SGD compute.
 //! * [`calibration`] — the offline phase (Algorithm 3) wired to the
 //!   simulated devices; produces our cost model and the Qilin baseline.
 //! * [`stats`] — run reports, update-count imbalance (Example 3),
@@ -48,6 +51,7 @@ pub mod experiments;
 pub mod layout;
 pub mod runtime;
 pub mod scheduler;
+pub mod spill;
 pub mod stats;
 pub mod trainer;
 
@@ -55,4 +59,8 @@ pub use config::{Algorithm, CostModelKind, CpuSpec, HeteroConfig};
 pub use executor::{DevicePool, Executor, MeasuredThroughput, TrainOutcome};
 pub use experiments::run;
 pub use runtime::{run_training_real, ExecMode, ThreadedExecutor};
+pub use spill::{
+    train_out_of_core_real, train_out_of_core_virtual, IoSpec, IoTimeline, PrefetchDevice,
+    Prefetcher,
+};
 pub use stats::{ImbalanceStats, RunReport};

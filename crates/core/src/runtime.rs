@@ -43,6 +43,17 @@
 //! from inside an `mf-par` batch it runs fully inline — no CPU *or* GPU
 //! worker threads are spawned — instead of stacking a second level of
 //! parallelism on top of the pool.
+//!
+//! Spill-backed partitions ([`GridPartition::is_spilled`]) run through
+//! the same code paths with three additions: every kernel site pins its
+//! task's blocks for exactly the duration of the kernel (the
+//! pin-while-in-flight protocol — a dispatched block can never be
+//! evicted), a [`Prefetcher`] IO thread warms upcoming blocks so loads
+//! overlap compute, and relaxed-mode feedback extends to the cache via
+//! [`BlockScheduler::observe_io`]. A block that fails its checksum on
+//! load aborts the run with a typed panic *before* any kernel touches
+//! the bytes. None of this perturbs exclusive-mode round composition,
+//! so the bit-determinism contract survives spilling unchanged.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,6 +73,7 @@ use crate::executor::{
     HealthCell, MeasuredThroughput, ProbeState, TrainOutcome,
 };
 use crate::scheduler::{BlockScheduler, Task, WorkerClass};
+use crate::spill::Prefetcher;
 
 /// Tasks a GPU worker keeps in flight — matching both the DES world's
 /// prefetch window and the `2·n_g` surplus columns of the HSGD\* grid.
@@ -275,6 +287,18 @@ impl Meter {
     }
 }
 
+/// Pins a task's blocks before its kernel runs, loading spilled misses.
+/// A resident partition makes this free. A load failure (torn frame,
+/// checksum mismatch) is fail-closed: the real-thread world cannot
+/// un-dispatch a task the way the DES world drains a failed device, so
+/// it aborts with the typed error *before* any kernel touches the bytes
+/// — factors are never corrupted.
+fn pin_for_kernel(part: &GridPartition, task: &Task) {
+    if let Err(e) = part.pin_blocks(&task.blocks) {
+        panic!("out-of-core block load failed; aborting before the kernel runs: {e}");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Exclusive mode: deterministic rounds
 // ---------------------------------------------------------------------------
@@ -347,6 +371,7 @@ fn run_exclusive(
         dev_pool.gpus.iter().map(|g| g.health_handle()).collect();
     let gpus: Vec<Mutex<GpuWorker>> = dev_pool.gpus.into_iter().map(Mutex::new).collect();
     let hyper = &cfg.hyper;
+    let prefetcher = part.spill().map(|h| Prefetcher::spawn(h.clone()));
 
     let start = Instant::now();
     probes.probe(0.0, model, test);
@@ -363,6 +388,18 @@ fn run_exclusive(
             stalled = scheduler.remaining() > 0;
             break;
         }
+        // Hand the whole round to the IO thread in sweep order: it warms
+        // blocks while the pool is still chewing the round's first
+        // tasks, so later kernels' pins mostly hit. Advisory only — it
+        // cannot change which tasks run, so determinism is untouched.
+        if let Some(pf) = &prefetcher {
+            pf.feed(
+                tasks
+                    .iter()
+                    .flat_map(|(_, t)| t.blocks.iter().map(|&b| part.spec().flat_index(b)))
+                    .collect(),
+            );
+        }
 
         // Execute the round in parallel. Tasks are pairwise conflict-free
         // (all acquired before any release), so their factor rows are
@@ -375,6 +412,11 @@ fn run_exclusive(
             tpool.run_indexed(tasks.len(), |i| {
                 let (class, task) = &tasks[i];
                 let gamma = hyper.gamma_at(task.pass);
+                // Pin for exactly the kernel's duration. The pin (and
+                // any load it implies) happens before the clock starts:
+                // measured rates stay pure compute, and IO stalls are
+                // visible separately through the cache counters.
+                pin_for_kernel(part, task);
                 let secs = match class {
                     WorkerClass::Cpu => {
                         let t0 = Instant::now();
@@ -408,6 +450,7 @@ fn run_exclusive(
                         t0.elapsed()
                     }
                 };
+                part.unpin_blocks(&task.blocks);
                 // SAFETY: index `i` is written exactly once.
                 unsafe { out.write(i, secs.as_secs_f64()) };
             });
@@ -501,6 +544,19 @@ impl HubState<'_, '_> {
                 self.meter.gpu_obs.mean_rate(),
             ) {
                 self.scheduler.observe_throughput(cpu, gpu);
+            }
+        }
+        // Out-of-core runs also feed the cache's behaviour back: the
+        // hit rate sets the StarScheduler's IO penalty on the steal
+        // break-even depth (a thief stalling on loads is slower than
+        // its busy-time rate claims).
+        if self.feedback {
+            if let Some(handle) = self.part.spill() {
+                let c = handle.counters();
+                if c.hits + c.misses >= FEEDBACK_MIN_SAMPLES as u64 {
+                    self.scheduler
+                        .observe_io(c.hit_rate(), c.io_bytes_per_sec());
+                }
             }
         }
     }
@@ -641,6 +697,7 @@ fn cpu_worker(
         // A successful acquire may have left more blocks assignable.
         hub.cond.notify_one();
         let gamma = hyper.gamma_at(task.pass);
+        pin_for_kernel(part, &task);
         let t0 = Instant::now();
         for &b in &task.blocks {
             // SAFETY: the scheduler marked this task's row and column
@@ -650,7 +707,9 @@ fn cpu_worker(
                 shared.sgd_block_exclusive(part.block(b), gamma, hyper.lambda_p, hyper.lambda_q);
             }
         }
-        hub.release(WorkerClass::Cpu, &task, t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        part.unpin_blocks(&task.blocks);
+        hub.release(WorkerClass::Cpu, &task, secs);
     }
 }
 
@@ -668,6 +727,7 @@ fn gpu_worker(
     cfg: &HeteroConfig,
     g: u32,
     worker: &mut GpuWorker,
+    prefetcher: Option<&Prefetcher>,
 ) {
     let hyper = &cfg.hyper;
     let who = WorkerClass::Gpu(g);
@@ -682,12 +742,18 @@ fn gpu_worker(
                 return;
             }
             hub.cond.notify_one();
+            feed_window(prefetcher, part, &got);
             local.extend(got);
         } else if local.len() < GPU_QUEUE_DEPTH {
             let got = hub.try_acquire(who, GPU_QUEUE_DEPTH - local.len());
             if !got.is_empty() {
                 hub.cond.notify_one();
             }
+            // The same two-deep window that overlaps the *next* task's
+            // H2D with the current kernel also overlaps its block load:
+            // the IO thread warms the prefetched task's blocks while
+            // this one computes.
+            feed_window(prefetcher, part, &got);
             local.extend(got);
         }
         // Polled between tasks: a failed device stops here, draining its
@@ -701,12 +767,25 @@ fn gpu_worker(
             return;
         };
         let gamma = hyper.gamma_at(task.pass);
+        pin_for_kernel(part, &task);
         let t0 = Instant::now();
         // SAFETY: scheduler conflict-freedom for this in-flight task.
         unsafe {
             worker.process_shared(SimTime::ZERO, shared, part, &task, gamma, hyper);
         }
-        hub.release(who, &task, t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        part.unpin_blocks(&task.blocks);
+        hub.release(who, &task, secs);
+    }
+}
+
+/// Feeds newly acquired tasks' blocks to the spill prefetch thread (a
+/// no-op for in-RAM partitions).
+fn feed_window(prefetcher: Option<&Prefetcher>, part: &GridPartition, tasks: &[Task]) {
+    if let Some(pf) = prefetcher {
+        for t in tasks {
+            pf.feed_task(part, t);
+        }
     }
 }
 
@@ -735,6 +814,14 @@ fn run_relaxed_inline(
                 scheduler.observe_throughput(cpu, gpu);
             }
         }
+        if feedback {
+            if let Some(handle) = part.spill() {
+                let c = handle.counters();
+                if c.hits + c.misses >= FEEDBACK_MIN_SAMPLES as u64 {
+                    scheduler.observe_io(c.hit_rate(), c.io_bytes_per_sec());
+                }
+            }
+        }
     };
     loop {
         let mut progressed = false;
@@ -747,13 +834,16 @@ fn run_relaxed_inline(
                     break;
                 };
                 let gamma = hyper.gamma_at(task.pass);
+                pin_for_kernel(part, &task);
                 let t0 = Instant::now();
                 // SAFETY: single-threaded here; the task's bands are ours.
                 unsafe {
                     worker.process_shared(SimTime::ZERO, &shared, part, &task, gamma, hyper);
                 }
+                let secs = t0.elapsed().as_secs_f64();
+                part.unpin_blocks(&task.blocks);
                 scheduler.release(&task);
-                meter.record(who, task.points, t0.elapsed().as_secs_f64());
+                meter.record(who, task.points, secs);
                 maybe_feed(&meter, scheduler);
                 progressed = true;
             }
@@ -761,6 +851,7 @@ fn run_relaxed_inline(
         if nc > 0 {
             if let Some(task) = scheduler.next_task(WorkerClass::Cpu, part) {
                 let gamma = hyper.gamma_at(task.pass);
+                pin_for_kernel(part, &task);
                 let t0 = Instant::now();
                 for &b in &task.blocks {
                     // SAFETY: single-threaded here; the task's bands are
@@ -774,8 +865,10 @@ fn run_relaxed_inline(
                         );
                     }
                 }
+                let secs = t0.elapsed().as_secs_f64();
+                part.unpin_blocks(&task.blocks);
                 scheduler.release(&task);
-                meter.record(WorkerClass::Cpu, task.points, t0.elapsed().as_secs_f64());
+                meter.record(WorkerClass::Cpu, task.points, secs);
                 maybe_feed(&meter, scheduler);
                 progressed = true;
             }
@@ -852,11 +945,13 @@ fn run_relaxed(ctx: ExecContext<'_>, feedback: bool) -> ExecOutcome {
             cond: Condvar::new(),
         };
         let shared = SharedModel::new(model);
+        let prefetcher = part.spill().map(|h| Prefetcher::spawn(h.clone()));
         std::thread::scope(|s| {
             let hub = &hub;
             let shared = &shared;
+            let pf = prefetcher.as_ref();
             for (g, worker) in gpus.iter_mut().enumerate() {
-                s.spawn(move || gpu_worker(hub, shared, part, cfg, g as u32, worker));
+                s.spawn(move || gpu_worker(hub, shared, part, cfg, g as u32, worker, pf));
             }
             // The caller is CPU worker 0; spawn the rest.
             for _ in 1..nc {

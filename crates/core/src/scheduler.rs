@@ -110,6 +110,15 @@ pub trait BlockScheduler {
     /// with reality (see [`StarScheduler::with_steal_ratio`]).
     fn observe_throughput(&mut self, _cpu_points_per_sec: f64, _gpu_points_per_sec: f64) {}
 
+    /// Feeds *measured* block-cache behaviour of a spill-backed
+    /// partition back into the policy: the cache hit rate so far and the
+    /// sustained arena read bandwidth (bytes/second). Worlds call it
+    /// alongside [`BlockScheduler::observe_throughput`] when the
+    /// partition is out-of-core. The default ignores it;
+    /// [`StarScheduler`] derives an IO penalty that raises its steal
+    /// break-even depth when CPU compute is stalling on block loads.
+    fn observe_io(&mut self, _hit_rate: f64, _io_bytes_per_sec: f64) {}
+
     /// The current dynamic-phase balance parameter, if this policy has
     /// one (`StarScheduler`'s steal break-even ratio). Reporting only.
     fn dynamic_ratio(&self) -> Option<f64> {
@@ -287,6 +296,13 @@ pub struct StarScheduler {
     /// How many GPU-column times one CPU thread needs per column —
     /// the break-even depth for CPU→R_g stealing (see `with_steal_ratio`).
     steal_ratio: f64,
+    /// Multiplier ≥ 1 applied to measured CPU slowness when the
+    /// partition is spill-backed: a CPU thief stalling on block loads is
+    /// effectively slower than its busy-time rate suggests (the GPU's
+    /// prefetch window hides the same IO), so the steal break-even depth
+    /// rises by this factor. 1.0 (no effect) until
+    /// [`BlockScheduler::observe_io`] reports a sub-unity hit rate.
+    io_penalty: f64,
     /// Stolen R_g tasks currently in flight.
     active_stolen: u32,
 }
@@ -310,6 +326,7 @@ impl StarScheduler {
             dynamic_enabled,
             steals: 0,
             steal_ratio: 0.0,
+            io_penalty: 1.0,
             active_stolen: 0,
             layout,
         }
@@ -619,7 +636,19 @@ impl BlockScheduler for StarScheduler {
             && cpu_points_per_sec.is_finite()
             && gpu_points_per_sec.is_finite()
         {
-            self.steal_ratio = gpu_points_per_sec / cpu_points_per_sec;
+            // On a spill-backed partition the effective CPU rate is
+            // further divided by the IO penalty (cache misses stall the
+            // thief between kernels; busy-time rates do not see that).
+            self.steal_ratio = gpu_points_per_sec / cpu_points_per_sec * self.io_penalty;
+        }
+    }
+
+    fn observe_io(&mut self, hit_rate: f64, _io_bytes_per_sec: f64) {
+        // A hit rate of h means roughly 1/h arena touches per served
+        // block; clamp the derived penalty so cold-start noise (h near 0
+        // on the first few tasks) cannot freeze stealing entirely.
+        if hit_rate.is_finite() && (0.0..=1.0).contains(&hit_rate) {
+            self.io_penalty = (1.0 / hit_rate.max(0.25)).min(4.0);
         }
     }
 

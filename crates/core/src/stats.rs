@@ -378,6 +378,9 @@ pub struct RunReport {
     /// Throughputs measured by a real-thread execution world (None for
     /// virtual-time runs, whose durations are modeled, not measured).
     pub measured: Option<crate::executor::MeasuredThroughput>,
+    /// Spill-backed block cache counters at the end of the run (None for
+    /// fully in-RAM partitions).
+    pub spill: Option<mf_sparse::SpillCounters>,
 }
 
 impl RunReport {
@@ -603,6 +606,7 @@ mod tests {
             iterations: 1,
             total_passes: 1,
             measured: None,
+            spill: None,
         };
         assert!((r.gpu_share() - 0.3).abs() < 1e-12);
         r.gpu_points = 0;

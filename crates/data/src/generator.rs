@@ -56,6 +56,28 @@ impl GeneratorConfig {
             seed,
         }
     }
+
+    /// The out-of-core preset shared by the `spill_train` example and
+    /// the `out_of_core` bench section: enough training ratings that
+    /// the partition's wire bytes dwarf a tight block-cache budget, and
+    /// mild popularity skew so grid blocks are unevenly sized — the
+    /// interesting regime for a byte-budgeted LRU.
+    pub fn spill_scale(name: &str, seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            name: name.to_string(),
+            num_users: 3_000,
+            num_items: 2_000,
+            num_train: 400_000,
+            num_test: 40_000,
+            planted_rank: 4,
+            noise_std: 0.3,
+            rating_min: 1.0,
+            rating_max: 5.0,
+            user_skew: 0.6,
+            item_skew: 0.6,
+            seed,
+        }
+    }
 }
 
 /// A generated dataset: train and test matrices sharing one shape.
@@ -165,6 +187,17 @@ mod tests {
         let ds = generate(&GeneratorConfig::tiny("t", 2));
         let (lo, hi) = ds.train.rating_range().unwrap();
         assert!(lo >= 1.0 && hi <= 5.0, "range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn spill_scale_outweighs_any_reasonable_cache_budget() {
+        // The preset exists to make training spill: its partition wire
+        // bytes must comfortably exceed the megabyte-scale budgets the
+        // example and bench squeeze it into.
+        let cfg = GeneratorConfig::spill_scale("s", 1);
+        let wire = cfg.num_train * mf_sparse::Rating::WIRE_BYTES;
+        assert!(wire >= 4 << 20, "partition wire bytes {wire} too small");
+        assert!(cfg.user_skew > 0.0 && cfg.item_skew > 0.0);
     }
 
     #[test]

@@ -23,6 +23,16 @@
 //! `.fz` style as scheduler scripts (magic `hsgd-fuzz io v1`), replayed
 //! by the `fuzz_smoke` CI gate, and shrunk by [`shrink_io`] when a
 //! fresh seed fails.
+//!
+//! A second **subject** shares the script format and fault vocabulary:
+//! `subject arena` scenarios attack the out-of-core training path
+//! instead of the serving lifecycle — the MFCK v3 block arena
+//! (`mf_sparse::arena`) is written through the same [`FaultFs`], then
+//! re-opened spill-backed, and the contract audited is the spill
+//! contract: a crash mid-write leaves at worst orphaned `*.tmp` debris,
+//! a bit flip in a spilled block surfaces as a typed
+//! [`mf_sparse::arena::ArenaError`] before any byte reaches a kernel,
+//! and every block that does load is bit-identical to the in-RAM truth.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -37,6 +47,8 @@ use mf_serve::delta::{self, recover_in, RecoverError};
 use mf_serve::live::{LiveConfig, LiveTrainer, RecordKind};
 use mf_serve::vfs::{Vfs, TMP_SUFFIX};
 use mf_sgd::Model;
+use mf_sparse::arena::BlockArena;
+use mf_sparse::{BlockOrder, GridPartition, GridSpec, Rating, SparseMatrix};
 
 use crate::rng::SplitMix;
 use crate::script::Fields;
@@ -358,8 +370,14 @@ impl fmt::Debug for FaultFs {
 /// Fault events are keyed by cumulative bytes written — the storage
 /// path's deterministic clock, playing the role completed passes play
 /// for scheduler scripts.
+///
+/// An optional `subject arena` line switches the harness from the
+/// serving lifecycle to the out-of-core block arena (same faults, same
+/// clock, different durable artifact and contract).
 #[derive(Debug, Clone, PartialEq)]
 pub struct IoScript {
+    /// What the faults are aimed at (default: the serving lifecycle).
+    pub subject: IoSubject,
     /// Master seed: model init, ingest stream, and fold-in rows.
     pub seed: u64,
     /// Users at bootstrap.
@@ -380,6 +398,17 @@ pub struct IoScript {
     pub snapshot_every: u64,
     /// Injected storage faults.
     pub events: Vec<IoEvent>,
+}
+
+/// Which durable artifact an [`IoScript`]'s faults attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoSubject {
+    /// The live train-and-serve loop: snapshots, deltas, recovery.
+    #[default]
+    Lifecycle,
+    /// The out-of-core training path: one MFCK v3 block arena, written
+    /// and spill-read through the faulted filesystem.
+    Arena,
 }
 
 impl IoScript {
@@ -435,7 +464,8 @@ impl IoScript {
                 }
             }
         }
-        IoScript {
+        let mut script = IoScript {
+            subject: IoSubject::Lifecycle,
             seed,
             users,
             items,
@@ -446,7 +476,27 @@ impl IoScript {
             new_item_frac: rng.range_f64(0.0, 0.15),
             snapshot_every,
             events,
+        };
+        // Subject drawn *last* so lifecycle scenarios for a given seed
+        // are unchanged by the arena subject's existence.
+        if rng.unit() < 0.35 {
+            script.subject = IoSubject::Arena;
+            // The arena is a far smaller artifact than a whole lifecycle
+            // run; rescale the byte-clock triggers so faults land inside
+            // the write (or just past it, where bit flips strike the
+            // committed file).
+            let arena_est = script.epochs as u64 * script.per_epoch as u64 * 12 + 600;
+            for e in &mut script.events {
+                match e {
+                    IoEvent::ShortWrite { at, .. }
+                    | IoEvent::Enospc { at }
+                    | IoEvent::Crash { at }
+                    | IoEvent::TornRename { at, .. }
+                    | IoEvent::BitFlip { at, .. } => *at = *at % arena_est + 1,
+                }
+            }
         }
+        script
     }
 }
 
@@ -454,6 +504,9 @@ impl fmt::Display for IoScript {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", IoScript::MAGIC)?;
         writeln!(f, "seed {}", self.seed)?;
+        if self.subject == IoSubject::Arena {
+            writeln!(f, "subject arena")?;
+        }
         writeln!(
             f,
             "geometry users={} items={} k={}",
@@ -493,6 +546,7 @@ impl FromStr for IoScript {
         if lines.next() != Some(IoScript::MAGIC) {
             return Err(format!("missing {:?} header", IoScript::MAGIC));
         }
+        let mut subject = IoSubject::Lifecycle;
         let mut seed = None;
         let mut geometry = None;
         let mut stream = None;
@@ -506,6 +560,14 @@ impl FromStr for IoScript {
                         .parse::<u64>()
                         .map_err(|_| format!("bad seed in {line:?}"))?,
                 );
+                continue;
+            }
+            if word == "subject" {
+                subject = match rest.trim() {
+                    "lifecycle" => IoSubject::Lifecycle,
+                    "arena" => IoSubject::Arena,
+                    other => return Err(format!("unknown subject {other:?} in {line:?}")),
+                };
                 continue;
             }
             let f = Fields::parse(line, rest)?;
@@ -548,6 +610,7 @@ impl FromStr for IoScript {
         let (epochs, per_epoch, new_user_frac, new_item_frac) =
             stream.ok_or("missing stream line")?;
         Ok(IoScript {
+            subject,
             seed: seed.ok_or("missing seed line")?,
             users,
             items,
@@ -658,6 +721,9 @@ pub fn run_io_script(script: &IoScript) -> Result<IoRunStats, IoFailure> {
 /// publish) → kill → recover → audit against the shadow log → heal,
 /// resume, and re-recover one epoch further.
 pub fn run_io_script_with(script: &IoScript, opts: IoOptions) -> Result<IoRunStats, IoFailure> {
+    if script.subject == IoSubject::Arena {
+        return run_arena_script(script, opts);
+    }
     let mut violations: Vec<String> = Vec::new();
     let fs = Arc::new(FaultFs::new(script.events.clone()));
     let dir = PathBuf::from("/lifecycle");
@@ -890,6 +956,211 @@ pub fn fuzz_io_seed(seed: u64) -> Result<IoRunStats, IoFailure> {
     run_io_script(&IoScript::generate(seed))
 }
 
+// ---------------------------------------------------------------------------
+// The arena subject
+// ---------------------------------------------------------------------------
+
+/// File name the arena subject's one durable artifact is published as.
+pub const ARENA_SUBJECT_FILE: &str = "train.arena";
+
+/// The deterministic rating matrix an arena scenario spills: geometry
+/// from the script, `epochs * per_epoch` ratings from its seed.
+fn arena_matrix(script: &IoScript) -> SparseMatrix {
+    let mut rng = SplitMix::new(script.seed ^ ARENA_SUBJECT_SEED_SALT);
+    let (m, n) = (script.users, script.items);
+    let mut mat = SparseMatrix::empty(m, n);
+    for _ in 0..(script.epochs as usize * script.per_epoch).max(1) {
+        let u = rng.range(0, m as u64 - 1) as u32;
+        let v = rng.range(0, n as u64 - 1) as u32;
+        mat.push(Rating::new(u, v, (1.0 + 4.0 * rng.unit()) as f32));
+    }
+    mat
+}
+
+/// Replays one **arena-subject** scenario: build a partition, publish
+/// its MFCK v3 block arena through the fault-injecting filesystem
+/// (retrying failed publishes, healing after a kill — the spill path's
+/// restart), then re-open it spill-backed and audit the out-of-core
+/// contract:
+///
+/// * a crash mid-write leaves at worst an orphaned `*.tmp` — the final
+///   name never appears from a killed publish, and a torn rename's
+///   truncated final name is detected as a typed torn/corrupt arena,
+///   never opened clean;
+/// * after healing, a rewrite commits and the arena round-trips;
+/// * a bit flip in the committed arena surfaces as a typed
+///   [`mf_sparse::arena::ArenaError`] on open or on the pinned block
+///   load — corrupt factor bytes never reach a kernel;
+/// * every block that *does* load is bit-identical to the in-RAM truth.
+///
+/// Stats mapping (the struct is shared with the lifecycle subject):
+/// `epochs_run` = total blocks, `acked_epochs` = blocks served clean
+/// through the spill cache, `resumed` = a failed write was retried to a
+/// committed arena.
+fn run_arena_script(script: &IoScript, opts: IoOptions) -> Result<IoRunStats, IoFailure> {
+    let mut violations: Vec<String> = Vec::new();
+    // The subject has exactly one durable artifact: aim every flip at it.
+    let events: Vec<IoEvent> = script
+        .events
+        .iter()
+        .cloned()
+        .map(|e| match e {
+            IoEvent::BitFlip { at, byte, .. } => IoEvent::BitFlip {
+                at,
+                file: ARENA_SUBJECT_FILE.to_string(),
+                byte,
+            },
+            other => other,
+        })
+        .collect();
+    let fs = Arc::new(FaultFs::new(events));
+    let dir = PathBuf::from("/arena");
+    let mat = arena_matrix(script);
+    let part = GridPartition::build_with_order(
+        &mat,
+        GridSpec::uniform(script.users, script.items, 4, 3),
+        BlockOrder::UserMajor,
+    );
+    let blocks = part.spec().block_count();
+    let final_name = ARENA_SUBJECT_FILE.to_string();
+    let orphan_name = format!("{ARENA_SUBJECT_FILE}{TMP_SUFFIX}");
+
+    // ---- Write under fire; every failed publish is retried. ----
+    let mut crashed = false;
+    let mut committed = false;
+    let mut write_failures = 0u32;
+    for _ in 0..script.events.len() + 2 {
+        match part.write_arena(fs.as_ref(), &dir, ARENA_SUBJECT_FILE) {
+            Ok(()) => {
+                committed = true;
+                break;
+            }
+            Err(e) => {
+                write_failures += 1;
+                let names = fs.list(&dir).unwrap_or_default();
+                if fs.crashed() {
+                    crashed = true;
+                    if names.contains(&final_name) {
+                        // Torn rename: the truncated final name must read
+                        // as a typed torn/corrupt arena, never clean.
+                        let verdict = BlockArena::open(fs.clone(), &dir.join(ARENA_SUBJECT_FILE))
+                            .and_then(|a| a.verify());
+                        if verdict.is_ok() {
+                            violations
+                                .push("a torn arena rename opened and verified clean".to_string());
+                        }
+                    } else if !names.contains(&orphan_name) {
+                        violations.push(
+                            "crash mid-arena-write left neither an orphan temp nor a torn final"
+                                .to_string(),
+                        );
+                    }
+                    fs.heal();
+                } else if names.contains(&final_name) {
+                    violations.push(format!(
+                        "failed arena publish ({e}) left a final name without a crash"
+                    ));
+                }
+            }
+        }
+    }
+    if !committed {
+        violations
+            .push("arena never committed despite retrying past every armed fault".to_string());
+        return Err(IoFailure { violations });
+    }
+
+    // ---- Advance the byte clock past any still-armed flip so it lands
+    // on the committed arena (flips only fire on write activity). ----
+    let max_flip_at = script
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            IoEvent::BitFlip { at, .. } => Some(*at),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut guard = 0;
+    while fs.written() <= max_flip_at && guard < 64 {
+        let need = ((max_flip_at - fs.written()) as usize + 1).min(1 << 16);
+        let poke = vec![0u8; need];
+        if fs
+            .publish(&dir, "poke.bin", &mut |w| w.write_all(&poke))
+            .is_err()
+            && fs.crashed()
+        {
+            crashed = true;
+            fs.heal();
+        }
+        guard += 1;
+    }
+
+    // ---- Re-open spill-backed and serve every block through the
+    // pinned kernel path, against the in-RAM truth. ----
+    let damaged = !opts.ignore_flips && fs.flipped().iter().any(|f| f == ARENA_SUBJECT_FILE);
+    let budget = (part.total_nnz() * Rating::WIRE_BYTES / 3).max(64);
+    let mut clean_blocks = 0u64;
+    let mut detected = false;
+    match GridPartition::open_spilled(fs.clone(), &dir.join(ARENA_SUBJECT_FILE), budget) {
+        Err(e) => {
+            detected = true;
+            if !damaged {
+                violations.push(format!("intact arena failed to open spill-backed: {e}"));
+            }
+        }
+        Ok(spilled) => {
+            if spilled.spec() != part.spec() {
+                violations.push("spilled arena decoded a different grid geometry".to_string());
+            }
+            for id in part.spec().blocks() {
+                match spilled.pin_blocks(&[id]) {
+                    Err(e) => {
+                        // Typed failure before any byte reached a kernel.
+                        detected = true;
+                        if !damaged {
+                            violations
+                                .push(format!("intact block {id:?} failed its pinned load: {e}"));
+                        }
+                    }
+                    Ok(()) => {
+                        let got = spilled.block(id);
+                        let want = part.block(id);
+                        if got.rows != want.rows || got.cols != want.cols || got.vals != want.vals {
+                            violations.push(format!(
+                                "block {id:?} reached the kernel with corrupt factors"
+                            ));
+                        } else {
+                            clean_blocks += 1;
+                        }
+                        spilled.unpin_blocks(&[id]);
+                    }
+                }
+            }
+        }
+    }
+    if damaged && !detected {
+        violations
+            .push("silent corruption: a fired bit flip passed every arena checksum".to_string());
+    }
+
+    if violations.is_empty() {
+        Ok(IoRunStats {
+            epochs_run: blocks as u64,
+            acked_epochs: clean_blocks,
+            crashed,
+            recovered_epoch: None,
+            resumed: write_failures > 0,
+        })
+    } else {
+        Err(IoFailure { violations })
+    }
+}
+
+/// Domain-separates the arena subject's rating stream from everything
+/// else derived from the same master seed.
+const ARENA_SUBJECT_SEED_SALT: u64 = 0x5b21_c6d8_0f73_a94e;
+
 /// Byte-clock values of a **fault-free** replay of `script`: entry 0 is
 /// the clock after the bootstrap snapshot, entry `e` after epoch `e`'s
 /// record commits. Deterministic in the script, so `at=` values chosen
@@ -1085,6 +1356,71 @@ mod tests {
             .unwrap();
         assert_ne!(buf, b"abcd");
         assert_eq!(buf.len(), 4);
+    }
+
+    /// The arena-subject script fields every inline scenario below uses.
+    fn arena_script(events: Vec<IoEvent>) -> IoScript {
+        IoScript {
+            subject: IoSubject::Arena,
+            seed: 13,
+            users: 32,
+            items: 24,
+            k: 6,
+            epochs: 5,
+            per_epoch: 60,
+            new_user_frac: 0.0,
+            new_item_frac: 0.0,
+            snapshot_every: 3,
+            events,
+        }
+    }
+
+    #[test]
+    fn arena_crash_mid_write_leaves_orphan_and_rewrite_round_trips() {
+        // ~4 KB arena (300 ratings); the kill lands mid-block-frames.
+        let stats = run_io_script(&arena_script(vec![IoEvent::Crash { at: 2000 }]))
+            .expect("arena crash scenario must hold the contract");
+        assert!(stats.crashed, "the crash event never fired");
+        assert!(stats.resumed, "the rewrite after healing never happened");
+        assert_eq!(
+            stats.acked_epochs, stats.epochs_run,
+            "the rewritten arena must serve every block clean"
+        );
+    }
+
+    #[test]
+    fn arena_bitflip_is_typed_and_detected() {
+        // The flip arms past the arena's ~4 KB: it fires on the poke
+        // writes, damaging the *committed* file before the spill reads.
+        let script = arena_script(vec![IoEvent::BitFlip {
+            at: 4500,
+            file: ARENA_SUBJECT_FILE.to_string(),
+            byte: 1234,
+        }]);
+        let stats = run_io_script(&script).expect("typed detection is green");
+        assert!(
+            stats.acked_epochs < stats.epochs_run,
+            "the flip damaged nothing ({} of {} blocks clean)",
+            stats.acked_epochs,
+            stats.epochs_run
+        );
+        // A flip-blind oracle must be caught: the damaged load errors
+        // become violations, proving the harness sees the corruption.
+        let fail = run_io_script_with(&script, IoOptions { ignore_flips: true })
+            .expect_err("a flip-blind oracle must be caught");
+        assert!(
+            fail.violations.iter().any(|v| v.contains("intact")),
+            "wrong violation class: {fail}"
+        );
+    }
+
+    #[test]
+    fn arena_enospc_retries_to_a_clean_commit() {
+        let stats = run_io_script(&arena_script(vec![IoEvent::Enospc { at: 1500 }]))
+            .expect("survivable fault");
+        assert!(!stats.crashed);
+        assert!(stats.resumed, "the failed publish must have been retried");
+        assert_eq!(stats.acked_epochs, stats.epochs_run);
     }
 
     #[test]

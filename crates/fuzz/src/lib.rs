@@ -33,7 +33,11 @@
 //!   (`mf_serve::live`), plus [`iofault::run_io_script`], the
 //!   kill-and-recover harness auditing `mf_serve::delta::recover`
 //!   against a shadow log of acked epochs. Scenarios serialize as
-//!   `hsgd-fuzz io v1` scripts next to the scheduler ones.
+//!   `hsgd-fuzz io v1` scripts next to the scheduler ones. The same
+//!   faults also attack the out-of-core spill path (`subject arena`
+//!   scripts): the MFCK v3 block arena is written and spill-read
+//!   through the faulted filesystem, and corruption must surface as
+//!   typed errors before any byte reaches a kernel.
 //!
 //! `mf-bench`'s `fuzz_smoke` binary replays the committed corpus (both
 //! script kinds) and a batch of fresh seeds in CI.
@@ -48,7 +52,7 @@ pub mod script;
 pub use harness::{fuzz_seed, run_script, run_script_all, shrink, FuzzFailure, RunStats, World};
 pub use iofault::{
     fuzz_io_seed, probe_offsets, run_io_script, run_io_script_with, shrink_io, FaultFs, IoEvent,
-    IoFailure, IoOptions, IoRunStats, IoScript, CRASH_MSG,
+    IoFailure, IoOptions, IoRunStats, IoScript, IoSubject, ARENA_SUBJECT_FILE, CRASH_MSG,
 };
 pub use monitor::MonitoredScheduler;
 pub use script::{DevId, Event, Latency, SchedKind, Script};

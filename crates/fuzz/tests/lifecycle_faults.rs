@@ -4,7 +4,7 @@
 
 use mf_fuzz::{
     fuzz_io_seed, probe_offsets, run_io_script, run_io_script_with, shrink_io, IoEvent, IoOptions,
-    IoScript,
+    IoScript, IoSubject,
 };
 
 fn corpus_dir() -> std::path::PathBuf {
@@ -33,10 +33,16 @@ fn corpus_lifecycle_scripts_replay_green() {
             .into_owned();
         let script: IoScript = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
         let stats = run_io_script(&script).unwrap_or_else(|f| panic!("{name}: {f}"));
-        assert!(
-            stats.crashed || stats.recovered_epoch.is_some(),
-            "{name}: scenario exercised nothing"
-        );
+        match script.subject {
+            IoSubject::Lifecycle => assert!(
+                stats.crashed || stats.recovered_epoch.is_some(),
+                "{name}: scenario exercised nothing"
+            ),
+            IoSubject::Arena => assert!(
+                stats.crashed || stats.acked_epochs < stats.epochs_run,
+                "{name}: arena scenario exercised nothing"
+            ),
+        }
         seen += 1;
     }
     assert!(
@@ -66,6 +72,7 @@ fn fresh_io_seeds_hold_the_contract() {
 #[test]
 fn harness_detects_silent_corruption() {
     let mut script = IoScript {
+        subject: IoSubject::Lifecycle,
         seed: 17,
         users: 24,
         items: 32,

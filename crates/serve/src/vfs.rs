@@ -1,138 +1,13 @@
-//! The tiny filesystem seam the durable lifecycle writes through.
+//! The filesystem seam the durable lifecycle writes through — re-export
+//! of the workspace `Vfs`.
 //!
-//! Everything the live loop persists — full `MFCK` snapshots and v2
-//! deltas — goes through [`Vfs::publish`], which encodes the one
-//! discipline that makes a crash at *any* byte recoverable:
-//!
-//! ```text
-//! write to <name>.tmp  →  fsync  →  rename(<name>.tmp, <name>)  →  fsync(dir)
-//! ```
-//!
-//! A reader (or [`crate::delta::recover`]) therefore only ever sees a
-//! file under its final name if every byte of it was durable first; a
-//! crash mid-write leaves at worst an orphaned `*.tmp`, which recovery
-//! reports and ignores. The trait exists so `mf-fuzz` can substitute an
-//! in-memory filesystem that injects short writes, ENOSPC, torn
-//! renames, bit flips, and byte-exact crash kills — the production
-//! implementation is the zero-state [`RealFs`].
+//! The trait and its production implementation moved to
+//! [`mf_sparse::vfs`] when the v3 block arena (out-of-core training)
+//! needed to stream spilled blocks through the same seam below this
+//! crate in the dependency graph. These re-exports keep every existing
+//! `mf_serve::vfs::…` path working; the atomic-publish discipline
+//! (`write .tmp → fsync → rename → fsync(dir)`) is unchanged, and the
+//! fault-injecting in-memory filesystem in `mf-fuzz` implements the same
+//! trait it always did.
 
-use std::fs::File;
-use std::io::{self, Read, Write};
-use std::path::Path;
-
-/// Filesystem operations the checkpoint/delta/recovery paths need.
-/// `&self` everywhere: implementations carry interior mutability so one
-/// instance can be shared between a trainer thread and a harness.
-pub trait Vfs: Send + Sync {
-    /// File names (not paths) present in `dir`, sorted ascending.
-    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
-
-    /// Opens `path` for streaming reads.
-    fn open(&self, path: &Path) -> io::Result<Box<dyn Read + Send>>;
-
-    /// Atomically publishes `dir/name`: streams `write` into a
-    /// temporary, makes it durable, and renames it into place. On error
-    /// the final name is untouched (the temporary may survive a crash
-    /// as an orphan; it never shadows a committed file).
-    fn publish(
-        &self,
-        dir: &Path,
-        name: &str,
-        write: &mut dyn FnMut(&mut dyn Write) -> io::Result<()>,
-    ) -> io::Result<()>;
-}
-
-/// Suffix of in-flight temporaries; recovery treats `*.tmp` as the
-/// debris of an interrupted writer.
-pub const TMP_SUFFIX: &str = ".tmp";
-
-/// The real filesystem, with the full fsync-then-rename discipline.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RealFs;
-
-impl Vfs for RealFs {
-    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
-        let mut names: Vec<String> = std::fs::read_dir(dir)?
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
-            .map(|e| e.file_name().to_string_lossy().into_owned())
-            .collect();
-        names.sort();
-        Ok(names)
-    }
-
-    fn open(&self, path: &Path) -> io::Result<Box<dyn Read + Send>> {
-        Ok(Box::new(File::open(path)?))
-    }
-
-    fn publish(
-        &self,
-        dir: &Path,
-        name: &str,
-        write: &mut dyn FnMut(&mut dyn Write) -> io::Result<()>,
-    ) -> io::Result<()> {
-        let tmp = dir.join(format!("{name}{TMP_SUFFIX}"));
-        let dest = dir.join(name);
-        let mut f = File::create(&tmp)?;
-        // Data must be durable *before* the rename publishes the name:
-        // rename is atomic on POSIX, so the only observable states are
-        // "old file" and "new file, fully synced".
-        let res = write(&mut f).and_then(|()| f.sync_all());
-        drop(f);
-        if let Err(e) = res {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e);
-        }
-        std::fs::rename(&tmp, &dest)?;
-        // Make the rename itself durable. Directory fsync is
-        // best-effort: not all platforms allow opening a directory for
-        // sync, and the data above is already safe either way.
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("mf_serve_vfs_{tag}_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
-    }
-
-    #[test]
-    fn publish_is_atomic_and_listable() {
-        let dir = tmp_dir("pub");
-        RealFs
-            .publish(&dir, "a.bin", &mut |w| w.write_all(b"hello"))
-            .unwrap();
-        let mut buf = Vec::new();
-        RealFs
-            .open(&dir.join("a.bin"))
-            .unwrap()
-            .read_to_end(&mut buf)
-            .unwrap();
-        assert_eq!(buf, b"hello");
-        let names = RealFs.list(&dir).unwrap();
-        assert_eq!(names, vec!["a.bin".to_string()]);
-        // No temp debris after a clean publish.
-        assert!(!dir.join("a.bin.tmp").exists());
-        let _ = std::fs::remove_dir_all(dir);
-    }
-
-    #[test]
-    fn failed_write_leaves_no_final_file() {
-        let dir = tmp_dir("fail");
-        let err = RealFs.publish(&dir, "b.bin", &mut |w| {
-            w.write_all(b"partial")?;
-            Err(io::Error::other("writer died"))
-        });
-        assert!(err.is_err());
-        assert!(!dir.join("b.bin").exists());
-        let _ = std::fs::remove_dir_all(dir);
-    }
-}
+pub use mf_sparse::vfs::{RealFs, Vfs, TMP_SUFFIX};

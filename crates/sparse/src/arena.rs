@@ -1,0 +1,1124 @@
+//! Spill-backed partition storage: the on-disk **block arena** (`MFCK`
+//! version 3) and the byte-budgeted, pin-aware LRU block cache in front
+//! of it.
+//!
+//! Out-of-core training keeps the [`crate::GridPartition`] geometry in
+//! RAM but moves the SoA block payloads to an arena file: one framed
+//! record per block, each frame trailed by an XXH64 checksum, written
+//! and read through the [`crate::vfs::Vfs`] seam so the fault-injecting
+//! filesystem in `mf-fuzz` exercises the format unchanged. The byte
+//! layout is specified in `docs/FORMAT.md` ("Version 3: block arena");
+//! [`BlockArena`] is the reference implementation.
+//!
+//! In front of the arena sits [`BlockCache`]: an LRU over loaded blocks
+//! with an exact byte budget (`MF_SPILL_BUDGET`) and a **pin** count per
+//! block. The cache's two invariants, both enforced by panics because a
+//! violation means a kernel could read freed or mid-replacement memory:
+//!
+//! 1. **Pin-while-in-flight** — a pinned block is never evicted, not by
+//!    the LRU trim (which skips pinned entries, letting the cache run
+//!    over budget by at most the pinned working set) and not by an
+//!    explicit [`BlockCache::evict`] (which panics).
+//! 2. **No unpinned access** — reading a spilled block's slices without
+//!    holding a pin panics ([`GridPartition::block`] checks on every
+//!    spilled access).
+//!
+//! Every load verifies the frame checksum before any byte reaches a
+//! kernel: a corrupted spilled block surfaces as
+//! [`ArenaError::ChecksumMismatch`], never as wrong factors.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{GridPartition, GridSpec};
+use crate::hash::Xxh64;
+use crate::matrix::{BlockSlices, Rating};
+use crate::vfs::Vfs;
+
+/// Format version this module writes and reads (`docs/FORMAT.md`,
+/// "Version 3: block arena").
+pub const ARENA_VERSION: u32 = 3;
+
+/// Fixed header size shared by every `MFCK` version (offsets 0–47).
+const HEADER_BYTES: usize = 48;
+
+/// Hard ceiling on bands per axis a reader will allocate for — a
+/// corrupt-but-checksummed geometry must surface as [`ArenaError::
+/// BadGeometry`], not as a giant allocation.
+const MAX_BANDS: u32 = 1 << 20;
+
+/// Environment variable naming the cache byte budget (see
+/// [`budget_from_env`]).
+pub const ENV_BUDGET: &str = "MF_SPILL_BUDGET";
+
+/// Environment variable naming the directory arenas are written to when
+/// the caller does not pick one (examples and benches honor it).
+pub const ENV_DIR: &str = "MF_SPILL_DIR";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed failures of arena open/load. Mirrors the checkpoint reader's
+/// taxonomy: **torn** (bytes missing — crash residue) vs **corrupt**
+/// (bytes present but wrong) vs structurally invalid, and a load never
+/// returns block data from a frame that fails any check.
+#[derive(Debug)]
+pub enum ArenaError {
+    /// Underlying I/O failure (not a truncation we could classify).
+    Io(io::Error),
+    /// The first four bytes are not `MFCK`.
+    BadMagic,
+    /// A well-formed `MFCK` header of a version this reader does not
+    /// implement.
+    BadVersion(u32),
+    /// Reserved header fields must be zero in version 3.
+    ReservedNonZero,
+    /// The file ends mid-section — the residue of an interrupted write.
+    Torn {
+        /// Which section was cut short.
+        section: &'static str,
+    },
+    /// A checksum over present bytes does not match — bit rot or a
+    /// buggy writer, never loaded.
+    ChecksumMismatch {
+        /// Which section mismatched (`header`, `cuts`, `directory`, or
+        /// `block <flat>`).
+        section: String,
+    },
+    /// Structurally invalid geometry or directory (cuts that do not
+    /// cover the matrix, lens that do not sum to `nnz`, absurd band
+    /// counts).
+    BadGeometry(String),
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::Io(e) => write!(f, "arena io error: {e}"),
+            ArenaError::BadMagic => write!(f, "not an MFCK file (bad magic)"),
+            ArenaError::BadVersion(v) => write!(f, "unsupported MFCK version {v} (expected 3)"),
+            ArenaError::ReservedNonZero => write!(f, "reserved header field nonzero"),
+            ArenaError::Torn { section } => write!(f, "arena torn mid-{section}"),
+            ArenaError::ChecksumMismatch { section } => {
+                write!(f, "arena checksum mismatch in {section}")
+            }
+            ArenaError::BadGeometry(why) => write!(f, "arena geometry invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArenaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArenaError {
+    fn from(e: io::Error) -> ArenaError {
+        ArenaError::Io(e)
+    }
+}
+
+/// Classifies a short read of `section`: EOF is a torn file, anything
+/// else an I/O error.
+fn read_exact_or(
+    r: &mut dyn Read,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), ArenaError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ArenaError::Torn { section }),
+        Err(e) => Err(ArenaError::Io(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The arena file
+// ---------------------------------------------------------------------------
+
+/// One loaded block: owned SoA buffers, checksum-verified at load time.
+/// The buffers never move or mutate after the load, which is what makes
+/// the pinned-slice borrows in [`GridPartition::block`] sound.
+#[derive(Debug)]
+pub struct BlockBuf {
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl BlockBuf {
+    /// The block's ratings as kernel-ready SoA slices.
+    pub fn slices(&self) -> BlockSlices<'_> {
+        BlockSlices::new(&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Ratings in the block.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the block holds no ratings.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cache-accounted bytes: the wire size of the ratings (12 bytes
+    /// each), the same quantity the arena frames store.
+    pub fn wire_bytes(&self) -> usize {
+        self.len() * Rating::WIRE_BYTES
+    }
+}
+
+/// An opened `MFCK` v3 arena: validated geometry plus the directory of
+/// per-block frame offsets. Holds no block data — [`BlockArena::
+/// load_block`] streams one frame on demand through the [`Vfs`].
+pub struct BlockArena {
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
+    nrows: u32,
+    ncols: u32,
+    nnz: u64,
+    spec: GridSpec,
+    /// Ratings per block, flat row-major over the grid.
+    lens: Vec<usize>,
+    /// Absolute file offset of each block's frame.
+    frame_offsets: Vec<u64>,
+}
+
+impl fmt::Debug for BlockArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockArena")
+            .field("path", &self.path)
+            .field("nrows", &self.nrows)
+            .field("ncols", &self.ncols)
+            .field("nnz", &self.nnz)
+            .field("blocks", &self.lens.len())
+            .finish()
+    }
+}
+
+/// Hashes and writes one run of bytes.
+struct HashingWriter<'a> {
+    w: &'a mut dyn io::Write,
+    h: Xxh64,
+}
+
+impl<'a> HashingWriter<'a> {
+    fn new(w: &'a mut dyn io::Write) -> HashingWriter<'a> {
+        HashingWriter {
+            w,
+            h: Xxh64::new(0),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.h.update(bytes);
+        self.w.write_all(bytes)
+    }
+
+    /// Emits the trailing checksum of everything `put` since the last
+    /// `seal` and resets the hasher for the next section.
+    fn seal(&mut self) -> io::Result<()> {
+        let d = self.h.digest();
+        self.w.write_all(&d.to_le_bytes())?;
+        self.h = Xxh64::new(0);
+        Ok(())
+    }
+}
+
+/// Serializes a `u32` slice as little-endian bytes.
+fn u32s_to_le(xs: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 4);
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn read_u32_at(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64_at(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().expect("8 bytes"))
+}
+
+impl BlockArena {
+    /// Streams `part` into `dir/name` as an `MFCK` v3 arena via the
+    /// atomic-publish discipline: the final name appears only once every
+    /// frame (and its checksum) is durable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is itself spill-backed — arenas are written from
+    /// resident partitions.
+    pub fn write(vfs: &dyn Vfs, dir: &Path, name: &str, part: &GridPartition) -> io::Result<()> {
+        assert!(
+            !part.is_spilled(),
+            "writing an arena from a spill-backed partition is not supported"
+        );
+        let spec = part.spec().clone();
+        vfs.publish(dir, name, &mut |w| {
+            // Header.
+            let mut header = [0u8; HEADER_BYTES];
+            header[0..4].copy_from_slice(b"MFCK");
+            header[4..8].copy_from_slice(&ARENA_VERSION.to_le_bytes());
+            header[8..12].copy_from_slice(&part.nrows().to_le_bytes());
+            header[12..16].copy_from_slice(&part.ncols().to_le_bytes());
+            header[16..24].copy_from_slice(&(part.total_nnz() as u64).to_le_bytes());
+            header[24..28].copy_from_slice(&spec.nrow_blocks().to_le_bytes());
+            header[28..32].copy_from_slice(&spec.ncol_blocks().to_le_bytes());
+            // Offsets 32..48 reserved, zero in version 3.
+            let mut hw = HashingWriter::new(w);
+            hw.put(&header)?;
+            hw.seal()?;
+            // Cut points.
+            hw.put(&u32s_to_le(spec.row_cuts()))?;
+            hw.put(&u32s_to_le(spec.col_cuts()))?;
+            hw.seal()?;
+            // Directory: ratings per block, flat row-major.
+            for id in spec.blocks() {
+                hw.put(&(part.block_len(id) as u64).to_le_bytes())?;
+            }
+            hw.seal()?;
+            // Frames.
+            for id in spec.blocks() {
+                let b = part.block(id);
+                hw.put(&u32s_to_le(b.rows))?;
+                hw.put(&u32s_to_le(b.cols))?;
+                let mut vbytes = Vec::with_capacity(b.vals.len() * 4);
+                for &v in b.vals {
+                    vbytes.extend_from_slice(&v.to_le_bytes());
+                }
+                hw.put(&vbytes)?;
+                hw.seal()?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Opens and validates an arena's header, cut points, and directory
+    /// (one sequential pass over the metadata; block frames are not
+    /// touched). Validation order mirrors the checkpoint reader: magic →
+    /// header checksum → version → reserved → geometry → cuts →
+    /// directory, and no value is trusted for allocation before its
+    /// checksum and sanity bounds pass.
+    pub fn open(vfs: Arc<dyn Vfs>, path: &Path) -> Result<BlockArena, ArenaError> {
+        let mut r = vfs.open(path)?;
+        let mut header = [0u8; HEADER_BYTES + 8];
+        read_exact_or(&mut *r, &mut header, "header")?;
+        if &header[0..4] != b"MFCK" {
+            return Err(ArenaError::BadMagic);
+        }
+        let mut h = Xxh64::new(0);
+        h.update(&header[..HEADER_BYTES]);
+        if h.digest() != read_u64_at(&header, HEADER_BYTES) {
+            return Err(ArenaError::ChecksumMismatch {
+                section: "header".into(),
+            });
+        }
+        let version = read_u32_at(&header, 4);
+        if version != ARENA_VERSION {
+            return Err(ArenaError::BadVersion(version));
+        }
+        if read_u64_at(&header, 32) != 0 || read_u64_at(&header, 40) != 0 {
+            return Err(ArenaError::ReservedNonZero);
+        }
+        let nrows = read_u32_at(&header, 8);
+        let ncols = read_u32_at(&header, 12);
+        let nnz = read_u64_at(&header, 16);
+        let rb = read_u32_at(&header, 24);
+        let cb = read_u32_at(&header, 28);
+        if rb == 0 || cb == 0 || rb > MAX_BANDS || cb > MAX_BANDS {
+            return Err(ArenaError::BadGeometry(format!("band counts {rb}x{cb}")));
+        }
+        if nnz > usize::MAX as u64 / Rating::WIRE_BYTES as u64 {
+            return Err(ArenaError::BadGeometry(format!("nnz {nnz} unaddressable")));
+        }
+
+        // Cut points.
+        let ncuts = (rb as usize + 1) + (cb as usize + 1);
+        let mut cut_bytes = vec![0u8; ncuts * 4 + 8];
+        read_exact_or(&mut *r, &mut cut_bytes, "cuts")?;
+        let mut h = Xxh64::new(0);
+        h.update(&cut_bytes[..ncuts * 4]);
+        if h.digest() != read_u64_at(&cut_bytes, ncuts * 4) {
+            return Err(ArenaError::ChecksumMismatch {
+                section: "cuts".into(),
+            });
+        }
+        let row_cuts: Vec<u32> = (0..=rb as usize)
+            .map(|i| read_u32_at(&cut_bytes, i * 4))
+            .collect();
+        let col_cuts: Vec<u32> = (0..=cb as usize)
+            .map(|i| read_u32_at(&cut_bytes, (rb as usize + 1 + i) * 4))
+            .collect();
+        if *row_cuts.last().unwrap() != nrows || *col_cuts.last().unwrap() != ncols {
+            return Err(ArenaError::BadGeometry(
+                "cuts do not end at the matrix shape".into(),
+            ));
+        }
+        let spec = GridSpec::from_cuts(row_cuts, col_cuts)
+            .map_err(|e| ArenaError::BadGeometry(e.to_string()))?;
+
+        // Directory.
+        let nblocks = rb as usize * cb as usize;
+        let mut dir_bytes = vec![0u8; nblocks * 8 + 8];
+        read_exact_or(&mut *r, &mut dir_bytes, "directory")?;
+        let mut h = Xxh64::new(0);
+        h.update(&dir_bytes[..nblocks * 8]);
+        if h.digest() != read_u64_at(&dir_bytes, nblocks * 8) {
+            return Err(ArenaError::ChecksumMismatch {
+                section: "directory".into(),
+            });
+        }
+        let mut lens = Vec::with_capacity(nblocks);
+        let mut total: u64 = 0;
+        for i in 0..nblocks {
+            let len = read_u64_at(&dir_bytes, i * 8);
+            if len > nnz {
+                return Err(ArenaError::BadGeometry(format!(
+                    "block {i} claims {len} ratings, arena holds {nnz}"
+                )));
+            }
+            total += len;
+            lens.push(len as usize);
+        }
+        if total != nnz {
+            return Err(ArenaError::BadGeometry(format!(
+                "directory sums to {total} ratings, header says {nnz}"
+            )));
+        }
+
+        // Frame offsets: frames are back to back after the directory.
+        let mut off = (HEADER_BYTES + 8 + ncuts * 4 + 8 + nblocks * 8 + 8) as u64;
+        let mut frame_offsets = Vec::with_capacity(nblocks);
+        for &len in &lens {
+            frame_offsets.push(off);
+            off += (len * Rating::WIRE_BYTES) as u64 + 8;
+        }
+
+        Ok(BlockArena {
+            vfs,
+            path: path.to_path_buf(),
+            nrows,
+            ncols,
+            nnz,
+            spec,
+            lens,
+            frame_offsets,
+        })
+    }
+
+    /// Matrix row count.
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Matrix column count.
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Total ratings across all blocks.
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    /// The grid geometry the arena was partitioned with.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Ratings in block `flat`.
+    pub fn block_len(&self, flat: usize) -> usize {
+        self.lens[flat]
+    }
+
+    /// Wire bytes of block `flat` (the quantity the cache budget
+    /// accounts in).
+    pub fn block_wire_bytes(&self, flat: usize) -> usize {
+        self.lens[flat] * Rating::WIRE_BYTES
+    }
+
+    /// Total wire bytes across all blocks — the "100% budget" an
+    /// in-RAM-equivalent cache would need.
+    pub fn total_wire_bytes(&self) -> usize {
+        self.nnz as usize * Rating::WIRE_BYTES
+    }
+
+    /// Loads and checksum-verifies one block frame. A frame that fails
+    /// any check yields a typed error and **no data** — a corrupt
+    /// spilled block can never reach a kernel.
+    pub fn load_block(&self, flat: usize) -> Result<BlockBuf, ArenaError> {
+        let len = self.lens[flat];
+        let payload_bytes = len * Rating::WIRE_BYTES;
+        let mut r = self.vfs.open_at(&self.path, self.frame_offsets[flat])?;
+        let mut buf = vec![0u8; payload_bytes + 8];
+        match read_exact_or(&mut *r, &mut buf, "block frame") {
+            Ok(()) => {}
+            // `open_at`'s default skip surfaces a too-short file as an
+            // EOF io::Error before the frame read starts; fold both
+            // shapes into the torn classification.
+            Err(ArenaError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(ArenaError::Torn {
+                    section: "block frame",
+                })
+            }
+            Err(e) => return Err(e),
+        }
+        let mut h = Xxh64::new(0);
+        h.update(&buf[..payload_bytes]);
+        if h.digest() != read_u64_at(&buf, payload_bytes) {
+            return Err(ArenaError::ChecksumMismatch {
+                section: format!("block {flat}"),
+            });
+        }
+        let rows = (0..len).map(|i| read_u32_at(&buf, i * 4)).collect();
+        let cols = (0..len).map(|i| read_u32_at(&buf, (len + i) * 4)).collect();
+        let vals = (0..len)
+            .map(|i| {
+                f32::from_le_bytes(
+                    buf[(2 * len + i) * 4..(2 * len + i) * 4 + 4]
+                        .try_into()
+                        .expect("4 bytes"),
+                )
+            })
+            .collect();
+        Ok(BlockBuf { rows, cols, vals })
+    }
+
+    /// Streams every frame and verifies every checksum — the full-file
+    /// integrity pass (used by tests and the fuzz harness; training
+    /// verifies lazily, per load).
+    pub fn verify(&self) -> Result<(), ArenaError> {
+        for flat in 0..self.lens.len() {
+            self.load_block(flat)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The LRU block cache
+// ---------------------------------------------------------------------------
+
+struct Entry {
+    buf: Arc<BlockBuf>,
+    bytes: usize,
+    pins: u32,
+    last_use: u64,
+}
+
+struct CacheInner {
+    resident: HashMap<usize, Entry>,
+    /// Exact bytes of all resident blocks, pinned included.
+    used: usize,
+    /// Logical clock: bumped on every touch, orders LRU eviction.
+    tick: u64,
+}
+
+/// Hit/miss/eviction/IO counters, updated atomically so readers (the
+/// scheduler feedback loop, the bench harness) can snapshot without
+/// taking the cache lock.
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bytes_read: AtomicU64,
+    load_nanos: AtomicU64,
+}
+
+/// A snapshot of one spill cache's counters — the out-of-core run's
+/// observability surface, carried into `RunReport` by the trainers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpillCounters {
+    /// Block accesses served from the cache.
+    pub hits: u64,
+    /// Block accesses that had to load from the arena.
+    pub misses: u64,
+    /// Blocks evicted by the LRU trim.
+    pub evictions: u64,
+    /// Payload bytes read from the arena.
+    pub bytes_read: u64,
+    /// Wall seconds spent inside block loads.
+    pub load_secs: f64,
+    /// Resident bytes at snapshot time (pinned included).
+    pub resident_bytes: u64,
+    /// Bytes of currently pinned blocks at snapshot time.
+    pub pinned_bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+}
+
+impl SpillCounters {
+    /// Fraction of accesses served without touching the arena.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Sustained arena read bandwidth over the run (bytes/s; 0 when no
+    /// load happened).
+    pub fn io_bytes_per_sec(&self) -> f64 {
+        if self.load_secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_read as f64 / self.load_secs
+    }
+}
+
+/// Byte-budgeted LRU over loaded blocks with per-block pin counts.
+///
+/// Accounting is exact: `resident_bytes` is the sum of the wire bytes of
+/// every resident block, pinned or not. The trim evicts
+/// least-recently-used **unpinned** blocks until the budget holds; when
+/// the pinned working set alone exceeds the budget the cache stays over
+/// budget rather than violate pin-safety (so any budget that admits the
+/// largest concurrent pin set makes forward progress).
+pub struct BlockCache {
+    budget: usize,
+    inner: Mutex<CacheInner>,
+    stats: StatCells,
+}
+
+impl fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.counters();
+        f.debug_struct("BlockCache")
+            .field("budget", &self.budget)
+            .field("resident_bytes", &c.resident_bytes)
+            .field("hits", &c.hits)
+            .field("misses", &c.misses)
+            .field("evictions", &c.evictions)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> BlockCache {
+        BlockCache {
+            budget: budget_bytes,
+            inner: Mutex::new(CacheInner {
+                resident: HashMap::new(),
+                used: 0,
+                tick: 0,
+            }),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Acquires block `flat` **pinned**: a hit refreshes its LRU
+    /// position, a miss runs `load` (under the cache lock — loads are
+    /// serialized, which is exactly the one-IO-lane discipline the
+    /// prefetch thread assumes) and admits the result. The pin must be
+    /// returned with [`BlockCache::release`]; while held, the block
+    /// cannot be evicted.
+    pub fn acquire(
+        &self,
+        flat: usize,
+        load: impl FnOnce() -> Result<BlockBuf, ArenaError>,
+    ) -> Result<Arc<BlockBuf>, ArenaError> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.resident.get_mut(&flat) {
+            e.last_use = tick;
+            e.pins += 1;
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&e.buf));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let buf = Arc::new(load()?);
+        self.stats
+            .load_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let bytes = buf.wire_bytes();
+        self.stats
+            .bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        inner.used += bytes;
+        inner.resident.insert(
+            flat,
+            Entry {
+                buf: Arc::clone(&buf),
+                bytes,
+                pins: 1,
+                last_use: tick,
+            },
+        );
+        self.trim(&mut inner);
+        Ok(buf)
+    }
+
+    /// Returns one pin on block `flat`, then re-trims (a block whose
+    /// last pin just dropped becomes evictable if the cache is over
+    /// budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident or not pinned — an unpin
+    /// without a matching pin is an executor bug.
+    pub fn release(&self, flat: usize) {
+        let mut inner = self.inner.lock();
+        let e = inner
+            .resident
+            .get_mut(&flat)
+            .unwrap_or_else(|| panic!("release of non-resident block {flat}"));
+        assert!(e.pins > 0, "release of unpinned block {flat}");
+        e.pins -= 1;
+        self.trim(&mut inner);
+    }
+
+    /// Loads block `flat` into the cache without leaving it pinned —
+    /// the prefetch thread's warm path. Counts as a normal hit or miss.
+    pub fn warm(
+        &self,
+        flat: usize,
+        load: impl FnOnce() -> Result<BlockBuf, ArenaError>,
+    ) -> Result<(), ArenaError> {
+        self.acquire(flat, load)?;
+        self.release(flat);
+        Ok(())
+    }
+
+    /// Explicitly evicts block `flat`. Returns whether it was resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is pinned — **pin-while-in-flight**: a
+    /// dispatched block can never be evicted.
+    pub fn evict(&self, flat: usize) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.resident.get(&flat) {
+            None => false,
+            Some(e) => {
+                assert!(
+                    e.pins == 0,
+                    "evicting pinned block {flat} (pins={}) — pin-while-in-flight invariant violated",
+                    e.pins
+                );
+                let e = inner.resident.remove(&flat).expect("present");
+                inner.used -= e.bytes;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Evicts least-recently-used unpinned blocks until the budget
+    /// holds. Pinned blocks are skipped unconditionally.
+    fn trim(&self, inner: &mut CacheInner) {
+        while inner.used > self.budget {
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(_, e)| e.pins == 0)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(&flat, _)| flat);
+            let Some(flat) = victim else { break };
+            let e = inner.resident.remove(&flat).expect("victim resident");
+            debug_assert_eq!(e.pins, 0);
+            inner.used -= e.bytes;
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether block `flat` is currently resident.
+    pub fn is_resident(&self, flat: usize) -> bool {
+        self.inner.lock().resident.contains_key(&flat)
+    }
+
+    /// Pins currently held on block `flat` (0 when absent).
+    pub fn pin_count(&self, flat: usize) -> u32 {
+        self.inner.lock().resident.get(&flat).map_or(0, |e| e.pins)
+    }
+
+    /// Exact resident bytes (pinned included).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// Bytes of currently pinned blocks.
+    pub fn pinned_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .resident
+            .values()
+            .filter(|e| e.pins > 0)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> SpillCounters {
+        let (resident, pinned) = {
+            let inner = self.inner.lock();
+            (
+                inner.used as u64,
+                inner
+                    .resident
+                    .values()
+                    .filter(|e| e.pins > 0)
+                    .map(|e| e.bytes as u64)
+                    .sum(),
+            )
+        };
+        SpillCounters {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            load_secs: self.stats.load_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            resident_bytes: resident,
+            pinned_bytes: pinned,
+            budget_bytes: self.budget as u64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spill handle: arena + cache, shared by partition and executors
+// ---------------------------------------------------------------------------
+
+struct SpillState {
+    arena: BlockArena,
+    cache: BlockCache,
+}
+
+/// Shared handle to one spill-backed partition's arena and cache.
+/// Cloning is cheap (`Arc`); the trainer's prefetch thread, the
+/// executors' pin/unpin paths, and the partition's `block()` accessor
+/// all hold clones of the same state.
+#[derive(Clone)]
+pub struct SpillHandle(Arc<SpillState>);
+
+impl fmt::Debug for SpillHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpillHandle")
+            .field("arena", &self.0.arena)
+            .field("cache", &self.0.cache)
+            .finish()
+    }
+}
+
+impl SpillHandle {
+    /// Opens `path` as an arena fronted by a fresh cache with the given
+    /// byte budget.
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        budget_bytes: usize,
+    ) -> Result<SpillHandle, ArenaError> {
+        let arena = BlockArena::open(vfs, path)?;
+        Ok(SpillHandle(Arc::new(SpillState {
+            arena,
+            cache: BlockCache::new(budget_bytes),
+        })))
+    }
+
+    /// The underlying arena (geometry, per-block sizes, direct loads).
+    pub fn arena(&self) -> &BlockArena {
+        &self.0.arena
+    }
+
+    /// The cache in front of it (budget, counters).
+    pub fn cache(&self) -> &BlockCache {
+        &self.0.cache
+    }
+
+    /// Pins block `flat`, loading it from the arena on a miss. Every
+    /// `pin` must be matched by an [`SpillHandle::unpin`] once the
+    /// kernel consuming the block has returned.
+    pub fn pin(&self, flat: usize) -> Result<(), ArenaError> {
+        self.0
+            .cache
+            .acquire(flat, || self.0.arena.load_block(flat))
+            .map(|_| ())
+    }
+
+    /// Returns one pin on block `flat`.
+    pub fn unpin(&self, flat: usize) {
+        self.0.cache.release(flat);
+    }
+
+    /// Warms block `flat` (resident but unpinned) — the prefetch
+    /// thread's load-ahead path.
+    pub fn warm(&self, flat: usize) -> Result<(), ArenaError> {
+        self.0.cache.warm(flat, || self.0.arena.load_block(flat))
+    }
+
+    /// Whether block `flat` is resident (pinned or not).
+    pub fn is_resident(&self, flat: usize) -> bool {
+        self.0.cache.is_resident(flat)
+    }
+
+    /// Wire bytes of block `flat`.
+    pub fn block_wire_bytes(&self, flat: usize) -> usize {
+        self.0.arena.block_wire_bytes(flat)
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> SpillCounters {
+        self.0.cache.counters()
+    }
+
+    /// The pinned block's SoA slices, borrowed for `'a`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a pin on `flat` for the whole lifetime of
+    /// the returned slices (checked: an unpinned or non-resident access
+    /// panics at entry, and pinned blocks are never evicted, so the
+    /// `Arc<BlockBuf>` held by the resident map — whose buffers never
+    /// move after load — stays alive while the pin is held). Unpinning
+    /// before the borrow ends would let a concurrent eviction free the
+    /// buffers; that is the one obligation the type system cannot see.
+    pub(crate) unsafe fn pinned_slices(&self, flat: usize) -> BlockSlices<'_> {
+        let inner = self.0.cache.inner.lock();
+        let e = inner.resident.get(&flat).unwrap_or_else(|| {
+            panic!("spilled block {flat} accessed while not resident — pin it first")
+        });
+        assert!(
+            e.pins > 0,
+            "spilled block {flat} accessed without a pin — pin-while-in-flight protocol violated"
+        );
+        let len = e.buf.len();
+        let (rp, cp, vp) = (
+            e.buf.rows.as_ptr(),
+            e.buf.cols.as_ptr(),
+            e.buf.vals.as_ptr(),
+        );
+        drop(inner);
+        // SAFETY: per the function contract the pin outlives the borrow,
+        // the pinned entry (and its Arc'd, never-moving buffers) outlives
+        // the pin, and loaded blocks are immutable.
+        BlockSlices::new(
+            std::slice::from_raw_parts(rp, len),
+            std::slice::from_raw_parts(cp, len),
+            std::slice::from_raw_parts(vp, len),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Environment knobs
+// ---------------------------------------------------------------------------
+
+/// Parses a byte count with an optional binary suffix: `4096`, `64k`,
+/// `16M`, `1G` (case-insensitive, powers of 1024). `None` on anything
+/// else.
+pub fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, mult) = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+        b'k' => (&s[..s.len() - 1], 1usize << 10),
+        b'm' => (&s[..s.len() - 1], 1usize << 20),
+        b'g' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1usize),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+/// The cache byte budget: `MF_SPILL_BUDGET` when set and parseable
+/// (`4096`, `64k`, `16M`, `1G`), else `default_bytes`. This is how the
+/// CI spill leg forces every spill-aware test down to a pathologically
+/// tight cache without touching the tests themselves.
+pub fn budget_from_env(default_bytes: usize) -> usize {
+    match std::env::var(ENV_BUDGET) {
+        Ok(v) => parse_bytes(&v).unwrap_or(default_bytes),
+        Err(_) => default_bytes,
+    }
+}
+
+/// The directory arena files are written into: `MF_SPILL_DIR` when set,
+/// else the system temp directory.
+pub fn dir_from_env() -> PathBuf {
+    match std::env::var(ENV_DIR) {
+        Ok(v) if !v.is_empty() => PathBuf::from(v),
+        _ => std::env::temp_dir(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SparseMatrix;
+    use crate::vfs::RealFs;
+    use crate::BlockOrder;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mf_sparse_arena_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn demo_partition(seed: u64) -> GridPartition {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (m, n) = (64u32, 48u32);
+        let mut mat = SparseMatrix::empty(m, n);
+        for _ in 0..2000 {
+            let u = rng.random::<u32>() % m;
+            let v = rng.random::<u32>() % n;
+            mat.push(Rating::new(u, v, 1.0 + 4.0 * rng.random::<f32>()));
+        }
+        GridPartition::build_with_order(&mat, GridSpec::uniform(m, n, 4, 3), BlockOrder::UserMajor)
+    }
+
+    #[test]
+    fn arena_roundtrips_every_block() {
+        let dir = tmp_dir("rt");
+        let part = demo_partition(7);
+        BlockArena::write(&RealFs, &dir, "a.mfcka", &part).unwrap();
+        let arena = BlockArena::open(Arc::new(RealFs), &dir.join("a.mfcka")).unwrap();
+        assert_eq!(arena.nnz(), part.total_nnz() as u64);
+        assert_eq!(arena.spec(), part.spec());
+        for (flat, id) in part.spec().blocks().enumerate() {
+            let want = part.block(id);
+            let got = arena.load_block(flat).unwrap();
+            let got = got.slices();
+            assert_eq!(got.rows, want.rows);
+            assert_eq!(got.cols, want.cols);
+            assert_eq!(got.vals, want.vals);
+        }
+        arena.verify().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let dir = tmp_dir("flip");
+        let part = demo_partition(9);
+        BlockArena::write(&RealFs, &dir, "a.mfcka", &part).unwrap();
+        let path = dir.join("a.mfcka");
+        let clean = std::fs::read(&path).unwrap();
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let at = rng.random::<usize>() % clean.len();
+            let mut bad = clean.clone();
+            bad[at] ^= 1 << (rng.random::<u32>() % 8);
+            std::fs::write(&path, &bad).unwrap();
+            let verdict = BlockArena::open(Arc::new(RealFs), &path).and_then(|a| a.verify());
+            assert!(verdict.is_err(), "flip at byte {at} went undetected");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncation_is_torn_not_corrupt() {
+        let dir = tmp_dir("torn");
+        let part = demo_partition(11);
+        BlockArena::write(&RealFs, &dir, "a.mfcka", &part).unwrap();
+        let path = dir.join("a.mfcka");
+        let clean = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &clean[..clean.len() - 5]).unwrap();
+        let err = BlockArena::open(Arc::new(RealFs), &path)
+            .and_then(|a| a.verify())
+            .unwrap_err();
+        assert!(matches!(err, ArenaError::Torn { .. }), "got {err}");
+        // Header-only file: torn at the cuts.
+        std::fs::write(&path, &clean[..60]).unwrap();
+        let err = BlockArena::open(Arc::new(RealFs), &path).unwrap_err();
+        assert!(
+            matches!(err, ArenaError::Torn { section: "cuts" }),
+            "got {err}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let dir = tmp_dir("ver");
+        let part = demo_partition(13);
+        BlockArena::write(&RealFs, &dir, "a.mfcka", &part).unwrap();
+        let path = dir.join("a.mfcka");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 9; // version = 9
+                      // Re-seal the header checksum so only the version check can fire.
+        let d = crate::hash::xxh64(&bytes[..48]);
+        bytes[48..56].copy_from_slice(&d.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = BlockArena::open(Arc::new(RealFs), &path).unwrap_err();
+        assert!(matches!(err, ArenaError::BadVersion(9)), "got {err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cache_budget_accounting_is_exact() {
+        let dir = tmp_dir("cache");
+        let part = demo_partition(17);
+        BlockArena::write(&RealFs, &dir, "a.mfcka", &part).unwrap();
+        let h = SpillHandle::open(
+            Arc::new(RealFs),
+            &dir.join("a.mfcka"),
+            2 * 1024, // ~a block or two
+        )
+        .unwrap();
+        let nblocks = part.spec().block_count();
+        for flat in 0..nblocks {
+            h.pin(flat).unwrap();
+            h.unpin(flat);
+            assert!(
+                h.cache().resident_bytes() <= 2 * 1024,
+                "unpinned cache over budget"
+            );
+        }
+        let c = h.counters();
+        assert_eq!(c.misses + c.hits, nblocks as u64);
+        assert!(c.evictions > 0, "tight budget must evict");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "pin-while-in-flight")]
+    fn evicting_a_pinned_block_panics() {
+        let dir = tmp_dir("pinned");
+        let part = demo_partition(19);
+        BlockArena::write(&RealFs, &dir, "a.mfcka", &part).unwrap();
+        let h = SpillHandle::open(Arc::new(RealFs), &dir.join("a.mfcka"), usize::MAX).unwrap();
+        h.pin(0).unwrap();
+        h.cache().evict(0);
+    }
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes(" 16M "), Some(16 << 20));
+        assert_eq!(parse_bytes("1G"), Some(1 << 30));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+}

@@ -12,13 +12,27 @@
 //!   block's ratings are one contiguous structure-of-arrays run
 //!   ([`BlockSlices`]), cheap to hand to a worker or to "transfer" to the
 //!   simulated GPU, and laid out the way the vectorized kernels want.
+//!
+//! A partition can also be **spill-backed** ([`GridPartition::
+//! open_spilled`]): the geometry and per-block sizes stay in RAM but the
+//! rating payloads live in an on-disk block arena ([`crate::arena`]),
+//! loaded through a byte-budgeted LRU cache. Spilled block access
+//! follows a pin protocol — [`GridPartition::pin_blocks`] before
+//! dispatching a block to a kernel, [`GridPartition::unpin_blocks`] once
+//! it returns — and [`GridPartition::block`] panics on an unpinned
+//! spilled access, so the protocol cannot be silently skipped.
 
 use std::fmt;
+use std::io;
 use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
 
 use mf_par::{stable_counting_scatter, ScatterSlice, ThreadPool, DEFAULT_CHUNK};
 
+use crate::arena::{ArenaError, BlockArena, SpillHandle};
 use crate::matrix::{BlockSlices, Rating, SparseMatrix};
+use crate::vfs::Vfs;
 
 /// Identifies one block of the grid: row band `row`, column band `col`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -313,6 +327,9 @@ pub struct GridPartition {
     offsets: Vec<usize>,
     nrows: u32,
     ncols: u32,
+    /// `Some` when the payloads live in an on-disk arena instead of the
+    /// `rows`/`cols`/`vals` vectors (which are then empty).
+    spill: Option<SpillHandle>,
 }
 
 impl GridPartition {
@@ -455,6 +472,89 @@ impl GridPartition {
             offsets,
             nrows: m.nrows(),
             ncols: m.ncols(),
+            spill: None,
+        }
+    }
+
+    /// Opens a partition whose block payloads stay in the arena at
+    /// `path` (written by [`GridPartition::write_arena`]), fronted by an
+    /// LRU cache of at most `budget_bytes` of resident blocks. Geometry
+    /// and per-block sizes are validated and held in RAM; rating bytes
+    /// are loaded per block on [`GridPartition::pin_blocks`] and
+    /// checksum-verified on every load.
+    pub fn open_spilled(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        budget_bytes: usize,
+    ) -> Result<GridPartition, ArenaError> {
+        let handle = SpillHandle::open(vfs, path, budget_bytes)?;
+        let (spec, nrows, ncols, offsets) = {
+            let arena = handle.arena();
+            let spec = arena.spec().clone();
+            let mut offsets = Vec::with_capacity(spec.block_count() + 1);
+            let mut acc = 0usize;
+            offsets.push(0);
+            for flat in 0..spec.block_count() {
+                acc += arena.block_len(flat);
+                offsets.push(acc);
+            }
+            (spec, arena.nrows(), arena.ncols(), offsets)
+        };
+        Ok(GridPartition {
+            spec,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+            offsets,
+            nrows,
+            ncols,
+            spill: Some(handle),
+        })
+    }
+
+    /// Writes this (resident) partition as an `MFCK` v3 block arena at
+    /// `dir/name` via the atomic-publish discipline, ready for
+    /// [`GridPartition::open_spilled`].
+    pub fn write_arena(&self, vfs: &dyn Vfs, dir: &Path, name: &str) -> io::Result<()> {
+        BlockArena::write(vfs, dir, name, self)
+    }
+
+    /// Whether this partition's payloads are spill-backed.
+    pub fn is_spilled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// The spill handle (arena + cache) when spill-backed.
+    pub fn spill(&self) -> Option<&SpillHandle> {
+        self.spill.as_ref()
+    }
+
+    /// Pins every block in `ids`, loading missing ones from the arena.
+    /// A no-op for resident partitions, so executors can call it
+    /// unconditionally on their dispatch path. On a checksum or I/O
+    /// failure nothing stays pinned and the typed error propagates —
+    /// corrupt bytes never reach a kernel.
+    pub fn pin_blocks(&self, ids: &[BlockId]) -> Result<(), ArenaError> {
+        let Some(handle) = &self.spill else {
+            return Ok(());
+        };
+        for (i, &id) in ids.iter().enumerate() {
+            if let Err(e) = handle.pin(self.spec.flat_index(id)) {
+                for &done in &ids[..i] {
+                    handle.unpin(self.spec.flat_index(done));
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the pins taken by [`GridPartition::pin_blocks`]. A no-op
+    /// for resident partitions.
+    pub fn unpin_blocks(&self, ids: &[BlockId]) {
+        let Some(handle) = &self.spill else { return };
+        for &id in ids {
+            handle.unpin(self.spec.flat_index(id));
         }
     }
 
@@ -475,12 +575,24 @@ impl GridPartition {
 
     /// Total number of ratings across all blocks.
     pub fn total_nnz(&self) -> usize {
-        self.rows.len()
+        *self.offsets.last().expect("offsets never empty")
     }
 
     /// The ratings of one block: three contiguous unit-stride streams.
+    ///
+    /// # Panics
+    ///
+    /// On a spill-backed partition, panics unless the block is currently
+    /// pinned ([`GridPartition::pin_blocks`]) — the pin is what keeps
+    /// the returned slices alive against cache eviction.
     pub fn block(&self, id: BlockId) -> BlockSlices<'_> {
         let flat = self.spec.flat_index(id);
+        if let Some(handle) = &self.spill {
+            // SAFETY: `pinned_slices` panics unless the block is pinned,
+            // and the executors' pin protocol holds the pin for as long
+            // as the slices are in use.
+            return unsafe { handle.pinned_slices(flat) };
+        }
         let lo = self.offsets[flat];
         let hi = self.offsets[flat + 1];
         BlockSlices {

@@ -22,18 +22,29 @@
 //!   (the paper shuffles the input so the training samples are not skewed by
 //!   input order, Sec. V-A).
 //! * [`io`] — text (one `u v r` triple per line) and compact binary formats.
+//! * [`arena`] — the **spill-backed** partition storage for out-of-core
+//!   training: per-block frames in an on-disk arena file (`MFCK` v3,
+//!   `docs/FORMAT.md`) fronted by a byte-budgeted, pin-aware LRU cache.
+//! * [`vfs`] / [`hash`] — the atomic-publish filesystem seam and the
+//!   XXH64 checksum shared by every on-disk format in the workspace
+//!   (re-exported by `mf-serve` for the checkpoint/delta layer).
 //!
 //! All RNG flows through caller-provided seeds; there is no hidden global
 //! randomness anywhere in this workspace.
 
+pub mod arena;
 pub mod csr;
 pub mod grid;
+pub mod hash;
 pub mod io;
 pub mod matrix;
 pub mod pool;
 pub mod shuffle;
+pub mod vfs;
 
+pub use arena::{ArenaError, BlockArena, BlockCache, SpillCounters, SpillHandle};
 pub use csr::{CscView, CsrView};
 pub use grid::{balanced_cuts, BlockId, BlockOrder, GridPartition, GridSpec};
 pub use matrix::{BlockSlices, Rating, SoaRatings, SparseMatrix};
 pub use pool::FreeBlockPool;
+pub use vfs::{RealFs, Vfs};

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::process::Command;
 
 /// The examples this workspace ships; keep in sync with `examples/`.
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "quickstart",
     "movielens_recommender",
     "hetero_scheduling",
@@ -22,6 +22,7 @@ const EXAMPLES: [&str; 8] = [
     "cost_calibration",
     "serve_topk",
     "live_loop",
+    "spill_train",
 ];
 
 #[test]
